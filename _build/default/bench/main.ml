@@ -1,0 +1,224 @@
+(* Benchmark harness.
+
+   One Bechamel test per paper artefact — regenerating Figure 1, the
+   two halves of Table 1, and the Table 2 synthesis comparison — plus
+   substrate micro-benchmarks (simulation kernel, MQ coder, DWT,
+   Tier-1) and the DESIGN.md ablations (Shared-Object arbitration
+   policy, bus burst length).
+
+   After the measurements the harness prints the regenerated
+   artefacts themselves, so `dune exec bench/main.exe` both times the
+   reproduction and emits the paper's rows. *)
+
+open Bechamel
+open Toolkit
+
+let lossless = Jpeg2000.Codestream.Lossless
+let lossy = Jpeg2000.Codestream.Lossy
+
+(* -- benchmarked actions -------------------------------------------- *)
+
+let run_app_models mode () =
+  List.iter
+    (fun v -> ignore (Models.Experiment.run ~payload:false v mode))
+    Models.Experiment.[ V1; V2; V3; V4; V5 ]
+
+let run_vta_models mode () =
+  List.iter
+    (fun v -> ignore (Models.Experiment.run ~payload:false v mode))
+    Models.Experiment.[ V6a; V6b; V7a; V7b ]
+
+let run_fig1 () = ignore (Models.Tables.figure1 ~payload:false ())
+
+let run_table2 () = ignore (Models.Tables.table2_rows ())
+
+let kernel_ping_pong () =
+  (* Two processes exchanging 1000 events through a mailbox: the DES
+     kernel ablation (effect-handler processes). *)
+  let k = Sim.Kernel.create () in
+  let mb = Sim.Mailbox.create k ~capacity:4 () in
+  Sim.Kernel.spawn k (fun () ->
+      for i = 1 to 1000 do
+        Sim.Mailbox.put mb i
+      done);
+  Sim.Kernel.spawn k (fun () ->
+      for _ = 1 to 1000 do
+        ignore (Sim.Mailbox.get mb)
+      done);
+  Sim.Kernel.run k
+
+let mq_payload =
+  let state = ref 12345 in
+  Array.init 20_000 (fun _ ->
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      (!state lsr 7) land 1)
+
+let mq_roundtrip () =
+  let ctx = Jpeg2000.Mq.context () in
+  let enc = Jpeg2000.Mq.encoder () in
+  Array.iter (Jpeg2000.Mq.encode enc ctx) mq_payload;
+  let data = Jpeg2000.Mq.flush enc in
+  let ctx' = Jpeg2000.Mq.context () in
+  let dec = Jpeg2000.Mq.decoder data in
+  Array.iter (fun _ -> ignore (Jpeg2000.Mq.decode dec ctx')) mq_payload
+
+let dwt_plane =
+  let p = Jpeg2000.Image.create_plane ~width:128 ~height:128 in
+  Array.iteri
+    (fun i _ -> p.Jpeg2000.Image.data.(i) <- ((i * 37) mod 511) - 255)
+    p.Jpeg2000.Image.data;
+  p
+
+let dwt53_roundtrip () =
+  let p =
+    { dwt_plane with Jpeg2000.Image.data = Array.copy dwt_plane.Jpeg2000.Image.data }
+  in
+  Jpeg2000.Dwt53.forward_plane p ~levels:3;
+  Jpeg2000.Dwt53.inverse_plane p ~levels:3
+
+let t1_block =
+  let state = ref 99 in
+  Array.init (32 * 32) (fun _ ->
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      if !state mod 5 = 0 then (!state mod 255) - 127 else 0)
+
+let t1_roundtrip () =
+  let planes, data =
+    Jpeg2000.T1.encode_block ~orientation:Jpeg2000.Subband.HL ~w:32 ~h:32 t1_block
+  in
+  ignore
+    (Jpeg2000.T1.decode_block ~orientation:Jpeg2000.Subband.HL ~w:32 ~h:32 ~planes
+       data)
+
+let ablation_policy policy () =
+  let w = Models.Workload.make ~payload:false lossy in
+  ignore
+    (Models.Vta_models.run_custom ~so_policy:policy ~version:"7a" ~sw_tasks:4
+       ~idwt_p2p:false w)
+
+let ablation_burst words () =
+  let w = Models.Workload.make ~payload:false lossy in
+  ignore
+    (Models.Vta_models.run_custom ~bus_max_burst:words ~version:"7a" ~sw_tasks:4
+       ~idwt_p2p:false w)
+
+let tests =
+  Test.make_grouped ~name:"repro"
+    [
+      (* Paper artefacts. *)
+      Test.make ~name:"fig1_profile" (Staged.stage run_fig1);
+      Test.make ~name:"table1_app_lossless" (Staged.stage (run_app_models lossless));
+      Test.make ~name:"table1_app_lossy" (Staged.stage (run_app_models lossy));
+      Test.make ~name:"table1_vta_lossless" (Staged.stage (run_vta_models lossless));
+      Test.make ~name:"table1_vta_lossy" (Staged.stage (run_vta_models lossy));
+      Test.make ~name:"table2_synthesis" (Staged.stage run_table2);
+      (* Substrate micro-benchmarks. *)
+      Test.make ~name:"kernel_ping_pong_1k" (Staged.stage kernel_ping_pong);
+      Test.make ~name:"mq_roundtrip_20kbit" (Staged.stage mq_roundtrip);
+      Test.make ~name:"dwt53_128x128_l3" (Staged.stage dwt53_roundtrip);
+      Test.make ~name:"t1_block_32x32" (Staged.stage t1_roundtrip);
+      (* DESIGN.md ablations. *)
+      Test.make ~name:"ablate_policy_fcfs"
+        (Staged.stage (ablation_policy Osss.Arbiter.Fcfs));
+      Test.make ~name:"ablate_policy_round_robin"
+        (Staged.stage (ablation_policy Osss.Arbiter.Round_robin));
+      Test.make ~name:"ablate_policy_priority"
+        (Staged.stage (ablation_policy Osss.Arbiter.Static_priority));
+      Test.make ~name:"ablate_burst_8" (Staged.stage (ablation_burst 8));
+      Test.make ~name:"ablate_burst_64" (Staged.stage (ablation_burst 64));
+    ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances tests in
+  List.map (fun instance -> Analyze.all ols instance raw) instances
+
+let print_bench_results results =
+  Printf.printf "Benchmark (wall-clock per regeneration, OLS estimate):\n";
+  List.iter
+    (fun tbl ->
+      let rows =
+        Hashtbl.fold
+          (fun name result acc ->
+            let value =
+              match Analyze.OLS.estimates result with
+              | Some [ est ] -> est
+              | Some _ | None -> Float.nan
+            in
+            (name, value) :: acc)
+          tbl []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      List.iter
+        (fun (name, ns) -> Printf.printf "  %-42s %12.3f ms\n" name (ns /. 1e6))
+        rows)
+    results
+
+(* -- ablation result tables (values, not just timings) ---------------- *)
+
+let print_ablations () =
+  Printf.printf
+    "\nAblation - HW/SW Shared-Object arbitration policy (version 7a, lossy):\n";
+  Printf.printf "  %-18s %14s %12s\n" "policy" "decode [ms]" "IDWT [ms]";
+  List.iter
+    (fun (name, policy) ->
+      let w = Models.Workload.make ~payload:false lossy in
+      let r =
+        Models.Vta_models.run_custom ~so_policy:policy ~version:"7a" ~sw_tasks:4
+          ~idwt_p2p:false w
+      in
+      Printf.printf "  %-18s %14.1f %12.2f\n" name r.Models.Outcome.decode_ms
+        r.Models.Outcome.idwt_ms)
+    [
+      ("fcfs", Osss.Arbiter.Fcfs);
+      ("round-robin", Osss.Arbiter.Round_robin);
+      ("static-priority", Osss.Arbiter.Static_priority);
+    ];
+  Printf.printf "\nAblation - OPB burst length (version 7a, lossy):\n";
+  Printf.printf "  %-18s %14s %12s\n" "burst [words]" "decode [ms]" "IDWT [ms]";
+  List.iter
+    (fun words ->
+      let w = Models.Workload.make ~payload:false lossy in
+      let r =
+        Models.Vta_models.run_custom ~bus_max_burst:words ~version:"7a"
+          ~sw_tasks:4 ~idwt_p2p:false w
+      in
+      Printf.printf "  %-18d %14.1f %12.2f\n" words r.Models.Outcome.decode_ms
+        r.Models.Outcome.idwt_ms)
+    [ 4; 8; 16; 32; 64 ];
+  Printf.printf
+    "\nAblation - operator sharing mode on the FOSSY netlists (same netlist,\n\
+     Shared = cross-state operator folding, Flat = every instance kept):\n";
+  Printf.printf "  %-10s %10s %10s %12s %12s\n" "core" "LUT shared" "LUT flat"
+    "fmax shared" "fmax flat";
+  List.iter
+    (fun (name, hir) ->
+      match Fossy.Synthesis.synthesise hir with
+      | Error _ -> ()
+      | Ok r ->
+        let s = r.Fossy.Synthesis.summary in
+        let shared = Rtl.Area.estimate ~sharing:Rtl.Area.Shared s in
+        let flat = Rtl.Area.estimate ~sharing:Rtl.Area.Flat s in
+        Printf.printf "  %-10s %10d %10d %9.1f MHz %9.1f MHz\n" name
+          shared.Rtl.Area.luts flat.Rtl.Area.luts
+          (Rtl.Timing_model.estimate_mhz ~sharing:Rtl.Area.Shared s)
+          (Rtl.Timing_model.estimate_mhz ~sharing:Rtl.Area.Flat s))
+    [
+      ("idwt53", Models.Idwt_cores.idwt53_systemc);
+      ("idwt97", Models.Idwt_cores.idwt97_systemc);
+    ]
+
+let () =
+  let results = benchmark () in
+  print_bench_results results;
+  print_newline ();
+  print_string (Models.Tables.figure1 ~payload:false ());
+  print_string (Models.Tables.table1 ~payload:false ());
+  print_newline ();
+  print_string (Models.Tables.table2 ());
+  print_string (Models.Tables.relations_report ~payload:false ());
+  print_ablations ()

@@ -1,0 +1,1 @@
+bin/osss_sim.ml: Arg Cmd Cmdliner Format Jpeg2000 Models Osss Printf Str_contains Term

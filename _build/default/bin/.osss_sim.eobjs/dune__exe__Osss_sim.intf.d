@@ -1,0 +1,1 @@
+bin/osss_sim.mli:

@@ -1,0 +1,1 @@
+bin/str_contains.ml: String

@@ -1,0 +1,197 @@
+(* FOSSY synthesis driver: SystemC-subset IDWT cores -> VHDL +
+   synthesis report + EDK platform files. *)
+
+open Cmdliner
+
+let core_of_name = function
+  | "idwt53" -> Ok Models.Idwt_cores.idwt53_systemc
+  | "idwt97" -> Ok Models.Idwt_cores.idwt97_systemc
+  | other -> Error (Printf.sprintf "unknown core %S (idwt53 | idwt97)" other)
+
+let reference_of_name = function
+  | "idwt53" -> Models.Idwt_cores.idwt53_reference
+  | "idwt97" -> Models.Idwt_cores.idwt97_reference
+  | _ -> assert false
+
+let write_file path data =
+  let oc = open_out path in
+  output_string oc data;
+  close_out oc;
+  Printf.printf "wrote %s (%d lines)\n" path
+    (List.length
+       (List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' data)))
+
+let synth_cmd =
+  let run core_name out_dir show_systemc with_reference =
+    match core_of_name core_name with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok hir -> (
+      match Fossy.Synthesis.synthesise hir with
+      | Error es ->
+        List.iter prerr_endline es;
+        exit 1
+      | Ok r ->
+        if show_systemc then print_string (Fossy.Hir_pp.emit hir);
+        (match out_dir with
+        | Some dir ->
+          write_file (Filename.concat dir (core_name ^ ".vhd")) r.Fossy.Synthesis.vhdl_text;
+          write_file
+            (Filename.concat dir (core_name ^ "_behavioural.cpp"))
+            (Fossy.Hir_pp.emit hir);
+          if with_reference then
+            write_file
+              (Filename.concat dir (core_name ^ "_ref.vhd"))
+              (Rtl.Vhdl_pp.emit (reference_of_name core_name))
+        | None -> ());
+        Printf.printf
+          "%s: %d FSM states, SystemC %d LoC -> VHDL %d LoC\n\
+           area: FF=%d LUT=%d slices=%d gates=%d\n\
+           estimated frequency: %.1f MHz%s\n"
+          r.Fossy.Synthesis.module_name
+          (Fossy.Fsm.state_count r.Fossy.Synthesis.fsm)
+          r.Fossy.Synthesis.systemc_loc r.Fossy.Synthesis.vhdl_loc
+          r.Fossy.Synthesis.area.Rtl.Area.flip_flops
+          r.Fossy.Synthesis.area.Rtl.Area.luts r.Fossy.Synthesis.area.Rtl.Area.slices
+          r.Fossy.Synthesis.area.Rtl.Area.gates r.Fossy.Synthesis.fmax_mhz
+          (if Rtl.Area.fits_lx25 r.Fossy.Synthesis.area then " (fits Virtex-4 LX25)"
+           else ""))
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Synthesise an IDWT core to VHDL.")
+    Term.(
+      const run
+      $ Arg.(
+          required & pos 0 (some string) None & info [] ~docv:"CORE" ~doc:"idwt53 or idwt97.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Write VHDL and behavioural model here.")
+      $ Arg.(value & flag & info [ "systemc" ] ~doc:"Print the behavioural model.")
+      $ Arg.(
+          value & flag
+          & info [ "reference" ] ~doc:"Also write the hand-crafted reference VHDL."))
+
+let testbench_cmd =
+  let run core_name out_dir =
+    match core_of_name core_name with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok hir ->
+      (* A short line of coefficients exercises the load/compute/drain
+         phases; the reference stream is the behavioural model's. *)
+      let stimulus =
+        [
+          ("start", [ 1 ]);
+          ("data_in", List.init 64 (fun i -> ((i * 37) mod 211) - 105));
+        ]
+      in
+      (match
+         Fossy.Testbench.generate_for_module hir ~stimulus ~max_outputs:65 ()
+       with
+      | Error es ->
+        List.iter prerr_endline es;
+        exit 1
+      | Ok tb -> (
+        match out_dir with
+        | Some dir -> write_file (Filename.concat dir (core_name ^ "_tb.vhd")) tb
+        | None -> print_string tb))
+  in
+  Cmd.v
+    (Cmd.info "testbench"
+       ~doc:"Generate a self-checking VHDL testbench for an IDWT core.")
+    Term.(
+      const run
+      $ Arg.(
+          required & pos 0 (some string) None & info [] ~docv:"CORE" ~doc:"idwt53 or idwt97.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Write the testbench here."))
+
+let table2_cmd =
+  let run () = print_string (Models.Tables.table2 ()) in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Regenerate the Table 2 synthesis comparison.")
+    Term.(const run $ const ())
+
+let platgen_cmd =
+  let run sw_tasks idwt_p2p out_dir =
+    let vta = Models.Vta_models.mapping ~sw_tasks ~idwt_p2p in
+    let mhs = Fossy.Platgen.mhs vta ~hw_cores:[ "idwt2d"; "idwt53"; "idwt97" ] in
+    let mss = Fossy.Platgen.mss vta in
+    match out_dir with
+    | Some dir ->
+      write_file (Filename.concat dir "system.mhs") mhs;
+      write_file (Filename.concat dir "system.mss") mss
+    | None ->
+      print_string mhs;
+      print_string mss
+  in
+  Cmd.v
+    (Cmd.info "platgen" ~doc:"Generate the EDK platform files (MHS/MSS).")
+    Term.(
+      const run
+      $ Arg.(value & opt int 4 & info [ "tasks" ] ~docv:"N" ~doc:"SW task count.")
+      $ Arg.(value & flag & info [ "p2p" ] ~doc:"IDWT blocks on point-to-point channels.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Write files here instead of stdout."))
+
+let swgen_cmd =
+  let run sw_tasks mode out_dir =
+    let mode =
+      match mode with
+      | "lossless" -> Jpeg2000.Codestream.Lossless
+      | _ -> Jpeg2000.Codestream.Lossy
+    in
+    let words = Models.Profile.nominal_tile_words mode in
+    List.iter
+      (fun i ->
+        let spec =
+          {
+            Fossy.Sw_codegen.task_name = Printf.sprintf "decoder%d" i;
+            processor = Printf.sprintf "microblaze%d" i;
+            shared_objects =
+              [
+                ( "hwsw_so",
+                  [
+                    { Fossy.Sw_codegen.stub_name = "put_pending";
+                      args_words = words + 3; ret_words = 3 };
+                    { Fossy.Sw_codegen.stub_name = "take_ready";
+                      args_words = 3; ret_words = words + 3 };
+                  ] );
+              ];
+            body_include = Printf.sprintf "decoder%d_main.h" i;
+          }
+        in
+        let code = Fossy.Sw_codegen.emit_c spec in
+        match out_dir with
+        | Some dir ->
+          write_file (Filename.concat dir (Printf.sprintf "decoder%d.c" i)) code
+        | None -> print_string code)
+      (List.init sw_tasks (fun i -> i))
+  in
+  Cmd.v
+    (Cmd.info "swgen"
+       ~doc:
+         "Generate the C RMI stubs of the decoder Software Tasks (the SW side \
+          of the synthesis flow).")
+    Term.(
+      const run
+      $ Arg.(value & opt int 4 & info [ "tasks" ] ~docv:"N" ~doc:"SW task count.")
+      $ Arg.(
+          value & opt string "lossless"
+          & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"lossless or lossy.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Write files here instead of stdout."))
+
+let () =
+  let doc = "FOSSY high-level synthesis flow" in
+  exit
+    (Cmd.eval (Cmd.group (Cmd.info "fossy_cli" ~doc) [ synth_cmd; testbench_cmd; table2_cmd; platgen_cmd; swgen_cmd ]))

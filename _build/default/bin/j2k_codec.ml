@@ -1,0 +1,171 @@
+(* Command-line JPEG 2000 codec over the library's simplified
+   codestream: encode/decode PGM/PPM images, inspect streams. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let data = really_input_string ic n in
+  close_in ic;
+  data
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let mode_conv =
+  let parse = function
+    | "lossless" -> Ok Jpeg2000.Codestream.Lossless
+    | "lossy" -> Ok Jpeg2000.Codestream.Lossy
+    | other -> Error (`Msg (Printf.sprintf "unknown mode %S" other))
+  in
+  Arg.conv (parse, Jpeg2000.Codestream.pp_mode)
+
+let input_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT" ~doc:"Input file.")
+
+let output_arg =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"OUTPUT" ~doc:"Output file.")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Jpeg2000.Codestream.Lossless
+    & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"Coding mode: lossless (5/3) or lossy (9/7).")
+
+let tile_arg =
+  Arg.(value & opt int 128 & info [ "t"; "tile" ] ~docv:"N" ~doc:"Tile size (N x N).")
+
+let levels_arg =
+  Arg.(value & opt int 3 & info [ "l"; "levels" ] ~docv:"L" ~doc:"Wavelet levels.")
+
+let step_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "s"; "step" ] ~docv:"STEP" ~doc:"Lossy quantiser base step.")
+
+let code_block_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "b"; "code-block" ] ~docv:"N" ~doc:"EBCOT code-block size (N x N).")
+
+let encode_cmd =
+  let run input output mode tile levels step code_block =
+    let image = Jpeg2000.Image.of_pnm (read_file input) in
+    let config =
+      {
+        Jpeg2000.Encoder.tile_w = tile;
+        tile_h = tile;
+        levels;
+        mode;
+        base_step = step;
+        code_block;
+      }
+    in
+    let data = Jpeg2000.Encoder.encode config image in
+    write_file output data;
+    Printf.printf "%s: %dx%dx%d -> %d bytes (%.2f bits/sample, %s)\n" output
+      (Jpeg2000.Image.width image) (Jpeg2000.Image.height image)
+      (Jpeg2000.Image.components image) (String.length data)
+      (8.0 *. float_of_int (String.length data)
+      /. float_of_int
+           (Jpeg2000.Image.width image * Jpeg2000.Image.height image
+          * Jpeg2000.Image.components image))
+      (Format.asprintf "%a" Jpeg2000.Codestream.pp_mode mode)
+  in
+  Cmd.v
+    (Cmd.info "encode" ~doc:"Encode a PGM/PPM image to a codestream.")
+    Term.(
+      const run $ input_arg $ output_arg $ mode_arg $ tile_arg $ levels_arg
+      $ step_arg $ code_block_arg)
+
+let decode_cmd =
+  let run input output reduce passes =
+    let data = read_file input in
+    let image =
+      match (reduce, passes) with
+      | 0, None -> Jpeg2000.Decoder.decode data
+      | 0, Some k -> Jpeg2000.Decoder.decode_progressive ~max_passes:k data
+      | d, None -> Jpeg2000.Decoder.decode_reduced ~discard_levels:d data
+      | _, Some _ ->
+        prerr_endline "decode: --reduce and --passes cannot be combined";
+        exit 1
+    in
+    write_file output (Jpeg2000.Image.to_pnm image);
+    Printf.printf "%s: %dx%dx%d decoded%s\n" output (Jpeg2000.Image.width image)
+      (Jpeg2000.Image.height image)
+      (Jpeg2000.Image.components image)
+      (if reduce = 0 then "" else Printf.sprintf " (1/%d resolution)" (1 lsl reduce))
+  in
+  Cmd.v
+    (Cmd.info "decode" ~doc:"Decode a codestream back to PGM/PPM.")
+    Term.(
+      const run $ input_arg $ output_arg
+      $ Arg.(
+          value & opt int 0
+          & info [ "r"; "reduce" ] ~docv:"D"
+              ~doc:"Discard the D finest resolution levels (1/2^D size).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "p"; "passes" ] ~docv:"K"
+              ~doc:"Decode only the first K coding passes per code block (SNR \
+                    scalability)."))
+
+let shape_cmd =
+  let run input output max_bytes =
+    let data = read_file input in
+    let shaped = Jpeg2000.Rate.shape ~max_bytes data in
+    write_file output shaped;
+    Printf.printf "%s: %d -> %d bytes (budget %d, floor %d)\n" output
+      (String.length data) (String.length shaped) max_bytes
+      (Jpeg2000.Rate.minimum_bytes data)
+  in
+  Cmd.v
+    (Cmd.info "shape" ~doc:"Truncate a codestream to a byte budget (rate shaping).")
+    Term.(
+      const run $ input_arg $ output_arg
+      $ Arg.(
+          required
+          & opt (some int) None
+          & info [ "bytes" ] ~docv:"N" ~doc:"Maximum output size in bytes."))
+
+let info_cmd =
+  let run input =
+    let stream = Jpeg2000.Codestream.parse (read_file input) in
+    let h = stream.Jpeg2000.Codestream.header in
+    Printf.printf "%dx%d, %d component(s), %dx%d tiles, %d levels, %s\n"
+      h.Jpeg2000.Codestream.width h.Jpeg2000.Codestream.height
+      h.Jpeg2000.Codestream.components h.Jpeg2000.Codestream.tile_w
+      h.Jpeg2000.Codestream.tile_h h.Jpeg2000.Codestream.levels
+      (Format.asprintf "%a" Jpeg2000.Codestream.pp_mode h.Jpeg2000.Codestream.mode);
+    List.iter
+      (fun tile ->
+        Printf.printf "  tile %d @(%d,%d) %dx%d: %d entropy-coded bytes\n"
+          tile.Jpeg2000.Codestream.tile_index tile.Jpeg2000.Codestream.tile_x0
+          tile.Jpeg2000.Codestream.tile_y0 tile.Jpeg2000.Codestream.tile_w
+          tile.Jpeg2000.Codestream.tile_h
+          (Jpeg2000.Codestream.segment_bytes tile))
+      stream.Jpeg2000.Codestream.tiles
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print codestream structure.")
+    Term.(
+      const run
+      $ Arg.(required & pos 0 (some string) None & info [] ~docv:"STREAM" ~doc:"Codestream."))
+
+let () =
+  let doc = "JPEG 2000 codec (OSSS case-study substrate)" in
+  let group = Cmd.group (Cmd.info "j2k_codec" ~doc) [ encode_cmd; decode_cmd; shape_cmd; info_cmd ] in
+  match Cmd.eval_value ~catch:false group with
+  | Ok _ -> ()
+  | Error `Exn -> exit 125
+  | Error (`Parse | `Term) -> exit 124
+  | exception Failure msg ->
+    Printf.eprintf "j2k_codec: %s\n" msg;
+    exit 1
+  | exception Sys_error msg ->
+    Printf.eprintf "j2k_codec: %s\n" msg;
+    exit 1

@@ -1,0 +1,76 @@
+(* Run the OSSS decoder system models and print the paper's tables. *)
+
+open Cmdliner
+
+let mode_conv =
+  let parse = function
+    | "lossless" -> Ok Jpeg2000.Codestream.Lossless
+    | "lossy" -> Ok Jpeg2000.Codestream.Lossy
+    | other -> Error (`Msg (Printf.sprintf "unknown mode %S" other))
+  in
+  Arg.conv (parse, Jpeg2000.Codestream.pp_mode)
+
+let payload_arg =
+  Arg.(
+    value & flag
+    & info [ "no-payload" ]
+        ~doc:
+          "Skip the functional payload (timing-only simulation; faster, no \
+           bit-exactness check).")
+
+let run_cmd =
+  let run version_name mode no_payload =
+    match Models.Experiment.version_of_name version_name with
+    | None ->
+      Printf.eprintf "unknown version %S (use 1..5, 6a, 6b, 7a, 7b)\n" version_name;
+      exit 1
+    | Some version ->
+      let r = Models.Experiment.run ~payload:(not no_payload) version mode in
+      Format.printf "%a@." Models.Outcome.pp r
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one model version.")
+    Term.(
+      const run
+      $ Arg.(
+          required & pos 0 (some string) None & info [] ~docv:"VERSION" ~doc:"Model version.")
+      $ Arg.(value & opt mode_conv Jpeg2000.Codestream.Lossless
+             & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"lossless or lossy.")
+      $ payload_arg)
+
+let table1_cmd =
+  let run no_payload = print_string (Models.Tables.table1 ~payload:(not no_payload) ()) in
+  Cmd.v (Cmd.info "table1" ~doc:"Regenerate Table 1.") Term.(const run $ payload_arg)
+
+let fig1_cmd =
+  let run no_payload = print_string (Models.Tables.figure1 ~payload:(not no_payload) ()) in
+  Cmd.v (Cmd.info "fig1" ~doc:"Regenerate the Figure 1 profile.") Term.(const run $ payload_arg)
+
+let relations_cmd =
+  let run no_payload =
+    let report = Models.Tables.relations_report ~payload:(not no_payload) () in
+    print_string report;
+    if Str_contains.contains report "FAIL" then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Evaluate the paper's in-text claims against the simulation.")
+    Term.(const run $ payload_arg)
+
+let mapping_cmd =
+  let run sw_tasks idwt_p2p =
+    let vta = Models.Vta_models.mapping ~sw_tasks ~idwt_p2p in
+    Format.printf "%a@." Osss.Vta.pp vta
+  in
+  Cmd.v
+    (Cmd.info "mapping" ~doc:"Show the VTA mapping registry.")
+    Term.(
+      const run
+      $ Arg.(value & opt int 1 & info [ "tasks" ] ~docv:"N" ~doc:"SW task count.")
+      $ Arg.(value & flag & info [ "p2p" ] ~doc:"IDWT blocks on point-to-point channels."))
+
+let () =
+  let doc = "OSSS JPEG 2000 decoder system simulation" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "osss_sim" ~doc)
+          [ run_cmd; table1_cmd; fig1_cmd; relations_cmd; mapping_cmd ]))

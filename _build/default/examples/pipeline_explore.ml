@@ -1,0 +1,47 @@
+(* Application-Layer design-space exploration.
+
+   Replays the paper's Section 3 narrative: starting from the
+   software-only decoder, each restructuring step (co-processor,
+   pipeline, software parallelisation) is simulated and its effect on
+   the decoding time assessed — the paper's argument for why an
+   executable Application Model is worth having before committing to
+   an architecture.
+
+     dune exec examples/pipeline_explore.exe
+*)
+
+let () =
+  let mode = Jpeg2000.Codestream.Lossless in
+  let run version = Models.Experiment.run ~payload:false version mode in
+  let baseline = run Models.Experiment.V1 in
+  Printf.printf
+    "Exploring the JPEG 2000 decoder on the OSSS Application Layer (lossless,\n\
+     16 tiles, 3 components; timings back-annotated from the paper's profile).\n\n";
+  let step version story =
+    let r = run version in
+    Printf.printf "version %-2s %-52s %8.1f ms  (%.2fx)\n" r.Models.Outcome.version
+      story r.Models.Outcome.decode_ms
+      (Models.Outcome.speedup_vs baseline r);
+    r
+  in
+  let _ = step Models.Experiment.V1 "software only" in
+  let _ =
+    step Models.Experiment.V2 "IQ+IDWT moved into a co-processing Shared Object"
+  in
+  let _ =
+    step Models.Experiment.V3 "pipelined across tiles, 3 parallel IDWT modules"
+  in
+  let _ = step Models.Experiment.V4 "4 decoder tasks on disjoint image parts" in
+  let v5 = step Models.Experiment.V5 "both: 4 SW tasks + pipelined HW (7-client SO)" in
+  Printf.printf
+    "\nObservations (cf. the paper's Section 3):\n\
+    \  - the co-processor alone buys ~10%% - the arithmetic decoder dominates;\n\
+    \  - pipelining helps little for the same reason;\n\
+    \  - parallelising the software decoder is what yields the ~4.5x;\n\
+    \  - version 5 pays for its 7-client Shared Object: %0.1f ms slower than 4.\n"
+    (v5.Models.Outcome.decode_ms
+    -. (run Models.Experiment.V4).Models.Outcome.decode_ms);
+  Printf.printf
+    "\nIDWT time in hardware vs software: %.1f ms -> %.1f ms (%.0fx)\n"
+    baseline.Models.Outcome.idwt_ms v5.Models.Outcome.idwt_ms
+    (baseline.Models.Outcome.idwt_ms /. v5.Models.Outcome.idwt_ms)

@@ -1,0 +1,62 @@
+(* Quickstart: the OSSS Application Layer in one small model.
+
+   A Software Task produces work items; a hardware module consumes
+   them through a guarded Shared Object (the passive component that
+   serialises and synchronises all communication in OSSS). EET blocks
+   annotate execution times, so the simulation reports how long the
+   partitioning takes — run it with:
+
+     dune exec examples/quickstart.exe
+*)
+
+let ms = Sim.Sim_time.ms
+
+type buffer = { items : int Queue.t }
+
+let () =
+  let kernel = Sim.Kernel.create () in
+
+  (* A Shared Object with a FCFS arbiter guarding a small queue. *)
+  let buffer =
+    Osss.Shared_object.create kernel ~name:"buffer"
+      ~arbiter:(Osss.Arbiter.create Osss.Arbiter.Fcfs)
+      { items = Queue.create () }
+  in
+  let producer_port = Osss.Shared_object.register_client buffer ~name:"producer" () in
+  let consumer_port = Osss.Shared_object.register_client buffer ~name:"consumer" () in
+
+  (* The Software Task: "compute" an item for 5 ms, then store it via
+     a blocking method call. *)
+  let _task =
+    Osss.Sw_task.create kernel ~name:"producer" (fun task ->
+        for i = 1 to 4 do
+          let item = Osss.Sw_task.eet task (ms 5) (fun () -> i * i) in
+          Osss.Shared_object.call buffer producer_port (fun state ->
+              Queue.push item state.items);
+          Printf.printf "[%6s] producer stored %d\n"
+            (Sim.Sim_time.to_string (Sim.Kernel.now kernel))
+            item
+        done)
+  in
+
+  (* The hardware module: a guarded method call blocks until the
+     guard (queue non-empty) holds, then the 2 ms EET models the
+     hardware computation on the item. *)
+  let consumer = Osss.Hw_module.create kernel ~name:"consumer" ~clock_hz:100_000_000 () in
+  Osss.Hw_module.add_process consumer ~name:"main" (fun () ->
+      for _ = 1 to 4 do
+        let item =
+          Osss.Shared_object.call_guarded buffer consumer_port
+            ~guard:(fun state -> not (Queue.is_empty state.items))
+            (fun state -> Queue.pop state.items)
+        in
+        let result = Osss.Hw_module.eet consumer (ms 2) (fun () -> item + 1) in
+        Printf.printf "[%6s] consumer processed %d -> %d\n"
+          (Sim.Sim_time.to_string (Sim.Kernel.now kernel))
+          item result
+      done);
+
+  Sim.Kernel.run kernel;
+  Printf.printf "simulation finished at %s after %d delta cycles\n"
+    (Sim.Sim_time.to_string (Sim.Kernel.now kernel))
+    (Sim.Kernel.delta_count kernel)

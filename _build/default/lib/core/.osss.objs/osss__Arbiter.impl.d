@@ -1,0 +1,1 @@
+lib/core/arbiter.ml: Format List Stdlib

@@ -1,0 +1,1 @@
+lib/core/bus.ml: Arbiter Eet List Lock Sim Stdlib

@@ -1,0 +1,1 @@
+lib/core/bus.mli: Arbiter Sim

@@ -1,0 +1,1 @@
+lib/core/channel.ml: Array Bus Eet Serialisation Shared_object Sim

@@ -1,0 +1,1 @@
+lib/core/channel.mli: Bus Serialisation Shared_object Sim

@@ -1,0 +1,1 @@
+lib/core/eet.ml: Float Sim

@@ -1,0 +1,1 @@
+lib/core/hw_module.ml: Eet List Printf Sim

@@ -1,0 +1,1 @@
+lib/core/processor.ml: Arbiter Eet Lock Sim

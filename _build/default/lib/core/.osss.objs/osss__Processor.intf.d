@@ -1,0 +1,1 @@
+lib/core/processor.mli: Arbiter Sim

@@ -1,0 +1,1 @@
+lib/core/serialisation.ml: Array Int32 Int64 List

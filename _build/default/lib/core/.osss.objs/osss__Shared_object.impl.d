@@ -1,0 +1,1 @@
+lib/core/shared_object.ml: Eet Lock Sim

@@ -1,0 +1,1 @@
+lib/core/shared_object.mli: Arbiter Sim

@@ -1,0 +1,1 @@
+lib/core/sw_task.ml: Eet Option Printf Processor Sim

@@ -1,0 +1,1 @@
+lib/core/sw_task.mli: Processor Sim

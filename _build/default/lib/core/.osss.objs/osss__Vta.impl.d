@@ -1,0 +1,1 @@
+lib/core/vta.ml: Format Hashtbl List Platform

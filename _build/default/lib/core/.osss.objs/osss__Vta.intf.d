@@ -1,0 +1,1 @@
+lib/core/vta.mli: Format Platform

@@ -1,0 +1,81 @@
+type transport =
+  | Bus_link of Bus.t * Bus.master
+  | P2p of {
+      kernel : Sim.Kernel.t;
+      clock_hz : int;
+      cycles_per_word : int;
+      setup_cycles : int;
+    }
+
+let bus_transport bus master = Bus_link (bus, master)
+
+let p2p kernel ?(clock_hz = 100_000_000) ?(cycles_per_word = 1)
+    ?(setup_cycles = 2) () =
+  if clock_hz <= 0 then invalid_arg "Channel.p2p: clock_hz";
+  if cycles_per_word <= 0 then invalid_arg "Channel.p2p: cycles_per_word";
+  if setup_cycles < 0 then invalid_arg "Channel.p2p: setup_cycles";
+  P2p { kernel; clock_hz; cycles_per_word; setup_cycles }
+
+let transport_name = function
+  | Bus_link (bus, _) -> Bus.name bus
+  | P2p _ -> "p2p"
+
+let transfer t ~words =
+  if words < 0 then invalid_arg "Channel.transfer: negative word count";
+  match t with
+  | Bus_link (bus, master) -> Bus.transfer bus master ~words
+  | P2p { clock_hz; cycles_per_word; setup_cycles; _ } ->
+    if words > 0 then
+      Eet.consume
+        (Sim.Sim_time.cycles ~hz:clock_hz
+           (setup_cycles + (words * cycles_per_word)))
+
+let transfer_time_unloaded t ~words =
+  if words < 0 then invalid_arg "Channel.transfer_time_unloaded: negative"
+  else
+    match t with
+    | Bus_link (bus, _) -> Bus.transfer_time_unloaded bus ~words
+    | P2p { clock_hz; cycles_per_word; setup_cycles; _ } ->
+      if words = 0 then Sim.Sim_time.zero
+      else
+        Sim.Sim_time.cycles ~hz:clock_hz
+          (setup_cycles + (words * cycles_per_word))
+
+type ('state, 'a, 'b) rmi_method = {
+  method_name : string;
+  args_codec : 'a Serialisation.codec;
+  ret_codec : 'b Serialisation.codec;
+  execution_time : 'a -> Sim.Sim_time.t;
+  body : 'state -> 'a -> 'b;
+}
+
+let rmi_method ~name ~args ~ret
+    ?(execution_time = fun _ -> Sim.Sim_time.zero) body =
+  {
+    method_name = name;
+    args_codec = args;
+    ret_codec = ret;
+    execution_time;
+    body;
+  }
+
+(* One extra protocol word carries the method id in each direction. *)
+let protocol_words = 1
+
+let rmi_transaction transport so client m args ~call =
+  let encoded_args = Serialisation.encode m.args_codec args in
+  transfer transport ~words:(Array.length encoded_args + protocol_words);
+  let received_args = Serialisation.decode m.args_codec encoded_args in
+  let eet = m.execution_time received_args in
+  let result = call so client ~eet (fun state -> m.body state received_args) in
+  let encoded_ret = Serialisation.encode m.ret_codec result in
+  transfer transport ~words:(Array.length encoded_ret + protocol_words);
+  Serialisation.decode m.ret_codec encoded_ret
+
+let rmi_call transport so client m args =
+  rmi_transaction transport so client m args ~call:(fun so client ~eet f ->
+      Shared_object.call so client ~eet f)
+
+let rmi_call_guarded transport so client ~guard m args =
+  rmi_transaction transport so client m args
+    ~call:(fun so client ~eet f -> Shared_object.call_guarded so client ~guard ~eet f)

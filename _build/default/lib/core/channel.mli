@@ -1,0 +1,79 @@
+(** OSSS Channels: RMI transport for refined communication links.
+
+    On the Application Layer a method call on a Shared Object is a
+    plain (arbitrated, blocking) function call. The VTA refinement
+    maps each communication link onto an OSSS Channel; the Remote
+    Method Invocation protocol then
+
+    + serialises the arguments into 32-bit words (plus one protocol
+      word carrying the method id),
+    + moves them over the channel's physical transport — a shared bus
+      or a dedicated point-to-point link,
+    + executes the method under the Shared Object's arbiter exactly
+      as before, and
+    + serialises and returns the result.
+
+    Because the method body is untouched, swapping a bus for a P2P
+    link (models 6a vs 6b, 7a vs 7b) changes only timing — the
+    paper's seamless-refinement claim. *)
+
+type transport
+
+val bus_transport : Bus.t -> Bus.master -> transport
+
+val p2p :
+  Sim.Kernel.t ->
+  ?clock_hz:int ->
+  ?cycles_per_word:int ->
+  ?setup_cycles:int ->
+  unit ->
+  transport
+(** Dedicated point-to-point link: no arbitration; a transfer costs
+    [setup_cycles + words * cycles_per_word] at [clock_hz]. Defaults:
+    100 MHz, 1 cycle/word, 2 setup cycles. *)
+
+val transport_name : transport -> string
+
+val transfer : transport -> words:int -> unit
+(** Raw timed transfer (process context). *)
+
+val transfer_time_unloaded : transport -> words:int -> Sim.Sim_time.t
+
+(** {1 Remote method invocation} *)
+
+type ('state, 'a, 'b) rmi_method = {
+  method_name : string;
+  args_codec : 'a Serialisation.codec;
+  ret_codec : 'b Serialisation.codec;
+  execution_time : 'a -> Sim.Sim_time.t;
+      (** the method's EET on its implementation resource *)
+  body : 'state -> 'a -> 'b;
+}
+
+val rmi_method :
+  name:string ->
+  args:'a Serialisation.codec ->
+  ret:'b Serialisation.codec ->
+  ?execution_time:('a -> Sim.Sim_time.t) ->
+  ('state -> 'a -> 'b) ->
+  ('state, 'a, 'b) rmi_method
+
+val rmi_call :
+  transport ->
+  'state Shared_object.t ->
+  Shared_object.client ->
+  ('state, 'a, 'b) rmi_method ->
+  'a ->
+  'b
+(** Performs the full refined call. The argument and result values
+    actually travel through their word encodings, so a codec mismatch
+    is a simulation failure, not a silent approximation. *)
+
+val rmi_call_guarded :
+  transport ->
+  'state Shared_object.t ->
+  Shared_object.client ->
+  guard:('state -> bool) ->
+  ('state, 'a, 'b) rmi_method ->
+  'a ->
+  'b

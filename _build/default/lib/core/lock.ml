@@ -1,0 +1,102 @@
+type t = {
+  kernel : Sim.Kernel.t;
+  name : string;
+  arbiter : Arbiter.t;
+  grant_overhead : Sim.Sim_time.t;
+  mutable owner : int option;
+  mutable pending : int list; (* arrival order *)
+  mutable holder_names : string list; (* reversed registration order *)
+  mutable num_holders : int;
+  released : Sim.Event.t;
+  mutable grants : int;
+  mutable total_wait : Sim.Sim_time.t;
+  mutable total_held : Sim.Sim_time.t;
+  mutable held_since : Sim.Sim_time.t;
+}
+
+type holder = { id : int; hname : string; overhead : Sim.Sim_time.t }
+
+let create kernel ~name ~arbiter ?(grant_overhead = Sim.Sim_time.zero) () =
+  {
+    kernel;
+    name;
+    arbiter;
+    grant_overhead;
+    owner = None;
+    pending = [];
+    holder_names = [];
+    num_holders = 0;
+    released = Sim.Event.create kernel ~name:(name ^ ".released") ();
+    grants = 0;
+    total_wait = Sim.Sim_time.zero;
+    total_held = Sim.Sim_time.zero;
+    held_since = Sim.Sim_time.zero;
+  }
+
+let name t = t.name
+let kernel t = t.kernel
+
+let register t ~name ?(overhead = Sim.Sim_time.zero) () =
+  let id = t.num_holders in
+  t.num_holders <- id + 1;
+  t.holder_names <- name :: t.holder_names;
+  { id; hname = name; overhead }
+
+let holder_name h = h.hname
+let holder_id h = h.id
+let num_holders t = t.num_holders
+
+let remove_pending t id =
+  t.pending <- List.filter (fun other -> other <> id) t.pending
+
+let acquire t holder =
+  if t.owner = Some holder.id then
+    invalid_arg (Printf.sprintf "Lock.acquire: %s re-acquires %s" holder.hname t.name);
+  let started = Sim.Kernel.now t.kernel in
+  t.pending <- t.pending @ [ holder.id ];
+  let rec attempt () =
+    let granted =
+      t.owner = None
+      && Arbiter.choose t.arbiter ~pending:t.pending = Some holder.id
+    in
+    if granted then begin
+      t.owner <- Some holder.id;
+      remove_pending t holder.id;
+      Arbiter.note_grant t.arbiter holder.id;
+      t.grants <- t.grants + 1;
+      t.total_wait <-
+        Sim.Sim_time.add t.total_wait
+          (Sim.Sim_time.sub (Sim.Kernel.now t.kernel) started);
+      let overhead = Sim.Sim_time.add t.grant_overhead holder.overhead in
+      if not (Sim.Sim_time.is_zero overhead) then Sim.Kernel.wait_for overhead;
+      t.held_since <- Sim.Kernel.now t.kernel
+    end
+    else begin
+      Sim.Event.wait t.released;
+      attempt ()
+    end
+  in
+  attempt ()
+
+let release t holder =
+  if t.owner <> Some holder.id then
+    invalid_arg (Printf.sprintf "Lock.release: %s does not own %s" holder.hname t.name);
+  t.owner <- None;
+  t.total_held <-
+    Sim.Sim_time.add t.total_held
+      (Sim.Sim_time.sub (Sim.Kernel.now t.kernel) t.held_since);
+  Sim.Event.notify t.released
+
+let with_lock t holder f =
+  acquire t holder;
+  match f () with
+  | result ->
+    release t holder;
+    result
+  | exception exn ->
+    release t holder;
+    raise exn
+
+let grants t = t.grants
+let total_wait t = t.total_wait
+let total_held t = t.total_held

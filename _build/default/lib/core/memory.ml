@@ -1,0 +1,99 @@
+type timing =
+  | Combinational
+  | Clocked of { clock_hz : int; read_latency_cycles : int }
+
+type t = {
+  kernel : Sim.Kernel.t;
+  name : string;
+  storage : int32 array;
+  timing : timing;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let register_file kernel ~name ~size_words =
+  if size_words <= 0 then invalid_arg "Memory.register_file: size_words";
+  {
+    kernel;
+    name;
+    storage = Array.make size_words 0l;
+    timing = Combinational;
+    reads = 0;
+    writes = 0;
+  }
+
+let xilinx_block_ram kernel ~name ~data_width ~addr_width ~clock_hz
+    ?(read_latency_cycles = 1) () =
+  if data_width <= 0 || data_width > 32 then
+    invalid_arg "Memory.xilinx_block_ram: data_width";
+  if addr_width <= 0 || addr_width > 26 then
+    invalid_arg "Memory.xilinx_block_ram: addr_width";
+  if clock_hz <= 0 then invalid_arg "Memory.xilinx_block_ram: clock_hz";
+  {
+    kernel;
+    name;
+    storage = Array.make (1 lsl addr_width) 0l;
+    timing = Clocked { clock_hz; read_latency_cycles };
+    reads = 0;
+    writes = 0;
+  }
+
+let name t = t.name
+let size_words t = Array.length t.storage
+let is_block_ram t = t.timing <> Combinational
+
+let check_addr t addr =
+  if addr < 0 || addr >= Array.length t.storage then
+    invalid_arg (Printf.sprintf "Memory: %s address %d out of range" t.name addr)
+
+let access_time t ~words =
+  if words < 0 then invalid_arg "Memory.access_time: negative"
+  else
+    match t.timing with
+    | Combinational -> Sim.Sim_time.zero
+    | Clocked { clock_hz; read_latency_cycles } ->
+      if words = 0 then Sim.Sim_time.zero
+      else Sim.Sim_time.cycles ~hz:clock_hz (read_latency_cycles + words - 1 + 1)
+
+let single_access_time t =
+  match t.timing with
+  | Combinational -> Sim.Sim_time.zero
+  | Clocked { clock_hz; read_latency_cycles } ->
+    Sim.Sim_time.cycles ~hz:clock_hz (read_latency_cycles + 1)
+
+let read t addr =
+  check_addr t addr;
+  t.reads <- t.reads + 1;
+  Eet.consume (single_access_time t);
+  t.storage.(addr)
+
+let write t addr v =
+  check_addr t addr;
+  t.writes <- t.writes + 1;
+  (match t.timing with
+  | Combinational -> ()
+  | Clocked { clock_hz; _ } -> Eet.consume (Sim.Sim_time.cycles ~hz:clock_hz 1));
+  t.storage.(addr) <- v
+
+let read_burst t ~addr ~len =
+  if len < 0 then invalid_arg "Memory.read_burst: negative length";
+  if len > 0 then begin
+    check_addr t addr;
+    check_addr t (addr + len - 1)
+  end;
+  t.reads <- t.reads + len;
+  Eet.consume (access_time t ~words:len);
+  Array.sub t.storage addr len
+
+let write_burst t ~addr data =
+  let len = Array.length data in
+  if len > 0 then begin
+    check_addr t addr;
+    check_addr t (addr + len - 1)
+  end;
+  t.writes <- t.writes + len;
+  Eet.consume (access_time t ~words:len);
+  Array.blit data 0 t.storage addr len
+
+let reads t = t.reads
+let writes t = t.writes

@@ -1,0 +1,41 @@
+type t = {
+  lock : Lock.t;
+  clock_hz : int;
+  context_switch : Sim.Sim_time.t;
+  mutable last_ran : int option;
+  mutable tasks : int;
+}
+
+type binding = Lock.holder
+
+let create kernel ~name ~clock_hz ?(context_switch = Sim.Sim_time.zero)
+    ?(arbiter = Arbiter.create Arbiter.Fcfs) () =
+  if clock_hz <= 0 then invalid_arg "Processor.create: clock_hz";
+  {
+    lock = Lock.create kernel ~name ~arbiter ();
+    clock_hz;
+    context_switch;
+    last_ran = None;
+    tasks = 0;
+  }
+
+let name t = Lock.name t.lock
+let clock_hz t = t.clock_hz
+let kernel t = Lock.kernel t.lock
+
+let add_sw_task t ~task_name =
+  t.tasks <- t.tasks + 1;
+  Lock.register t.lock ~name:task_name ()
+
+let task_count t = t.tasks
+
+let execute t binding duration =
+  Lock.with_lock t.lock binding (fun () ->
+      let id = Lock.holder_id binding in
+      if t.last_ran <> Some id && t.last_ran <> None then
+        Eet.consume t.context_switch;
+      t.last_ran <- Some id;
+      Eet.consume duration)
+
+let busy_time t = Lock.total_held t.lock
+let wait_time t = Lock.total_wait t.lock

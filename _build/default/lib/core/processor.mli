@@ -1,0 +1,40 @@
+(** Software processor resource (VTA layer).
+
+    Software Tasks are mapped N:1 onto processors. A task's EET
+    blocks then consume {e processor} time: while one task executes,
+    co-mapped tasks wait. Scheduling is non-preemptive and arbitrated
+    (FCFS by default, as in the OSSS run-time). *)
+
+type t
+
+val create :
+  Sim.Kernel.t ->
+  name:string ->
+  clock_hz:int ->
+  ?context_switch:Sim.Sim_time.t ->
+  ?arbiter:Arbiter.t ->
+  unit ->
+  t
+(** [context_switch] is consumed whenever the processor switches to a
+    different task than the one it last ran (default zero). *)
+
+val name : t -> string
+val clock_hz : t -> int
+val kernel : t -> Sim.Kernel.t
+
+type binding
+(** A task's seat on the processor. *)
+
+val add_sw_task : t -> task_name:string -> binding
+(** Registers a task on this processor (the paper's
+    [add_sw_task] call on the processor object). *)
+
+val task_count : t -> int
+
+val execute : t -> binding -> Sim.Sim_time.t -> unit
+(** Occupies the processor for the given duration on behalf of the
+    bound task, blocking while other tasks hold it. Process context
+    only. *)
+
+val busy_time : t -> Sim.Sim_time.t
+val wait_time : t -> Sim.Sim_time.t

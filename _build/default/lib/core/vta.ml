@@ -1,0 +1,94 @@
+type channel_kind = Shared_bus | Point_to_point
+
+type t = {
+  platform : Platform.t;
+  mutable tasks : (string * string) list; (* reversed *)
+  mutable modules : (string * string) list;
+  mutable links : (string * string * channel_kind) list;
+}
+
+let create platform = { platform; tasks = []; modules = []; links = [] }
+let platform t = t.platform
+
+let map_task t ~task ~processor = t.tasks <- (task, processor) :: t.tasks
+
+let map_module t ~module_name ~block =
+  t.modules <- (module_name, block) :: t.modules
+
+let map_link t ~link ~channel ~kind =
+  t.links <- (link, channel, kind) :: t.links
+
+let task_mappings t = List.rev t.tasks
+let module_mappings t = List.rev t.modules
+let link_mappings t = List.rev t.links
+
+let dedup_keep_order items =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    items
+
+let processors t = dedup_keep_order (List.map snd (task_mappings t))
+
+let channels t =
+  dedup_keep_order (List.map (fun (_, c, k) -> (c, k)) (link_mappings t))
+
+let duplicates keys =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun k ->
+      if Hashtbl.mem seen k then Some k
+      else begin
+        Hashtbl.add seen k ();
+        None
+      end)
+    keys
+
+let validate t =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun m -> errors := m :: !errors) fmt in
+  List.iter
+    (fun task -> err "task %s mapped more than once" task)
+    (duplicates (List.map fst (task_mappings t)));
+  List.iter
+    (fun m -> err "module %s mapped more than once" m)
+    (duplicates (List.map fst (module_mappings t)));
+  List.iter
+    (fun block -> err "hardware block %s hosts more than one module" block)
+    (duplicates (List.map snd (module_mappings t)));
+  List.iter
+    (fun link -> err "link %s mapped more than once" link)
+    (duplicates (List.map (fun (l, _, _) -> l) (link_mappings t)));
+  (* A channel name must be used with a single kind. *)
+  let kinds = Hashtbl.create 8 in
+  List.iter
+    (fun (_, channel, kind) ->
+      match Hashtbl.find_opt kinds channel with
+      | None -> Hashtbl.add kinds channel kind
+      | Some k when k = kind -> ()
+      | Some _ -> err "channel %s used with conflicting kinds" channel)
+    (link_mappings t);
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let pp_kind fmt = function
+  | Shared_bus -> Format.pp_print_string fmt "bus"
+  | Point_to_point -> Format.pp_print_string fmt "p2p"
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>VTA mapping on %s:@," t.platform.Platform.platform_name;
+  List.iter
+    (fun (task, proc) -> Format.fprintf fmt "  task %s -> %s@," task proc)
+    (task_mappings t);
+  List.iter
+    (fun (m, block) -> Format.fprintf fmt "  module %s -> %s@," m block)
+    (module_mappings t);
+  List.iter
+    (fun (link, channel, kind) ->
+      Format.fprintf fmt "  link %s -> %s (%a)@," link channel pp_kind kind)
+    (link_mappings t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,1 @@
+lib/fossy/codegen.ml: Array Fsm Hir List Option Printf Rtl Stdlib

@@ -1,0 +1,1 @@
+lib/fossy/codegen.mli: Fsm Rtl

@@ -1,0 +1,1 @@
+lib/fossy/fsm.ml: Array Hir List Option Stdlib String

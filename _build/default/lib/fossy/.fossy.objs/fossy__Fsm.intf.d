@@ -1,0 +1,1 @@
+lib/fossy/fsm.mli: Hir

@@ -1,0 +1,1 @@
+lib/fossy/hir.ml: Format List String

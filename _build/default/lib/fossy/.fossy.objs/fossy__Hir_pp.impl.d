@@ -1,0 +1,1 @@
+lib/fossy/hir_pp.ml: Buffer Format Hir List Printf String

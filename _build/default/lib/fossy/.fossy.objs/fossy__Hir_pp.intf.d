@@ -1,0 +1,1 @@
+lib/fossy/hir_pp.mli: Hir

@@ -1,0 +1,1 @@
+lib/fossy/inline.ml: Hir List Option Printf String

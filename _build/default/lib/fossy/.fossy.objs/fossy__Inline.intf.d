@@ -1,0 +1,1 @@
+lib/fossy/inline.mli: Hir

@@ -1,0 +1,1 @@
+lib/fossy/interp.ml: Array Format Fsm Hashtbl Hir Inline List Option

@@ -1,0 +1,1 @@
+lib/fossy/interp.mli: Fsm Hir

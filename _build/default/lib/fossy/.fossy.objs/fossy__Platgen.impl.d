@@ -1,0 +1,1 @@
+lib/fossy/platgen.ml: Buffer Format List Osss String

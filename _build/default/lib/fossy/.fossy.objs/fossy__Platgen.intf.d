@@ -1,0 +1,1 @@
+lib/fossy/platgen.mli: Osss

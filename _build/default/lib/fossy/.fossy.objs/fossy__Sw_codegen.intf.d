@@ -1,0 +1,1 @@
+lib/fossy/sw_codegen.mli:

@@ -1,0 +1,1 @@
+lib/fossy/synthesis.ml: Codegen Fsm Hir Hir_pp Inline Rtl

@@ -1,0 +1,1 @@
+lib/fossy/synthesis.mli: Fsm Hir Rtl Stdlib

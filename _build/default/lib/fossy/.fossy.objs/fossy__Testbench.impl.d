@@ -1,0 +1,1 @@
+lib/fossy/testbench.ml: Buffer Format Fsm Hir Inline Interp List Printf String

@@ -1,0 +1,1 @@
+lib/fossy/testbench.mli: Fsm Hir Interp

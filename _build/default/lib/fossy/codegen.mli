@@ -1,0 +1,12 @@
+(** VHDL code generation from the extracted FSM.
+
+    Emits the FOSSY house style: one entity with clock/reset and the
+    module's data ports, one clocked process holding every variable
+    (all registered), and a single [case] over an enumerated state
+    type — "all functions and procedures inlined into a single
+    explicit state machine", identifiers preserved. *)
+
+val state_label : int -> string
+(** Name of state [i] in the generated enumeration ("s0", "s1", ...). *)
+
+val run : Fsm.t -> Rtl.Vhdl.design

@@ -1,0 +1,236 @@
+type action =
+  | Do of Hir.lvalue * Hir.expr
+  | Do_if of Hir.expr * action list * action list
+
+type next = Goto of int | Branch of Hir.expr * int * int
+
+type state = { actions : action list; next : next }
+
+type t = {
+  fsm_name : string;
+  inputs : (string * Hir.ty) list;
+  outputs : (string * Hir.ty) list;
+  vars : (string * Hir.ty) list;
+  arrays : (string * Hir.ty * int) list;
+  states : state array;
+  entry : int;
+}
+
+let unroll_limit = 256
+
+(* -- constant substitution for loop unrolling ----------------------- *)
+
+let rec subst_expr name value = function
+  | Hir.Const _ as e -> e
+  | Hir.Var n -> if String.equal n name then Hir.Const value else Hir.Var n
+  | Hir.Arr (n, i) -> Hir.Arr (n, subst_expr name value i)
+  | Hir.Bin (op, a, b) -> Hir.Bin (op, subst_expr name value a, subst_expr name value b)
+  | Hir.Un (op, e) -> Hir.Un (op, subst_expr name value e)
+  | Hir.Call (f, args) -> Hir.Call (f, List.map (subst_expr name value) args)
+
+let subst_lvalue name value = function
+  | Hir.Lv_var _ as lv -> lv
+  | Hir.Lv_arr (n, i) -> Hir.Lv_arr (n, subst_expr name value i)
+
+let rec subst_stmt name value = function
+  | Hir.Assign (lv, e) ->
+    Hir.Assign (subst_lvalue name value lv, subst_expr name value e)
+  | Hir.If (c, a, b) ->
+    Hir.If
+      ( subst_expr name value c,
+        List.map (subst_stmt name value) a,
+        List.map (subst_stmt name value) b )
+  | Hir.While (c, body) ->
+    Hir.While (subst_expr name value c, List.map (subst_stmt name value) body)
+  | Hir.For (iv, lo, hi, body) ->
+    if String.equal iv name then Hir.For (iv, lo, hi, body)
+    else Hir.For (iv, lo, hi, List.map (subst_stmt name value) body)
+  | Hir.Wait -> Hir.Wait
+  | Hir.Call_p (p, args) -> Hir.Call_p (p, List.map (subst_expr name value) args)
+  | Hir.Return e -> Hir.Return (Option.map (subst_expr name value) e)
+
+(* -- wait-free statement lists compile to pure action lists --------- *)
+
+let rec actions_of_stmts stmts =
+  List.concat_map
+    (fun stmt ->
+      match stmt with
+      | Hir.Assign (lv, e) -> [ Do (lv, e) ]
+      | Hir.If (c, a, b) -> [ Do_if (c, actions_of_stmts a, actions_of_stmts b) ]
+      | Hir.For (iv, lo, hi, body) ->
+        if hi - lo + 1 > unroll_limit then failwith "Fsm: unroll limit exceeded";
+        List.concat_map
+          (fun k -> actions_of_stmts (List.map (subst_stmt iv k) body))
+          (List.init (Stdlib.max 0 (hi - lo + 1)) (fun i -> lo + i))
+      | Hir.While _ -> failwith "Fsm: wait-free while loop"
+      | Hir.Wait -> failwith "Fsm: unexpected wait in action context"
+      | Hir.Call_p _ -> failwith "Fsm: residual procedure call (inline first)"
+      | Hir.Return _ -> failwith "Fsm: return in process body")
+    stmts
+
+(* -- builder --------------------------------------------------------- *)
+
+type build_state = { mutable b_actions : action list (* reversed *); mutable b_next : next option }
+
+type builder = {
+  mutable states : build_state array;
+  mutable used : int;
+  mutable current : int;
+}
+
+let new_state b =
+  if b.used = Array.length b.states then begin
+    let bigger =
+      Array.init (Stdlib.max 8 (2 * b.used)) (fun i ->
+          if i < b.used then b.states.(i) else { b_actions = []; b_next = None })
+    in
+    b.states <- bigger
+  end;
+  b.states.(b.used) <- { b_actions = []; b_next = None };
+  b.used <- b.used + 1;
+  b.used - 1
+
+let emit b a = b.states.(b.current).b_actions <- a :: b.states.(b.current).b_actions
+
+let close b next =
+  (match b.states.(b.current).b_next with
+  | Some _ -> failwith "Fsm: state closed twice"
+  | None -> ());
+  b.states.(b.current).b_next <- Some next
+
+let rec compile b stmts =
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Hir.Wait ->
+        let next = new_state b in
+        close b (Goto next);
+        b.current <- next
+      | Hir.Assign (lv, e) -> emit b (Do (lv, e))
+      | Hir.If (c, a, e) ->
+        if Hir.stmts_contain_wait a || Hir.stmts_contain_wait e then begin
+          let then_entry = new_state b in
+          let else_entry = new_state b in
+          let join = new_state b in
+          close b (Branch (c, then_entry, else_entry));
+          b.current <- then_entry;
+          compile b a;
+          close b (Goto join);
+          b.current <- else_entry;
+          compile b e;
+          close b (Goto join);
+          b.current <- join
+        end
+        else emit b (Do_if (c, actions_of_stmts a, actions_of_stmts e))
+      | Hir.While (c, body) ->
+        if not (Hir.stmts_contain_wait body) then
+          failwith "Fsm: wait-free while loop";
+        let header = new_state b in
+        let body_entry = new_state b in
+        let after = new_state b in
+        close b (Goto header);
+        b.current <- header;
+        close b (Branch (c, body_entry, after));
+        b.current <- body_entry;
+        compile b body;
+        close b (Goto header);
+        b.current <- after
+      | Hir.For (iv, lo, hi, body) ->
+        if Hir.stmts_contain_wait body then begin
+          (* Clocked loop: rewritten with the counter as a register. *)
+          let counter = iv in
+          emit b (Do (Hir.Lv_var counter, Hir.Const lo));
+          compile b
+            [
+              Hir.While
+                ( Hir.Bin (Hir.Le, Hir.Var counter, Hir.Const hi),
+                  body
+                  @ [
+                      Hir.Assign
+                        ( Hir.Lv_var counter,
+                          Hir.Bin (Hir.Add, Hir.Var counter, Hir.Const 1) );
+                    ] );
+            ]
+        end
+        else
+          List.iter (emit b) (actions_of_stmts [ Hir.For (iv, lo, hi, body) ])
+      | Hir.Call_p _ -> failwith "Fsm: residual procedure call (inline first)"
+      | Hir.Return _ -> failwith "Fsm: return in process body")
+    stmts
+
+(* Loop-counter variables of clocked for-loops need declarations,
+   sized so that the value [hi + 1] reached by the exit test still
+   fits (plus the sign bit numeric comparison wants). *)
+let counter_type hi =
+  let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+  Hir.int_ty (Stdlib.max 2 (bits (Stdlib.max 1 (hi + 1)) 0 + 1))
+
+let rec clocked_for_counters stmts =
+  List.concat_map
+    (fun stmt ->
+      match stmt with
+      | Hir.For (iv, _, hi, body) ->
+        (if Hir.stmts_contain_wait body then [ (iv, counter_type hi) ] else [])
+        @ clocked_for_counters body
+      | Hir.If (_, a, b) -> clocked_for_counters a @ clocked_for_counters b
+      | Hir.While (_, body) -> clocked_for_counters body
+      | Hir.Assign _ | Hir.Wait | Hir.Call_p _ | Hir.Return _ -> [])
+    stmts
+
+let of_module (m : Hir.module_def) =
+  if m.Hir.m_subprograms <> [] then
+    failwith "Fsm: module still has subprograms (inline first)";
+  let b = { states = [||]; used = 0; current = 0 } in
+  let entry = new_state b in
+  b.current <- entry;
+  compile b m.Hir.m_body;
+  close b (Goto entry);
+  let states =
+    Array.init b.used (fun i ->
+        let bs = b.states.(i) in
+        {
+          actions = List.rev bs.b_actions;
+          next = (match bs.b_next with Some n -> n | None -> Goto entry);
+        })
+  in
+  let inputs =
+    List.filter_map
+      (fun (n, d, ty) -> if d = Hir.Pin then Some (n, ty) else None)
+      m.Hir.m_ports
+  in
+  let outputs =
+    List.filter_map
+      (fun (n, d, ty) -> if d = Hir.Pout then Some (n, ty) else None)
+      m.Hir.m_ports
+  in
+  let counters =
+    List.sort_uniq
+      (fun (a, _) (b, _) -> String.compare a b)
+      (clocked_for_counters m.Hir.m_body)
+  in
+  {
+    fsm_name = m.Hir.m_name;
+    inputs;
+    outputs;
+    vars = m.Hir.m_vars @ counters;
+    arrays = m.Hir.m_arrays;
+    states;
+    entry;
+  }
+
+let state_count (t : t) = Array.length t.states
+
+let reachable_states (t : t) =
+  let seen = Array.make (Array.length t.states) false in
+  let rec visit i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      match t.states.(i).next with
+      | Goto j -> visit j
+      | Branch (_, a, b) ->
+        visit a;
+        visit b
+    end
+  in
+  visit t.entry;
+  seen

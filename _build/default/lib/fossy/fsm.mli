@@ -1,0 +1,41 @@
+(** FSM extraction.
+
+    Cuts the (inlined) behavioural process into an explicit state
+    machine at the [Wait] boundaries: all statements between two
+    consecutive waits become one state's combinational action block;
+    control flow that crosses a wait becomes next-state logic.
+    [For] loops without waits are fully unrolled; loops containing
+    waits become clocked loops with a header state. The main process
+    loops forever (last state jumps back to the entry), matching the
+    SC_CTHREAD semantics of the source. *)
+
+type action =
+  | Do of Hir.lvalue * Hir.expr
+  | Do_if of Hir.expr * action list * action list
+
+type next =
+  | Goto of int
+  | Branch of Hir.expr * int * int  (** condition, then-state, else-state *)
+
+type state = { actions : action list; next : next }
+
+type t = {
+  fsm_name : string;
+  inputs : (string * Hir.ty) list;
+  outputs : (string * Hir.ty) list;
+  vars : (string * Hir.ty) list;
+  arrays : (string * Hir.ty * int) list;
+  states : state array;
+  entry : int;
+}
+
+val of_module : Hir.module_def -> t
+(** Raises [Failure] if the module still contains subprogram calls
+    (run {!Inline.run} first), has a wait-free [While], or unrolls a
+    [For] beyond 256 iterations. *)
+
+val state_count : t -> int
+
+val reachable_states : t -> bool array
+(** Which states are reachable from the entry — the well-formedness
+    property the tests check. *)

@@ -1,0 +1,131 @@
+open Hir
+
+let type_name ty =
+  if ty.signed then Printf.sprintf "sc_int<%d>" ty.width
+  else Printf.sprintf "sc_uint<%d>" ty.width
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec expr_str = function
+  | Const n -> string_of_int n
+  | Var n -> n
+  | Arr (n, i) -> Printf.sprintf "%s[%s]" n (expr_str i)
+  | Bin (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_str a) (binop_str op) (expr_str b)
+  | Un (Neg, e) -> Printf.sprintf "(-%s)" (expr_str e)
+  | Un (Bnot, e) -> Printf.sprintf "(~%s)" (expr_str e)
+  | Call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_str args))
+
+type ctx = { buf : Buffer.t; mutable indent : int }
+
+let line ctx fmt =
+  Format.kasprintf
+    (fun s ->
+      Buffer.add_string ctx.buf (String.make (2 * ctx.indent) ' ');
+      Buffer.add_string ctx.buf s;
+      Buffer.add_char ctx.buf '\n')
+    fmt
+
+let indented ctx f =
+  ctx.indent <- ctx.indent + 1;
+  f ();
+  ctx.indent <- ctx.indent - 1
+
+let lvalue_str = function
+  | Lv_var n -> n
+  | Lv_arr (n, i) -> Printf.sprintf "%s[%s]" n (expr_str i)
+
+let rec emit_stmt ctx = function
+  | Assign (lv, e) -> line ctx "%s = %s;" (lvalue_str lv) (expr_str e)
+  | If (cond, a, []) ->
+    line ctx "if (%s) {" (expr_str cond);
+    indented ctx (fun () -> List.iter (emit_stmt ctx) a);
+    line ctx "}"
+  | If (cond, a, b) ->
+    line ctx "if (%s) {" (expr_str cond);
+    indented ctx (fun () -> List.iter (emit_stmt ctx) a);
+    line ctx "} else {";
+    indented ctx (fun () -> List.iter (emit_stmt ctx) b);
+    line ctx "}"
+  | While (cond, body) ->
+    line ctx "while (%s) {" (expr_str cond);
+    indented ctx (fun () -> List.iter (emit_stmt ctx) body);
+    line ctx "}"
+  | For (iv, lo, hi, body) ->
+    line ctx "for (int %s = %d; %s <= %d; ++%s) {" iv lo iv hi iv;
+    indented ctx (fun () -> List.iter (emit_stmt ctx) body);
+    line ctx "}"
+  | Wait -> line ctx "wait();"
+  | Call_p (p, args) ->
+    line ctx "%s(%s);" p (String.concat ", " (List.map expr_str args))
+  | Return None -> line ctx "return;"
+  | Return (Some e) -> line ctx "return %s;" (expr_str e)
+
+let emit_subprogram ctx s =
+  let params =
+    String.concat ", "
+      (List.map (fun (n, ty) -> Printf.sprintf "%s %s" (type_name ty) n) s.s_params)
+  in
+  let ret = match s.s_ret with None -> "void" | Some ty -> type_name ty in
+  line ctx "%s %s(%s) {" ret s.s_name params;
+  indented ctx (fun () ->
+      List.iter
+        (fun (n, ty) -> line ctx "%s %s;" (type_name ty) n)
+        s.s_locals;
+      List.iter (emit_stmt ctx) s.s_body);
+  line ctx "}";
+  line ctx ""
+
+let emit m =
+  let ctx = { buf = Buffer.create 2048; indent = 0 } in
+  line ctx "SC_MODULE(%s) {" m.m_name;
+  indented ctx (fun () ->
+      line ctx "sc_in_clk clk;";
+      line ctx "sc_in<bool> reset;";
+      List.iter
+        (fun (n, dir, ty) ->
+          match dir with
+          | Pin -> line ctx "sc_in<%s> %s;" (type_name ty) n
+          | Pout -> line ctx "sc_out<%s> %s;" (type_name ty) n)
+        m.m_ports;
+      line ctx "";
+      List.iter (fun (n, ty) -> line ctx "%s %s;" (type_name ty) n) m.m_vars;
+      List.iter
+        (fun (n, ty, len) -> line ctx "%s %s[%d];" (type_name ty) n len)
+        m.m_arrays;
+      line ctx "";
+      List.iter (emit_subprogram ctx) m.m_subprograms;
+      line ctx "void main_process() {";
+      indented ctx (fun () ->
+          line ctx "while (true) {";
+          indented ctx (fun () -> List.iter (emit_stmt ctx) m.m_body);
+          line ctx "}");
+      line ctx "}";
+      line ctx "";
+      line ctx "SC_CTOR(%s) {" m.m_name;
+      indented ctx (fun () ->
+          line ctx "SC_CTHREAD(main_process, clk.pos());";
+          line ctx "reset_signal_is(reset, true);");
+      line ctx "}");
+  line ctx "};";
+  Buffer.contents ctx.buf
+
+let loc m =
+  emit m |> String.split_on_char '\n'
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length

@@ -1,0 +1,12 @@
+(** Printing of the behavioural IR as SystemC-like source.
+
+    Renders a {!Hir.module_def} in the SC_MODULE idiom the paper's
+    IDWT models were written in. Used for human inspection and for
+    the lines-of-code comparison of Section 4 (SystemC model size vs
+    generated VHDL size). *)
+
+val emit : Hir.module_def -> string
+
+val loc : Hir.module_def -> int
+(** Non-blank lines of {!emit} — the "synthesisable SystemC model"
+    LoC metric. *)

@@ -1,0 +1,222 @@
+open Hir
+
+let max_depth = 32
+
+type state = {
+  subprograms : (string * subprogram) list;
+  mutable counter : int;
+  mutable new_vars : (string * ty) list; (* reversed *)
+}
+
+let fresh st base ty =
+  let name = Printf.sprintf "%s_i%d" base st.counter in
+  st.counter <- st.counter + 1;
+  st.new_vars <- (name, ty) :: st.new_vars;
+  name
+
+(* Variable renaming inside an inlined body (parameters and locals
+   only; arrays are module-global and keep their names). *)
+let rec rename_expr map = function
+  | Const _ as e -> e
+  | Var n -> Var (Option.value (List.assoc_opt n map) ~default:n)
+  | Arr (n, i) -> Arr (n, rename_expr map i)
+  | Bin (op, a, b) -> Bin (op, rename_expr map a, rename_expr map b)
+  | Un (op, e) -> Un (op, rename_expr map e)
+  | Call (f, args) -> Call (f, List.map (rename_expr map) args)
+
+let rename_lvalue map = function
+  | Lv_var n -> Lv_var (Option.value (List.assoc_opt n map) ~default:n)
+  | Lv_arr (n, i) -> Lv_arr (n, rename_expr map i)
+
+let rec rename_stmt map = function
+  | Assign (lv, e) -> Assign (rename_lvalue map lv, rename_expr map e)
+  | If (c, a, b) ->
+    If (rename_expr map c, List.map (rename_stmt map) a, List.map (rename_stmt map) b)
+  | While (c, body) -> While (rename_expr map c, List.map (rename_stmt map) body)
+  | For (iv, lo, hi, body) -> For (iv, lo, hi, List.map (rename_stmt map) body)
+  | Wait -> Wait
+  | Call_p (p, args) -> Call_p (p, List.map (rename_expr map) args)
+  | Return e -> Return (Option.map (rename_expr map) e)
+
+(* Substitution of read-only parameters by argument expressions. *)
+let rec subst_expr map = function
+  | Const _ as e -> e
+  | Var n as e -> (match List.assoc_opt n map with Some arg -> arg | None -> e)
+  | Arr (n, i) -> Arr (n, subst_expr map i)
+  | Bin (op, a, b) -> Bin (op, subst_expr map a, subst_expr map b)
+  | Un (op, e) -> Un (op, subst_expr map e)
+  | Call (f, args) -> Call (f, List.map (subst_expr map) args)
+
+let rec subst_stmt map = function
+  | Assign (Lv_var n, e) -> Assign (Lv_var n, subst_expr map e)
+  | Assign (Lv_arr (n, i), e) ->
+    Assign (Lv_arr (n, subst_expr map i), subst_expr map e)
+  | If (c, a, b) ->
+    If (subst_expr map c, List.map (subst_stmt map) a, List.map (subst_stmt map) b)
+  | While (c, body) -> While (subst_expr map c, List.map (subst_stmt map) body)
+  | For (iv, lo, hi, body) -> For (iv, lo, hi, List.map (subst_stmt map) body)
+  | Wait -> Wait
+  | Call_p (p, args) -> Call_p (p, List.map (subst_expr map) args)
+  | Return e -> Return (Option.map (subst_expr map) e)
+
+let rec stmts_assign name stmts =
+  List.exists
+    (function
+      | Assign (Lv_var n, _) -> String.equal n name
+      | Assign (Lv_arr _, _) | Wait | Call_p _ | Return _ -> false
+      | If (_, a, b) -> stmts_assign name a || stmts_assign name b
+      | While (_, body) | For (_, _, _, body) -> stmts_assign name body)
+    stmts
+
+let rec expr_has_call = function
+  | Const _ | Var _ -> false
+  | Arr (_, i) -> expr_has_call i
+  | Bin (_, a, b) -> expr_has_call a || expr_has_call b
+  | Un (_, e) -> expr_has_call e
+  | Call _ -> true
+
+(* Rewrites an expression into (prelude statements, call-free expr). *)
+let rec flatten_expr st ~depth expr =
+  match expr with
+  | Const _ | Var _ -> ([], expr)
+  | Arr (n, i) ->
+    let pre, i' = flatten_expr st ~depth i in
+    (pre, Arr (n, i'))
+  | Bin (op, a, b) ->
+    let pa, a' = flatten_expr st ~depth a in
+    let pb, b' = flatten_expr st ~depth b in
+    (pa @ pb, Bin (op, a', b'))
+  | Un (op, e) ->
+    let pe, e' = flatten_expr st ~depth e in
+    (pe, Un (op, e'))
+  | Call (f, args) ->
+    let pre, result = inline_call st ~depth f args in
+    (pre, result)
+
+(* Inlines one function call; returns (statements, result expression). *)
+and inline_call st ~depth f args =
+  if depth > max_depth then failwith ("Inline: recursion limit at " ^ f);
+  let sub =
+    match List.assoc_opt f st.subprograms with
+    | Some s -> s
+    | None -> failwith ("Inline: unknown subprogram " ^ f)
+  in
+  (* Simple, read-only arguments (variables, constants, array reads)
+     are substituted into the body directly — no temporary register;
+     complex expressions and written-to parameters get a fresh
+     temporary, as the real FOSSY's inlining does. *)
+  let arg_binds =
+    List.map2
+      (fun (param, ty) arg ->
+        let simple =
+          match arg with
+          | Var _ | Const _ | Arr (_, (Var _ | Const _)) -> true
+          | Arr _ | Bin _ | Un _ | Call _ -> false
+        in
+        if simple && not (stmts_assign param sub.s_body) then
+          `Subst (param, arg)
+        else begin
+          let pre, arg' = flatten_expr st ~depth arg in
+          let tmp = fresh st (f ^ "_" ^ param) ty in
+          `Temp (param, tmp, pre @ [ Assign (Lv_var tmp, arg') ])
+        end)
+      sub.s_params args
+  in
+  let subst_map =
+    List.filter_map
+      (function `Subst (p, arg) -> Some (p, arg) | `Temp _ -> None)
+      arg_binds
+  in
+  let param_map =
+    List.filter_map
+      (function `Temp (p, tmp, _) -> Some (p, tmp) | `Subst _ -> None)
+      arg_binds
+  in
+  let local_map =
+    List.map (fun (l, ty) -> (l, fresh st (f ^ "_" ^ l) ty)) sub.s_locals
+  in
+  let rename = param_map @ local_map in
+  let ret_tmp =
+    Option.map (fun ty -> fresh st (f ^ "_ret") ty) sub.s_ret
+  in
+  let translate_return e =
+    match (ret_tmp, e) with
+    | Some tmp, Some expr -> Assign (Lv_var tmp, expr)
+    | None, None -> Assign (Lv_var "__void", Const 0) (* removed below *)
+    | _ -> failwith ("Inline: return arity mismatch in " ^ f)
+  in
+  let body =
+    sub.s_body
+    |> List.map (rename_stmt rename)
+    |> List.map (subst_stmt subst_map)
+    |> List.concat_map (fun stmt ->
+           match stmt with
+           | Return e ->
+             if ret_tmp = None && e = None then []
+             else [ translate_return e ]
+           | other -> [ other ])
+  in
+  (* The callee body may itself contain calls. *)
+  let body = inline_stmts st ~depth:(depth + 1) body in
+  let prelude =
+    List.concat_map
+      (function `Temp (_, _, stmts) -> stmts | `Subst _ -> [])
+      arg_binds
+    @ body
+  in
+  match ret_tmp with
+  | Some tmp -> (prelude, Var tmp)
+  | None -> (prelude, Const 0)
+
+and inline_stmts st ~depth stmts =
+  List.concat_map
+    (fun stmt ->
+      match stmt with
+      | Assign (lv, e) ->
+        let pi, lv' =
+          match lv with
+          | Lv_var _ -> ([], lv)
+          | Lv_arr (n, i) ->
+            let pi, i' = flatten_expr st ~depth i in
+            (pi, Lv_arr (n, i'))
+        in
+        let pe, e' = flatten_expr st ~depth e in
+        pi @ pe @ [ Assign (lv', e') ]
+      | If (c, a, b) ->
+        let pc, c' = flatten_expr st ~depth c in
+        pc @ [ If (c', inline_stmts st ~depth a, inline_stmts st ~depth b) ]
+      | While (c, body) ->
+        if expr_has_call c then
+          failwith "Inline: call in while condition is not supported";
+        [ While (c, inline_stmts st ~depth body) ]
+      | For (iv, lo, hi, body) -> [ For (iv, lo, hi, inline_stmts st ~depth body) ]
+      | Wait -> [ Wait ]
+      | Call_p (p, args) ->
+        let pre, _ = inline_call st ~depth p args in
+        pre
+      | Return e ->
+        let pre, e' =
+          match e with
+          | None -> ([], None)
+          | Some expr ->
+            let pre, expr' = flatten_expr st ~depth expr in
+            (pre, Some expr')
+        in
+        pre @ [ Return e' ])
+    stmts
+
+let run m =
+  let st =
+    {
+      subprograms = List.map (fun s -> (s.s_name, s)) m.m_subprograms;
+      counter = 0;
+      new_vars = [];
+    }
+  in
+  let body = inline_stmts st ~depth:0 m.m_body in
+  {
+    m with
+    m_body = body;
+    m_vars = m.m_vars @ List.rev st.new_vars;
+    m_subprograms = [];
+  }

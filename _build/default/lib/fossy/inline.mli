@@ -1,0 +1,16 @@
+(** Subprogram inlining.
+
+    FOSSY's first transformation: every function and procedure call
+    in the module body is replaced by the callee's body, with
+    parameters bound to fresh temporaries and locals renamed — "all
+    functions and procedures have been inlined into a single explicit
+    state machine". After this pass the module has no subprograms and
+    no [Call]/[Call_p] nodes; the temporaries join the module's
+    variable list (and will become registers, which is part of why
+    generated code is bigger than the source). *)
+
+val run : Hir.module_def -> Hir.module_def
+(** Raises [Failure] on unsupported shapes: recursion deeper than a
+    fixed bound, calls in a [While] condition, or a [Return] that is
+    not the tail of its function. Run {!Hir.validate} first for
+    better diagnostics. *)

@@ -1,0 +1,309 @@
+type stimulus = (string * int list) list
+type trace = (string * int list) list
+
+exception Out_of_fuel
+exception Runtime_error of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Runtime_error m)) fmt
+
+let wrap (ty : Hir.ty) value =
+  if ty.Hir.width >= 62 then value
+  else begin
+    let modulus = 1 lsl ty.Hir.width in
+    let v = value land (modulus - 1) in
+    if ty.Hir.signed && v >= modulus / 2 then v - modulus else v
+  end
+
+(* -- shared machine state ------------------------------------------- *)
+
+type machine = {
+  vars : (string, int) Hashtbl.t;
+  types : (string, Hir.ty) Hashtbl.t;
+  arrays : (string, int array * Hir.ty) Hashtbl.t;
+  input_streams : (string, int list ref) Hashtbl.t;
+  output_ports : (string, int list ref) Hashtbl.t; (* reversed traces *)
+  mutable fuel : int;
+  max_outputs : int;
+  mutable produced : int;
+}
+
+exception Enough_outputs
+
+let make_machine (ports : (string * Hir.port_dir * Hir.ty) list) vars arrays
+    stimulus ~fuel ~max_outputs =
+  let m =
+    {
+      vars = Hashtbl.create 32;
+      types = Hashtbl.create 32;
+      arrays = Hashtbl.create 8;
+      input_streams = Hashtbl.create 8;
+      output_ports = Hashtbl.create 8;
+      fuel;
+      max_outputs;
+      produced = 0;
+    }
+  in
+  List.iter
+    (fun (name, dir, ty) ->
+      Hashtbl.replace m.types name ty;
+      match dir with
+      | Hir.Pin ->
+        let stream = Option.value (List.assoc_opt name stimulus) ~default:[ 0 ] in
+        Hashtbl.replace m.input_streams name (ref stream)
+      | Hir.Pout ->
+        Hashtbl.replace m.vars name 0;
+        Hashtbl.replace m.output_ports name (ref []))
+    ports;
+  List.iter
+    (fun (name, ty) ->
+      Hashtbl.replace m.types name ty;
+      Hashtbl.replace m.vars name 0)
+    vars;
+  List.iter
+    (fun (name, ty, len) -> Hashtbl.replace m.arrays name (Array.make len 0, ty))
+    arrays;
+  m
+
+let burn m =
+  m.fuel <- m.fuel - 1;
+  if m.fuel <= 0 then raise Out_of_fuel
+
+let read_input m name =
+  match Hashtbl.find_opt m.input_streams name with
+  | None -> None
+  | Some stream ->
+    (match !stream with
+    | [] -> Some 0
+    | [ last ] -> Some last (* exhausted streams repeat their last value *)
+    | v :: rest ->
+      stream := rest;
+      Some v)
+
+let array_ref m name idx =
+  match Hashtbl.find_opt m.arrays name with
+  | None -> error "unknown array %s" name
+  | Some (data, ty) ->
+    if idx < 0 || idx >= Array.length data then
+      error "array %s index %d out of range" name idx
+    else (data, ty, idx)
+
+let store_var m name value =
+  let ty =
+    match Hashtbl.find_opt m.types name with
+    | Some ty -> ty
+    | None -> error "store to unknown variable %s" name
+  in
+  let wrapped = wrap ty value in
+  Hashtbl.replace m.vars name wrapped;
+  match Hashtbl.find_opt m.output_ports name with
+  | None -> ()
+  | Some log ->
+    log := wrapped :: !log;
+    m.produced <- m.produced + 1;
+    if m.max_outputs > 0 && m.produced >= m.max_outputs then raise Enough_outputs
+
+(* -- expression evaluation (shared by HIR and FSM) ------------------- *)
+
+let eval_binop op a b =
+  match op with
+  | Hir.Add -> a + b
+  | Hir.Sub -> a - b
+  | Hir.Mul -> a * b
+  | Hir.Shl -> a lsl (b land 63)
+  | Hir.Shr -> a asr (b land 63)
+  | Hir.Band -> a land b
+  | Hir.Bor -> a lor b
+  | Hir.Bxor -> a lxor b
+  | Hir.Eq -> if a = b then 1 else 0
+  | Hir.Ne -> if a <> b then 1 else 0
+  | Hir.Lt -> if a < b then 1 else 0
+  | Hir.Le -> if a <= b then 1 else 0
+  | Hir.Gt -> if a > b then 1 else 0
+  | Hir.Ge -> if a >= b then 1 else 0
+
+(* [call] handles user subprograms (empty for FSM actions, which are
+   fully inlined). [locals] is the subprogram frame stack. *)
+let rec eval m ~subprograms ~locals expr =
+  burn m;
+  match expr with
+  | Hir.Const n -> n
+  | Hir.Var name -> (
+    match List.find_map (fun frame -> Hashtbl.find_opt frame name) locals with
+    | Some v -> v
+    | None -> (
+      match read_input m name with
+      | Some v -> v
+      | None -> (
+        match Hashtbl.find_opt m.vars name with
+        | Some v -> v
+        | None -> error "read of unknown variable %s" name)))
+  | Hir.Arr (name, idx) ->
+    let i = eval m ~subprograms ~locals idx in
+    let data, _, i = array_ref m name i in
+    data.(i)
+  | Hir.Bin (op, a, b) ->
+    let va = eval m ~subprograms ~locals a in
+    let vb = eval m ~subprograms ~locals b in
+    eval_binop op va vb
+  | Hir.Un (Hir.Neg, e) -> -eval m ~subprograms ~locals e
+  | Hir.Un (Hir.Bnot, e) -> lnot (eval m ~subprograms ~locals e)
+  | Hir.Call (f, args) ->
+    (* Functions cannot contain waits (validated), so a wait here is
+       a hard error. *)
+    call_subprogram m ~subprograms ~locals
+      ~on_wait:(fun () -> error "wait inside function %s" f)
+      f args
+
+and call_subprogram m ~subprograms ~locals ~on_wait f args =
+  let sub =
+    match List.find_opt (fun s -> s.Hir.s_name = f) subprograms with
+    | Some s -> s
+    | None -> error "call of unknown subprogram %s" f
+  in
+  let arg_values = List.map (eval m ~subprograms ~locals) args in
+  let frame = Hashtbl.create 8 in
+  List.iter2
+    (fun (param, ty) value -> Hashtbl.replace frame param (wrap ty value))
+    sub.Hir.s_params arg_values;
+  List.iter (fun (l, _) -> Hashtbl.replace frame l 0) sub.Hir.s_locals;
+  let local_types = Hashtbl.create 8 in
+  List.iter
+    (fun (n, ty) -> Hashtbl.replace local_types n ty)
+    (sub.Hir.s_params @ sub.Hir.s_locals);
+  let result = ref 0 in
+  (try
+     exec_stmts m ~subprograms ~locals:(frame :: locals) ~local_types
+       ~on_wait
+       ~on_return:(fun v ->
+         result := Option.value v ~default:0;
+         raise Exit)
+       sub.Hir.s_body
+   with Exit -> ());
+  (match sub.Hir.s_ret with
+  | Some ty -> result := wrap ty !result
+  | None -> ());
+  !result
+
+and assign_lvalue m ~subprograms ~locals ~local_types lv value =
+  match lv with
+  | Hir.Lv_var name -> (
+    match
+      List.find_map
+        (fun frame -> if Hashtbl.mem frame name then Some frame else None)
+        locals
+    with
+    | Some frame ->
+      let ty =
+        match Hashtbl.find_opt local_types name with
+        | Some ty -> ty
+        | None -> { Hir.width = 62; signed = true }
+      in
+      Hashtbl.replace frame name (wrap ty value)
+    | None -> store_var m name value)
+  | Hir.Lv_arr (name, idx) ->
+    let i = eval m ~subprograms ~locals idx in
+    let data, ty, i = array_ref m name i in
+    data.(i) <- wrap ty value
+
+and exec_stmts m ~subprograms ~locals ~local_types ~on_wait ~on_return stmts =
+  List.iter
+    (fun stmt ->
+      burn m;
+      match stmt with
+      | Hir.Assign (lv, e) ->
+        let v = eval m ~subprograms ~locals e in
+        assign_lvalue m ~subprograms ~locals ~local_types lv v
+      | Hir.If (c, a, b) ->
+        let branch = if eval m ~subprograms ~locals c <> 0 then a else b in
+        exec_stmts m ~subprograms ~locals ~local_types ~on_wait ~on_return branch
+      | Hir.While (c, body) ->
+        while eval m ~subprograms ~locals c <> 0 do
+          exec_stmts m ~subprograms ~locals ~local_types ~on_wait ~on_return body
+        done
+      | Hir.For (iv, lo, hi, body) ->
+        let frame = Hashtbl.create 1 in
+        for i = lo to hi do
+          Hashtbl.replace frame iv i;
+          exec_stmts m ~subprograms ~locals:(frame :: locals) ~local_types
+            ~on_wait ~on_return body
+        done
+      | Hir.Wait -> on_wait ()
+      | Hir.Call_p (p, args) ->
+        ignore (call_subprogram m ~subprograms ~locals ~on_wait p args)
+      | Hir.Return e ->
+        on_return (Option.map (eval m ~subprograms ~locals) e))
+    stmts
+
+(* -- drivers ---------------------------------------------------------- *)
+
+let collect_trace (md_ports : (string * Hir.port_dir * Hir.ty) list) m =
+  List.filter_map
+    (fun (name, dir, _) ->
+      match dir with
+      | Hir.Pout ->
+        Some (name, List.rev !(Hashtbl.find m.output_ports name))
+      | Hir.Pin -> None)
+    md_ports
+
+let run_hir ?(fuel = 10_000_000) ?(max_outputs = 0) (md : Hir.module_def)
+    stimulus =
+  let m =
+    make_machine md.Hir.m_ports md.Hir.m_vars md.Hir.m_arrays stimulus ~fuel
+      ~max_outputs
+  in
+  let local_types = Hashtbl.create 1 in
+  (try
+     exec_stmts m ~subprograms:md.Hir.m_subprograms ~locals:[] ~local_types
+       ~on_wait:(fun () -> ())
+       ~on_return:(fun _ -> error "return in process body")
+       md.Hir.m_body
+   with Enough_outputs -> ());
+  collect_trace md.Hir.m_ports m
+
+(* FSM actions contain no calls; a tiny adapter reuses the evaluator. *)
+let rec exec_actions m actions =
+  List.iter
+    (fun action ->
+      burn m;
+      match action with
+      | Fsm.Do (lv, e) ->
+        let v = eval m ~subprograms:[] ~locals:[] e in
+        assign_lvalue m ~subprograms:[] ~locals:[]
+          ~local_types:(Hashtbl.create 1) lv v
+      | Fsm.Do_if (c, a, b) ->
+        if eval m ~subprograms:[] ~locals:[] c <> 0 then exec_actions m a
+        else exec_actions m b)
+    actions
+
+let run_fsm ?(fuel = 10_000_000) ?(max_outputs = 0) (fsm : Fsm.t) stimulus =
+  let ports =
+    List.map (fun (n, ty) -> (n, Hir.Pin, ty)) fsm.Fsm.inputs
+    @ List.map (fun (n, ty) -> (n, Hir.Pout, ty)) fsm.Fsm.outputs
+  in
+  let m = make_machine ports fsm.Fsm.vars fsm.Fsm.arrays stimulus ~fuel ~max_outputs in
+  (try
+     let current = ref fsm.Fsm.entry in
+     let stop = ref false in
+     while not !stop do
+       burn m;
+       let state = fsm.Fsm.states.(!current) in
+       exec_actions m state.Fsm.actions;
+       let next =
+         match state.Fsm.next with
+         | Fsm.Goto j -> j
+         | Fsm.Branch (c, a, b) ->
+           if eval m ~subprograms:[] ~locals:[] c <> 0 then a else b
+       in
+       (* One trip of the implicit process loop. *)
+       if next = fsm.Fsm.entry then stop := true else current := next
+     done
+   with Enough_outputs -> ());
+  collect_trace ports m
+
+let output_port trace name = Option.value (List.assoc_opt name trace) ~default:[]
+
+let equivalent ?fuel ?max_outputs md stimulus =
+  let direct = run_hir ?fuel ?max_outputs md stimulus in
+  let fsm = Fsm.of_module (Inline.run md) in
+  let synthesised = run_fsm ?fuel ?max_outputs fsm stimulus in
+  direct = synthesised

@@ -1,0 +1,54 @@
+(** Executable semantics for the behavioural IR and the extracted FSM.
+
+    Both the input of FOSSY (a {!Hir.module_def}) and its intermediate
+    result (a {!Fsm.t}) can be run on concrete stimuli. Input ports
+    are modelled as streams: every read of an input port consumes the
+    next value (the last value repeats once a stream is exhausted);
+    every assignment to an output port appends to that port's output
+    trace. Values wrap to their declared signed/unsigned width on
+    every store, so the behavioural model, the inlined model and the
+    FSM compute identically — which is exactly what the equivalence
+    property tests check ("seamless refinement": synthesis must not
+    change behaviour). *)
+
+type stimulus = (string * int list) list
+(** Per-input-port value streams. *)
+
+type trace = (string * int list) list
+(** Per-output-port value sequences, in write order. *)
+
+exception Out_of_fuel
+exception Runtime_error of string
+(** Array index out of range, read of a never-written variable, or a
+    residual call in FSM actions. *)
+
+val wrap : Hir.ty -> int -> int
+(** Value stored in a variable of the given type. *)
+
+val run_hir :
+  ?fuel:int ->
+  ?max_outputs:int ->
+  Hir.module_def ->
+  stimulus ->
+  trace
+(** Executes the module body once (one pass of the implicit infinite
+    process loop), or until [max_outputs] values have been produced on
+    some output port. [fuel] (default 10^7) bounds the number of
+    executed statements. *)
+
+val run_fsm :
+  ?fuel:int ->
+  ?max_outputs:int ->
+  Fsm.t ->
+  stimulus ->
+  trace
+(** Same, on the extracted FSM: one trip until control returns to the
+    entry state. *)
+
+val output_port : trace -> string -> int list
+(** The trace of one port ([[]] if it never fired). *)
+
+val equivalent :
+  ?fuel:int -> ?max_outputs:int -> Hir.module_def -> stimulus -> bool
+(** Runs the module both directly and through inline+FSM extraction
+    and compares the output traces. *)

@@ -1,0 +1,13 @@
+(** Platform-description generation (EDK MHS / MSS files).
+
+    The last step of the synthesis flow: from the validated VTA
+    mapping, generate the Microprocessor Hardware Specification
+    (processors, buses, memory controllers, FOSSY-generated cores and
+    their bus attachments) and the Microprocessor Software
+    Specification (OS and driver setup per processor) that an EDK
+    project is created from. *)
+
+val mhs : Osss.Vta.t -> hw_cores:string list -> string
+(** Raises [Invalid_argument] if the mapping does not validate. *)
+
+val mss : Osss.Vta.t -> string

@@ -1,0 +1,28 @@
+(** Software-side code generation.
+
+    For every Software Task of the VTA model, FOSSY generates the C
+    wrapper that the cross-compiler links against the OSSS embedded
+    library: the task entry point, the RMI stubs used to reach the
+    HW/SW Shared Objects over the bus driver, and the EET
+    instrumentation hooks. The algorithmic body itself is the user's
+    C/C++ (it is referenced by include), matching the paper's flow
+    where SW tasks are compiled by gcc and linked against the OSSS
+    embedded library. *)
+
+type method_stub = {
+  stub_name : string;
+  args_words : int;  (** serialised argument size *)
+  ret_words : int;
+}
+
+type task_spec = {
+  task_name : string;
+  processor : string;
+  shared_objects : (string * method_stub list) list;
+  body_include : string;  (** header with the algorithmic entry point *)
+}
+
+val emit_c : task_spec -> string
+(** The generated C translation unit. *)
+
+val loc : task_spec -> int

@@ -1,0 +1,54 @@
+type result = {
+  module_name : string;
+  systemc_loc : int;
+  fsm : Fsm.t;
+  vhdl : Rtl.Vhdl.design;
+  vhdl_text : string;
+  vhdl_loc : int;
+  summary : Rtl.Netlist.summary;
+  area : Rtl.Area.report;
+  fmax_mhz : float;
+}
+
+let synthesise m =
+  match Hir.validate m with
+  | Error es -> Error es
+  | Ok () ->
+    let systemc_loc = Hir_pp.loc m in
+    let inlined = Inline.run m in
+    let fsm = Fsm.of_module inlined in
+    let vhdl = Codegen.run fsm in
+    let vhdl_text = Rtl.Vhdl_pp.emit vhdl in
+    let summary = Rtl.Netlist.of_design vhdl in
+    let area = Rtl.Area.estimate ~sharing:Rtl.Area.Shared summary in
+    let fmax_mhz = Rtl.Timing_model.estimate_mhz ~sharing:Rtl.Area.Shared summary in
+    Ok
+      {
+        module_name = m.Hir.m_name;
+        systemc_loc;
+        fsm;
+        vhdl;
+        vhdl_text;
+        vhdl_loc = Rtl.Vhdl_pp.loc vhdl;
+        summary;
+        area;
+        fmax_mhz;
+      }
+
+type reference_result = {
+  ref_name : string;
+  ref_vhdl_loc : int;
+  ref_summary : Rtl.Netlist.summary;
+  ref_area : Rtl.Area.report;
+  ref_fmax_mhz : float;
+}
+
+let analyse_reference design =
+  let summary = Rtl.Netlist.of_design design in
+  {
+    ref_name = design.Rtl.Vhdl.entity.Rtl.Vhdl.ent_name;
+    ref_vhdl_loc = Rtl.Vhdl_pp.loc design;
+    ref_summary = summary;
+    ref_area = Rtl.Area.estimate ~sharing:Rtl.Area.Flat summary;
+    ref_fmax_mhz = Rtl.Timing_model.estimate_mhz ~sharing:Rtl.Area.Flat summary;
+  }

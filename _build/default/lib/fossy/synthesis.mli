@@ -1,0 +1,34 @@
+(** FOSSY driver: end-to-end high-level synthesis.
+
+    validate → inline subprograms → extract FSM → emit VHDL →
+    estimate RTL synthesis results (area / f_max on the Virtex-4
+    model). The same estimation is applied to hand-written reference
+    VHDL for the Table 2 comparison; reference designs keep their
+    multi-process structure and are therefore costed without
+    cross-state operator sharing. *)
+
+type result = {
+  module_name : string;
+  systemc_loc : int;  (** size of the behavioural input model *)
+  fsm : Fsm.t;
+  vhdl : Rtl.Vhdl.design;
+  vhdl_text : string;
+  vhdl_loc : int;
+  summary : Rtl.Netlist.summary;
+  area : Rtl.Area.report;
+  fmax_mhz : float;
+}
+
+val synthesise : Hir.module_def -> (result, string list) Stdlib.result
+(** The full flow. [Error] carries validation diagnostics. *)
+
+type reference_result = {
+  ref_name : string;
+  ref_vhdl_loc : int;
+  ref_summary : Rtl.Netlist.summary;
+  ref_area : Rtl.Area.report;
+  ref_fmax_mhz : float;
+}
+
+val analyse_reference : Rtl.Vhdl.design -> reference_result
+(** RTL-synthesis estimation of a hand-crafted VHDL design. *)

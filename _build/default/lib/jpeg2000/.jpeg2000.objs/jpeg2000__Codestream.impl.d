@@ -1,0 +1,1 @@
+lib/jpeg2000/codestream.ml: Array Buffer Char Format Int64 List Stdlib String Subband

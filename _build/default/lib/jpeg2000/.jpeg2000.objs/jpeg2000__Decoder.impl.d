@@ -1,0 +1,1 @@
+lib/jpeg2000/decoder.ml: Array Codestream Colour Dwt53 Dwt97 Float Image List Quant Stdlib Subband T1 Tile

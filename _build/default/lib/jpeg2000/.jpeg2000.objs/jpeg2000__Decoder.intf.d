@@ -1,0 +1,1 @@
+lib/jpeg2000/decoder.mli: Codestream Dwt97 Image Subband Tile

@@ -1,0 +1,1 @@
+lib/jpeg2000/dwt97.ml: Array Float Image List Subband

@@ -1,0 +1,1 @@
+lib/jpeg2000/dwt97.mli: Image

@@ -1,0 +1,1 @@
+lib/jpeg2000/encoder.ml: Array Codestream Colour Dwt53 Dwt97 Image List Quant Subband T1 Tile

@@ -1,0 +1,1 @@
+lib/jpeg2000/image.ml: Array Buffer Char List Printf Stdlib String

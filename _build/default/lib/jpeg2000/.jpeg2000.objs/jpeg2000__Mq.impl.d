@@ -1,0 +1,1 @@
+lib/jpeg2000/mq.ml: Array Bytes Char String

@@ -1,0 +1,1 @@
+lib/jpeg2000/quant.mli: Subband

@@ -1,0 +1,1 @@
+lib/jpeg2000/t1.ml: Array Bytes List Mq Stdlib Subband

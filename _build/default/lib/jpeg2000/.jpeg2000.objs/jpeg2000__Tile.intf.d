@@ -1,0 +1,1 @@
+lib/jpeg2000/tile.mli: Image

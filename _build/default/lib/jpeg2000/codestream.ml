@@ -1,0 +1,237 @@
+type mode = Lossless | Lossy
+
+type header = {
+  width : int;
+  height : int;
+  components : int;
+  tile_w : int;
+  tile_h : int;
+  levels : int;
+  mode : mode;
+  bit_depth : int;
+  base_step : float;
+  code_block : int;
+}
+
+type block_segment = { blk_planes : int; blk_passes : string list }
+
+type band_segment = {
+  seg_level : int;
+  seg_orientation : Subband.orientation;
+  seg_w : int;
+  seg_h : int;
+  seg_blocks : block_segment list;
+}
+
+type tile_segment = {
+  tile_index : int;
+  tile_x0 : int;
+  tile_y0 : int;
+  tile_w : int;
+  tile_h : int;
+  comps : band_segment list array;
+}
+
+type t = { header : header; tiles : tile_segment list }
+
+let magic = "OJ2K"
+let version = 1
+
+(* -- binary writer/reader ----------------------------------------- *)
+
+let u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let u16 buf v =
+  u8 buf (v lsr 8);
+  u8 buf v
+
+let u32 buf v =
+  u16 buf (v lsr 16);
+  u16 buf v
+
+let f64 buf v =
+  let bits = Int64.bits_of_float v in
+  for i = 7 downto 0 do
+    u8 buf (Int64.to_int (Int64.shift_right_logical bits (8 * i)))
+  done
+
+type reader = { data : string; mutable pos : int }
+
+let fail msg = failwith ("Codestream.parse: " ^ msg)
+
+let r8 r =
+  if r.pos >= String.length r.data then fail "truncated";
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let r16 r =
+  let hi = r8 r in
+  (hi lsl 8) lor r8 r
+
+let r32 r =
+  let hi = r16 r in
+  (hi lsl 16) lor r16 r
+
+let rf64 r =
+  let bits = ref 0L in
+  for _ = 0 to 7 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (r8 r))
+  done;
+  Int64.float_of_bits !bits
+
+let rbytes r n =
+  if r.pos + n > String.length r.data then fail "truncated payload";
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+(* -- emit ----------------------------------------------------------- *)
+
+let block_grid ~code_block ~w ~h =
+  if code_block <= 0 then invalid_arg "Codestream.block_grid: code_block";
+  if w <= 0 || h <= 0 then []
+  else begin
+    let cols = (w + code_block - 1) / code_block in
+    let rows = (h + code_block - 1) / code_block in
+    List.concat
+      (List.init rows (fun by ->
+           List.init cols (fun bx ->
+               let x0 = bx * code_block and y0 = by * code_block in
+               ( x0,
+                 y0,
+                 Stdlib.min code_block (w - x0),
+                 Stdlib.min code_block (h - y0) ))))
+  end
+
+let emit_band buf seg =
+  u8 buf seg.seg_level;
+  u8 buf (Subband.orientation_code seg.seg_orientation);
+  u16 buf seg.seg_w;
+  u16 buf seg.seg_h;
+  u16 buf (List.length seg.seg_blocks);
+  List.iter
+    (fun blk ->
+      u8 buf blk.blk_planes;
+      u8 buf (List.length blk.blk_passes);
+      List.iter
+        (fun pass ->
+          u32 buf (String.length pass);
+          Buffer.add_string buf pass)
+        blk.blk_passes)
+    seg.seg_blocks
+
+let emit_tile buf tile =
+  u16 buf tile.tile_index;
+  u32 buf tile.tile_x0;
+  u32 buf tile.tile_y0;
+  u16 buf tile.tile_w;
+  u16 buf tile.tile_h;
+  u8 buf (Array.length tile.comps);
+  Array.iter
+    (fun bands ->
+      u8 buf (List.length bands);
+      List.iter (emit_band buf) bands)
+    tile.comps
+
+let emit t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  u8 buf version;
+  u32 buf t.header.width;
+  u32 buf t.header.height;
+  u8 buf t.header.components;
+  u32 buf t.header.tile_w;
+  u32 buf t.header.tile_h;
+  u8 buf t.header.levels;
+  u8 buf (match t.header.mode with Lossless -> 0 | Lossy -> 1);
+  u8 buf t.header.bit_depth;
+  f64 buf t.header.base_step;
+  u16 buf t.header.code_block;
+  u16 buf (List.length t.tiles);
+  List.iter (emit_tile buf) t.tiles;
+  Buffer.contents buf
+
+(* -- parse ---------------------------------------------------------- *)
+
+let parse_band r =
+  let seg_level = r8 r in
+  let seg_orientation =
+    try Subband.orientation_of_code (r8 r)
+    with Invalid_argument _ -> fail "bad orientation"
+  in
+  let seg_w = r16 r in
+  let seg_h = r16 r in
+  let nblocks = r16 r in
+  let seg_blocks =
+    List.init nblocks (fun _ ->
+        let blk_planes = r8 r in
+        let npasses = r8 r in
+        let blk_passes =
+          List.init npasses (fun _ ->
+              let len = r32 r in
+              rbytes r len)
+        in
+        { blk_planes; blk_passes })
+  in
+  { seg_level; seg_orientation; seg_w; seg_h; seg_blocks }
+
+let parse_tile r =
+  let tile_index = r16 r in
+  let tile_x0 = r32 r in
+  let tile_y0 = r32 r in
+  let tile_w = r16 r in
+  let tile_h = r16 r in
+  let ncomps = r8 r in
+  let comps =
+    Array.init ncomps (fun _ ->
+        let nbands = r8 r in
+        List.init nbands (fun _ -> parse_band r))
+  in
+  { tile_index; tile_x0; tile_y0; tile_w; tile_h; comps }
+
+let parse data =
+  let r = { data; pos = 0 } in
+  if String.length data < 5 || rbytes r 4 <> magic then fail "bad magic";
+  if r8 r <> version then fail "unsupported version";
+  let width = r32 r in
+  let height = r32 r in
+  let components = r8 r in
+  let tile_w = r32 r in
+  let tile_h = r32 r in
+  let levels = r8 r in
+  let mode = match r8 r with 0 -> Lossless | 1 -> Lossy | _ -> fail "bad mode" in
+  let bit_depth = r8 r in
+  let base_step = rf64 r in
+  let code_block = r16 r in
+  if width <= 0 || height <= 0 || components <= 0 || tile_w <= 0 || tile_h <= 0
+  then fail "bad dimensions";
+  if code_block <= 0 then fail "bad code-block size";
+  let header =
+    {
+      width; height; components; tile_w; tile_h; levels; mode; bit_depth;
+      base_step; code_block;
+    }
+  in
+  let ntiles = r16 r in
+  let tiles = List.init ntiles (fun _ -> parse_tile r) in
+  if r.pos <> String.length data then fail "trailing bytes";
+  { header; tiles }
+
+let segment_bytes tile =
+  Array.fold_left
+    (fun acc bands ->
+      List.fold_left
+        (fun acc seg ->
+          List.fold_left
+            (fun acc blk ->
+              List.fold_left
+                (fun acc pass -> acc + String.length pass)
+                acc blk.blk_passes)
+            acc seg.seg_blocks)
+        acc bands)
+    0 tile.comps
+
+let pp_mode fmt = function
+  | Lossless -> Format.pp_print_string fmt "lossless"
+  | Lossy -> Format.pp_print_string fmt "lossy"

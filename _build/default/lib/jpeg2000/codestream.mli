@@ -1,0 +1,67 @@
+(** Simplified codestream framing.
+
+    Replaces JPEG 2000 Tier-2 (tag-tree packet headers) with
+    deterministic length-prefixed segments — see DESIGN.md for the
+    substitution rationale. The stream carries a main header (the
+    SIZ/COD/QCD information), then one segment per tile holding, per
+    component, per subband and per EBCOT code block, the bit-plane
+    count and the MQ codeword produced by {!T1}. *)
+
+type mode = Lossless | Lossy
+
+type header = {
+  width : int;
+  height : int;
+  components : int;
+  tile_w : int;
+  tile_h : int;
+  levels : int;
+  mode : mode;
+  bit_depth : int;
+  base_step : float;  (** quantiser base step; meaningful in lossy mode *)
+  code_block : int;  (** EBCOT code-block size (square), e.g. 32 *)
+}
+
+type block_segment = {
+  blk_planes : int;  (** magnitude bit-planes coded *)
+  blk_passes : string list;
+      (** one terminated MQ codeword per coding pass (SNR-scalable:
+          decoding a prefix of the list is exact up to that pass) *)
+}
+
+type band_segment = {
+  seg_level : int;
+  seg_orientation : Subband.orientation;
+  seg_w : int;
+  seg_h : int;
+  seg_blocks : block_segment list;
+      (** one per code block, raster order over the band's
+          code-block grid (geometry follows from the band size and
+          the header's [code_block]) *)
+}
+
+type tile_segment = {
+  tile_index : int;
+  tile_x0 : int;
+  tile_y0 : int;
+  tile_w : int;
+  tile_h : int;
+  comps : band_segment list array;  (** one band list per component *)
+}
+
+type t = { header : header; tiles : tile_segment list }
+
+val emit : t -> string
+val parse : string -> t
+(** [parse (emit s) = s]. Raises [Failure] on malformed input
+    (bad magic, truncation, invalid field values). *)
+
+val segment_bytes : tile_segment -> int
+(** Total entropy-coded payload of a tile (sum of all code-block
+    codewords). *)
+
+val block_grid : code_block:int -> w:int -> h:int -> (int * int * int * int) list
+(** Code-block rectangles [(x0, y0, w, h)] tiling a [w]x[h] band in
+    raster order; empty for a zero-area band. *)
+
+val pp_mode : Format.formatter -> mode -> unit

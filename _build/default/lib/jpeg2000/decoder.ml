@@ -1,0 +1,297 @@
+type band_coeffs = {
+  bc_band : Subband.band;
+  bc_planes : int;
+  bc_coeffs : int array;
+}
+
+type entropy_decoded = {
+  ed_tile : Codestream.tile_segment;
+  ed_comps : band_coeffs list array;
+}
+
+type wavelet_domain =
+  | Ints of Image.plane array
+  | Floats of Dwt97.matrix array
+
+let parse = Codestream.parse
+
+let entropy_decode_tile ?max_passes header tile =
+  (* Band geometry is recomputed from the tile dimensions so that a
+     corrupted stream cannot make us write outside a plane. *)
+  let bands =
+    Subband.decompose ~width:tile.Codestream.tile_w
+      ~height:tile.Codestream.tile_h ~levels:header.Codestream.levels
+  in
+  let decode_comp segments =
+    if List.length segments <> List.length bands then
+      failwith "Decoder: band count mismatch";
+    List.map2
+      (fun band seg ->
+        if
+          band.Subband.w <> seg.Codestream.seg_w
+          || band.Subband.h <> seg.Codestream.seg_h
+          || band.Subband.orientation <> seg.Codestream.seg_orientation
+        then failwith "Decoder: band geometry mismatch";
+        let bw = band.Subband.w and bh = band.Subband.h in
+        let grid =
+          Codestream.block_grid ~code_block:header.Codestream.code_block ~w:bw
+            ~h:bh
+        in
+        if List.length grid <> List.length seg.Codestream.seg_blocks then
+          failwith "Decoder: code-block count mismatch";
+        let coeffs = Array.make (bw * bh) 0 in
+        let max_planes = ref 0 in
+        List.iter2
+          (fun (x0, y0, w, h) blk ->
+            max_planes := Stdlib.max !max_planes blk.Codestream.blk_planes;
+            let passes =
+              match max_passes with
+              | None -> blk.Codestream.blk_passes
+              | Some k -> List.filteri (fun i _ -> i < k) blk.Codestream.blk_passes
+            in
+            let block =
+              T1.decode_block_scalable ~orientation:band.Subband.orientation ~w
+                ~h ~planes:blk.Codestream.blk_planes passes
+            in
+            Array.iteri
+              (fun i v ->
+                let x = x0 + (i mod w) and y = y0 + (i / w) in
+                coeffs.((y * bw) + x) <- v)
+              block)
+          grid seg.Codestream.seg_blocks;
+        { bc_band = band; bc_planes = !max_planes; bc_coeffs = coeffs })
+      bands segments
+  in
+  { ed_tile = tile; ed_comps = Array.map decode_comp tile.Codestream.comps }
+
+let place_int_band plane bc =
+  let band = bc.bc_band in
+  Array.iteri
+    (fun i v ->
+      let x = band.Subband.x0 + (i mod band.Subband.w) in
+      let y = band.Subband.y0 + (i / band.Subband.w) in
+      Image.plane_set plane ~x ~y v)
+    bc.bc_coeffs
+
+let place_float_band m ~step bc =
+  let band = bc.bc_band in
+  let values = Quant.dequantise ~step bc.bc_coeffs in
+  Array.iteri
+    (fun i v ->
+      let x = band.Subband.x0 + (i mod band.Subband.w) in
+      let y = band.Subband.y0 + (i / band.Subband.w) in
+      Dwt97.matrix_set m ~x ~y v)
+    values
+
+let dequantise header decoded =
+  let w = decoded.ed_tile.Codestream.tile_w in
+  let h = decoded.ed_tile.Codestream.tile_h in
+  match header.Codestream.mode with
+  | Codestream.Lossless ->
+    Ints
+      (Array.map
+         (fun bands ->
+           let plane = Image.create_plane ~width:w ~height:h in
+           List.iter
+             (fun bc ->
+               if bc.bc_band.Subband.w > 0 && bc.bc_band.Subband.h > 0 then
+                 place_int_band plane bc)
+             bands;
+           plane)
+         decoded.ed_comps)
+  | Codestream.Lossy ->
+    Floats
+      (Array.map
+         (fun bands ->
+           let m = Dwt97.matrix_create ~w ~h in
+           List.iter
+             (fun bc ->
+               if bc.bc_band.Subband.w > 0 && bc.bc_band.Subband.h > 0 then begin
+                 let step =
+                   Quant.step_for ~base_step:header.Codestream.base_step
+                     ~levels:header.Codestream.levels
+                     ~level:bc.bc_band.Subband.level
+                     bc.bc_band.Subband.orientation
+                 in
+                 place_float_band m ~step bc
+               end)
+             bands;
+           m)
+         decoded.ed_comps)
+
+let inverse_wavelet header domain =
+  let levels = header.Codestream.levels in
+  (match domain with
+  | Ints planes -> Array.iter (fun p -> Dwt53.inverse_plane p ~levels) planes
+  | Floats ms -> Array.iter (fun m -> Dwt97.inverse m ~levels) ms);
+  domain
+
+let inverse_colour_and_shift header tile domain =
+  let bit_depth = header.Codestream.bit_depth in
+  let int_planes =
+    match domain with
+    | Ints planes ->
+      let arrays = Array.map (fun p -> p.Image.data) planes in
+      if Array.length arrays = 3 then
+        Colour.rct_inverse arrays.(0) arrays.(1) arrays.(2);
+      arrays
+    | Floats ms ->
+      let arrays = Array.map (fun m -> Array.copy m.Dwt97.values) ms in
+      if Array.length arrays = 3 then
+        Colour.ict_inverse arrays.(0) arrays.(1) arrays.(2);
+      Array.map (Array.map (fun v -> int_of_float (Float.round v))) arrays
+  in
+  Array.iter (Colour.dc_shift_inverse ~bit_depth) int_planes;
+  let w = tile.Codestream.tile_w and h = tile.Codestream.tile_h in
+  {
+    Tile.index = tile.Codestream.tile_index;
+    x0 = tile.Codestream.tile_x0;
+    y0 = tile.Codestream.tile_y0;
+    planes =
+      Array.map (fun data -> { Image.width = w; height = h; data }) int_planes;
+  }
+
+let decode_tile ?max_passes header tile =
+  entropy_decode_tile ?max_passes header tile
+  |> dequantise header
+  |> inverse_wavelet header
+  |> inverse_colour_and_shift header tile
+
+let decode_region ~x ~y ~w ~h data =
+  let stream = parse data in
+  let header = stream.Codestream.header in
+  if w <= 0 || h <= 0 then invalid_arg "Decoder.decode_region: empty window";
+  if
+    x < 0 || y < 0
+    || x + w > header.Codestream.width
+    || y + h > header.Codestream.height
+  then invalid_arg "Decoder.decode_region: window outside the image";
+  let intersects tile =
+    tile.Codestream.tile_x0 < x + w
+    && tile.Codestream.tile_x0 + tile.Codestream.tile_w > x
+    && tile.Codestream.tile_y0 < y + h
+    && tile.Codestream.tile_y0 + tile.Codestream.tile_h > y
+  in
+  let needed = List.filter intersects stream.Codestream.tiles in
+  let region = Image.create ~width:w ~height:h ~components:header.Codestream.components
+      ~bit_depth:header.Codestream.bit_depth () in
+  List.iter
+    (fun seg ->
+      let tile = decode_tile header seg in
+      Array.iteri
+        (fun c sub ->
+          let plane = region.Image.planes.(c) in
+          for ty = 0 to sub.Image.height - 1 do
+            for tx = 0 to sub.Image.width - 1 do
+              let gx = tile.Tile.x0 + tx and gy = tile.Tile.y0 + ty in
+              if gx >= x && gx < x + w && gy >= y && gy < y + h then
+                Image.plane_set plane ~x:(gx - x) ~y:(gy - y)
+                  (Image.plane_get sub ~x:tx ~y:ty)
+            done
+          done)
+        tile.Tile.planes)
+    needed;
+  region
+
+(* Reduced-resolution decode: keep only the bands with
+   level > discard (they occupy the top-left low-resolution corner of
+   the Mallat layout), then invert the remaining levels. *)
+let reduced_size n d =
+  let rec shrink n k = if k = 0 then n else shrink (Subband.low_size n) (k - 1) in
+  shrink n d
+
+let decode_tile_reduced header ~discard tile =
+  let bands =
+    Subband.decompose ~width:tile.Codestream.tile_w
+      ~height:tile.Codestream.tile_h ~levels:header.Codestream.levels
+  in
+  let keep (band : Subband.band) = band.Subband.level > discard in
+  let reduced_header =
+    {
+      header with
+      Codestream.levels = header.Codestream.levels - discard;
+      tile_w = reduced_size tile.Codestream.tile_w discard;
+      tile_h = reduced_size tile.Codestream.tile_h discard;
+      (* Band levels shift down by [discard]; shifting the base step
+         the same way keeps every kept band's quantiser step equal to
+         the one the encoder used. *)
+      base_step =
+        header.Codestream.base_step /. Float.pow 2.0 (float_of_int discard);
+    }
+  in
+  let reduced_tile =
+    {
+      tile with
+      Codestream.tile_x0 = tile.Codestream.tile_x0 asr discard;
+      tile_y0 = tile.Codestream.tile_y0 asr discard;
+      tile_w = reduced_header.Codestream.tile_w;
+      tile_h = reduced_header.Codestream.tile_h;
+      comps =
+        Array.map
+          (fun segments ->
+            List.filteri
+              (fun i _ -> keep (List.nth bands i))
+              segments)
+          tile.Codestream.comps;
+    }
+  in
+  (* The kept bands' levels shift down by [discard] so the geometry
+     matches the reduced tile. *)
+  let relevel seg =
+    { seg with Codestream.seg_level = seg.Codestream.seg_level - discard }
+  in
+  let reduced_tile =
+    {
+      reduced_tile with
+      Codestream.comps =
+        Array.map (List.map relevel) reduced_tile.Codestream.comps;
+    }
+  in
+  let domain =
+    entropy_decode_tile reduced_header reduced_tile
+    |> dequantise reduced_header
+  in
+  (* Each skipped inverse level would have multiplied the lows by K
+     (per dimension); compensate so brightness does not drift. *)
+  (match domain with
+  | Ints _ -> () (* the 5/3 low-pass has unit DC gain *)
+  | Floats ms ->
+    let k2d = Float.pow 1.230174104914001 (2.0 *. float_of_int discard) in
+    Array.iter
+      (fun m ->
+        Array.iteri (fun i v -> m.Dwt97.values.(i) <- v *. k2d) m.Dwt97.values)
+      ms);
+  inverse_wavelet reduced_header domain
+  |> inverse_colour_and_shift reduced_header reduced_tile
+
+let decode_reduced ~discard_levels data =
+  let stream = parse data in
+  let header = stream.Codestream.header in
+  if discard_levels < 0 || discard_levels > header.Codestream.levels then
+    invalid_arg "Decoder.decode_reduced: discard_levels";
+  if
+    header.Codestream.tile_w mod (1 lsl discard_levels) <> 0
+    || header.Codestream.tile_h mod (1 lsl discard_levels) <> 0
+  then invalid_arg "Decoder.decode_reduced: tile grid not aligned";
+  let tiles =
+    List.map (decode_tile_reduced header ~discard:discard_levels) stream.Codestream.tiles
+  in
+  Tile.assemble
+    ~width:(reduced_size header.Codestream.width discard_levels)
+    ~height:(reduced_size header.Codestream.height discard_levels)
+    ~components:header.Codestream.components
+    ~bit_depth:header.Codestream.bit_depth tiles
+
+let decode_with ?max_passes data =
+  let stream = parse data in
+  let header = stream.Codestream.header in
+  let tiles = List.map (decode_tile ?max_passes header) stream.Codestream.tiles in
+  Tile.assemble ~width:header.Codestream.width ~height:header.Codestream.height
+    ~components:header.Codestream.components ~bit_depth:header.Codestream.bit_depth
+    tiles
+
+let decode data = decode_with data
+
+let decode_progressive ~max_passes data =
+  if max_passes < 0 then invalid_arg "Decoder.decode_progressive: max_passes";
+  decode_with ~max_passes data

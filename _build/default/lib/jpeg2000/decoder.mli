@@ -1,0 +1,84 @@
+(** JPEG 2000 decoder, staged as in Figure 1 of the paper.
+
+    The decode chain is exposed stage by stage —
+
+    {v
+    Coded Image -> [entropy decode] -> [IQ] -> [IDWT] -> [ICT] -> [DC shift]
+    v}
+
+    — because the OSSS system models distribute exactly these stages
+    over Software Tasks and Shared Objects; each model invokes the
+    same functions the monolithic {!decode} uses, so the functional
+    behaviour of every hardware/software partitioning is identical by
+    construction. *)
+
+type band_coeffs = {
+  bc_band : Subband.band;
+  bc_planes : int;
+  bc_coeffs : int array;  (** quantiser indices (or raw 5/3 coefficients) *)
+}
+
+type entropy_decoded = {
+  ed_tile : Codestream.tile_segment;  (** originating segment *)
+  ed_comps : band_coeffs list array;
+}
+
+type wavelet_domain =
+  | Ints of Image.plane array  (** reversible path *)
+  | Floats of Dwt97.matrix array  (** irreversible path *)
+
+val parse : string -> Codestream.t
+(** Stage 0: codestream parsing (the paper folds this into the
+    arithmetic-decoder task). *)
+
+val entropy_decode_tile :
+  ?max_passes:int -> Codestream.header -> Codestream.tile_segment -> entropy_decoded
+(** Stage 1: MQ/EBCOT decoding of every subband of a tile.
+    [max_passes] truncates every code block to its first coding
+    passes (SNR scalability); default: all. *)
+
+val dequantise : Codestream.header -> entropy_decoded -> wavelet_domain
+(** Stage 2 (IQ): rebuild the Mallat coefficient layout; inverse
+    quantisation on the lossy path, plain placement on the lossless
+    path. *)
+
+val inverse_wavelet : Codestream.header -> wavelet_domain -> wavelet_domain
+(** Stage 3 (IDWT): 5/3 or 9/7 multi-level inverse transform,
+    in place. *)
+
+val inverse_colour_and_shift :
+  Codestream.header -> Codestream.tile_segment -> wavelet_domain -> Tile.t
+(** Stage 4 (ICT + DC shift): back to unsigned samples. *)
+
+val decode_tile :
+  ?max_passes:int -> Codestream.header -> Codestream.tile_segment -> Tile.t
+(** All tile stages composed. *)
+
+val decode : string -> Image.t
+(** Full decode of a codestream. *)
+
+val decode_progressive : max_passes:int -> string -> Image.t
+(** Quality-scalable decode: every code block contributes only its
+    first [max_passes] coding passes, as if the stream had been
+    truncated at that pass boundary — fidelity increases
+    monotonically with [max_passes] and reaches the exact
+    reconstruction once all passes are included. *)
+
+val decode_region :
+  x:int -> y:int -> w:int -> h:int -> string -> Image.t
+(** Region-of-interest decode: entropy-decodes only the tiles that
+    intersect the requested window and crops the result to it — the
+    random-access capability tiling exists for. Raises
+    [Invalid_argument] if the window is empty or falls outside the
+    image. *)
+
+val decode_reduced : discard_levels:int -> string -> Image.t
+(** Resolution-scalable decode: reconstructs the image at
+    [1/2^discard_levels] of its dimensions by entropy-decoding only
+    the coarser subbands and running fewer inverse-wavelet levels —
+    the wavelet pyramid's signature capability. Requires
+    [0 <= discard_levels <= levels] and a tile grid aligned to
+    [2^discard_levels] (any power-of-two tile size qualifies);
+    raises [Invalid_argument] otherwise. On the lossy path the K
+    normalisation of skipped levels is preserved, so brightness does
+    not drift. *)

@@ -1,0 +1,31 @@
+let step_for ~base_step ~levels ~level orientation =
+  if base_step <= 0.0 then invalid_arg "Quant.step_for: base_step";
+  if level < 0 || level > levels then invalid_arg "Quant.step_for: level";
+  (* Finer steps for deeper (lower-frequency) bands: each level of
+     synthesis roughly doubles a coefficient's footprint, and the
+     nominal gain of the band scales the effective amplitude. *)
+  let depth_scale = Float.pow 2.0 (float_of_int (level - 1)) in
+  let gain_scale =
+    Float.pow (sqrt 2.0) (float_of_int (Subband.gain_log2 orientation))
+  in
+  base_step *. gain_scale /. depth_scale
+
+let quantise ~step values =
+  if step <= 0.0 then invalid_arg "Quant.quantise: step";
+  Array.map
+    (fun x ->
+      let q = int_of_float (floor (Float.abs x /. step)) in
+      if x < 0.0 then -q else q)
+    values
+
+let dequantise ~step quantised =
+  if step <= 0.0 then invalid_arg "Quant.dequantise: step";
+  Array.map
+    (fun q ->
+      if q = 0 then 0.0
+      else
+        let magnitude = (float_of_int (abs q) +. 0.5) *. step in
+        if q < 0 then -.magnitude else magnitude)
+    quantised
+
+let max_error ~step = step

@@ -1,0 +1,441 @@
+(* Context numbering: 0-8 zero coding, 9-13 sign coding, 14-16
+   magnitude refinement, 17 run-length, 18 uniform. *)
+let ctx_rl = 17
+let ctx_uni = 18
+let num_contexts = 19
+
+(* Initial context states, ISO Table D.7. *)
+let fresh_contexts () =
+  Array.init num_contexts (fun i ->
+      if i = 0 then Mq.context ~index:4 ()
+      else if i = ctx_rl then Mq.context ~index:3 ()
+      else if i = ctx_uni then Mq.context ~index:46 ()
+      else Mq.context ())
+
+type blk = {
+  w : int;
+  h : int;
+  orientation : Subband.orientation;
+  significant : Bytes.t;
+  sign : Bytes.t; (* 0 = non-negative, 1 = negative *)
+  became : Bytes.t; (* became significant in the current bit-plane *)
+  visited : Bytes.t; (* coded by an earlier pass of this bit-plane *)
+  refined : Bytes.t; (* has been magnitude-refined at least once *)
+  contexts : Mq.context array;
+}
+
+let make_blk ~orientation ~w ~h =
+  if w <= 0 || h <= 0 then invalid_arg "T1: block size";
+  let zeroed () = Bytes.make (w * h) '\000' in
+  {
+    w;
+    h;
+    orientation;
+    significant = zeroed ();
+    sign = zeroed ();
+    became = zeroed ();
+    visited = zeroed ();
+    refined = zeroed ();
+    contexts = fresh_contexts ();
+  }
+
+let flag b x y = Bytes.get b.significant ((y * b.w) + x) <> '\000'
+
+let get bytes b x y = Bytes.get bytes ((y * b.w) + x) <> '\000'
+let set bytes b x y v =
+  Bytes.set bytes ((y * b.w) + x) (if v then '\001' else '\000')
+
+let in_block b x y = x >= 0 && x < b.w && y >= 0 && y < b.h
+let sig_at b x y = in_block b x y && flag b x y
+
+(* Neighbourhood significance counts: horizontal, vertical, diagonal. *)
+let neighbour_counts b x y =
+  let s dx dy = if sig_at b (x + dx) (y + dy) then 1 else 0 in
+  let h = s (-1) 0 + s 1 0 in
+  let v = s 0 (-1) + s 0 1 in
+  let d = s (-1) (-1) + s 1 (-1) + s (-1) 1 + s 1 1 in
+  (h, v, d)
+
+let neighbourhood_empty b x y =
+  let h, v, d = neighbour_counts b x y in
+  h + v + d = 0
+
+(* Zero-coding contexts, ISO Table D.1. *)
+let zc_primary h v d =
+  if h = 2 then 8
+  else if h = 1 then (if v >= 1 then 7 else if d >= 1 then 6 else 5)
+  else if v = 2 then 4
+  else if v = 1 then 3
+  else if d >= 2 then 2
+  else if d = 1 then 1
+  else 0
+
+let zc_hh hv d =
+  if d >= 3 then 8
+  else if d = 2 then (if hv >= 1 then 7 else 6)
+  else if d = 1 then (if hv >= 2 then 5 else if hv = 1 then 4 else 3)
+  else if hv >= 2 then 2
+  else if hv = 1 then 1
+  else 0
+
+let zc_context b x y =
+  let h, v, d = neighbour_counts b x y in
+  match b.orientation with
+  | Subband.LL | Subband.LH -> zc_primary h v d
+  | Subband.HL -> zc_primary v h d
+  | Subband.HH -> zc_hh (h + v) d
+
+(* Sign-coding context and XOR bit, ISO Tables D.2/D.3. A significant
+   neighbour contributes +1 (positive) or -1 (negative); the sums are
+   clamped to [-1, 1]. *)
+let sign_contribution b x y =
+  if not (sig_at b x y) then 0
+  else if get b.sign b x y then -1
+  else 1
+
+let sc_context b x y =
+  let clamp s = Stdlib.max (-1) (Stdlib.min 1 s) in
+  let hc = clamp (sign_contribution b (x - 1) y + sign_contribution b (x + 1) y) in
+  let vc = clamp (sign_contribution b x (y - 1) + sign_contribution b x (y + 1)) in
+  match (hc, vc) with
+  | 1, 1 -> (13, 0)
+  | 1, 0 -> (12, 0)
+  | 1, -1 -> (11, 0)
+  | 0, 1 -> (10, 0)
+  | 0, 0 -> (9, 0)
+  | 0, -1 -> (10, 1)
+  | -1, 1 -> (11, 1)
+  | -1, 0 -> (12, 1)
+  | -1, -1 -> (13, 1)
+  | _ -> assert false
+
+(* Magnitude-refinement contexts, ISO Table D.4. *)
+let mr_context b x y =
+  if get b.refined b x y then 16
+  else if neighbourhood_empty b x y then 14
+  else 15
+
+(* The bit-level interface that distinguishes encoder and decoder:
+   every function codes (or decodes) through the shared MQ state and
+   returns the actual bit value so the pass drivers below can be
+   written once. *)
+type io = {
+  coeff_bit : x:int -> y:int -> plane:int -> ctx:int -> int;
+      (** zero-coding or refinement bit for one coefficient *)
+  sign_bit : x:int -> y:int -> ctx:int -> xor:int -> int;
+      (** sign of a newly significant coefficient (0 = positive) *)
+  rl_bit : x:int -> y0:int -> plane:int -> int;
+      (** run-length decision for a clean stripe column *)
+  uni_pos : x:int -> y0:int -> plane:int -> int;
+      (** 2-bit position of the first 1 within the column *)
+  on_significant : x:int -> y:int -> plane:int -> unit;
+      (** magnitude bookkeeping hook (decoder sets the plane bit) *)
+  on_refine : x:int -> y:int -> plane:int -> bit:int -> unit;
+}
+
+let make_significant b io ~x ~y ~plane =
+  let s = io.sign_bit ~x ~y ~ctx:(fst (sc_context b x y))
+            ~xor:(snd (sc_context b x y)) in
+  set b.sign b x y (s = 1);
+  set b.significant b x y true;
+  set b.became b x y true;
+  io.on_significant ~x ~y ~plane
+
+(* One coefficient of a cleanup or significance pass: zero-coding
+   plus sign on a 1 bit. *)
+let code_zc b io ~x ~y ~plane =
+  let bit = io.coeff_bit ~x ~y ~plane ~ctx:(zc_context b x y) in
+  if bit = 1 then make_significant b io ~x ~y ~plane
+
+let significance_pass b io ~plane =
+  let stripe = 4 in
+  let k = ref 0 in
+  while !k < b.h do
+    for x = 0 to b.w - 1 do
+      for y = !k to Stdlib.min (!k + stripe - 1) (b.h - 1) do
+        if (not (flag b x y)) && not (neighbourhood_empty b x y) then begin
+          code_zc b io ~x ~y ~plane;
+          set b.visited b x y true
+        end
+      done
+    done;
+    k := !k + stripe
+  done
+
+let refinement_pass b io ~plane =
+  let stripe = 4 in
+  let k = ref 0 in
+  while !k < b.h do
+    for x = 0 to b.w - 1 do
+      for y = !k to Stdlib.min (!k + stripe - 1) (b.h - 1) do
+        if flag b x y && (not (get b.became b x y)) && not (get b.visited b x y)
+        then begin
+          let ctx = mr_context b x y in
+          let bit = io.coeff_bit ~x ~y ~plane ~ctx in
+          io.on_refine ~x ~y ~plane ~bit;
+          set b.refined b x y true;
+          set b.visited b x y true
+        end
+      done
+    done;
+    k := !k + stripe
+  done
+
+let cleanup_pass b io ~plane =
+  let stripe = 4 in
+  let k = ref 0 in
+  while !k < b.h do
+    let y0 = !k in
+    let full_column = y0 + stripe <= b.h in
+    for x = 0 to b.w - 1 do
+      let column_clean =
+        full_column
+        && (let clean = ref true in
+            for y = y0 to y0 + stripe - 1 do
+              if flag b x y || get b.visited b x y
+                 || not (neighbourhood_empty b x y)
+              then clean := false
+            done;
+            !clean)
+      in
+      if column_clean then begin
+        if io.rl_bit ~x ~y0 ~plane = 1 then begin
+          let r = io.uni_pos ~x ~y0 ~plane in
+          (* Coefficient y0+r is the first 1: its zero-coding bit is
+             implicit; code its sign and continue below it. *)
+          make_significant b io ~x ~y:(y0 + r) ~plane;
+          for y = y0 + r + 1 to y0 + stripe - 1 do
+            code_zc b io ~x ~y ~plane
+          done
+        end
+      end
+      else
+        for y = y0 to Stdlib.min (y0 + stripe - 1) (b.h - 1) do
+          if (not (get b.visited b x y)) && not (flag b x y) then
+            code_zc b io ~x ~y ~plane
+        done
+    done;
+    k := !k + stripe
+  done
+
+let code_plane b io ~plane ~first =
+  if not first then begin
+    significance_pass b io ~plane;
+    refinement_pass b io ~plane
+  end;
+  cleanup_pass b io ~plane;
+  Bytes.fill b.visited 0 (Bytes.length b.visited) '\000';
+  Bytes.fill b.became 0 (Bytes.length b.became) '\000'
+
+(* The same plane schedule expressed as the standard pass sequence:
+   the top plane has only its cleanup pass, every lower plane runs
+   significance propagation, refinement, cleanup. *)
+type pass_kind = Significance | Refinement | Cleanup
+
+let pass_schedule ~planes =
+  List.concat
+    (List.init planes (fun i ->
+         let plane = planes - 1 - i in
+         if i = 0 then [ (Cleanup, plane) ]
+         else [ (Significance, plane); (Refinement, plane); (Cleanup, plane) ]))
+
+let run_pass b io (kind, plane) =
+  (match kind with
+  | Significance -> significance_pass b io ~plane
+  | Refinement -> refinement_pass b io ~plane
+  | Cleanup ->
+    cleanup_pass b io ~plane;
+    Bytes.fill b.visited 0 (Bytes.length b.visited) '\000';
+    Bytes.fill b.became 0 (Bytes.length b.became) '\000');
+  ()
+
+let total_passes ~planes = if planes = 0 then 0 else 1 + (3 * (planes - 1))
+
+let num_planes coeffs =
+  let m = Array.fold_left (fun acc c -> Stdlib.max acc (abs c)) 0 coeffs in
+  let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+  bits m 0
+
+let check_dims ~w ~h len =
+  if w <= 0 || h <= 0 || len <> w * h then invalid_arg "T1: dimensions"
+
+let encode_block ~orientation ~w ~h coeffs =
+  check_dims ~w ~h (Array.length coeffs);
+  let planes = num_planes coeffs in
+  if planes = 0 then (0, "")
+  else begin
+    let b = make_blk ~orientation ~w ~h in
+    let enc = Mq.encoder () in
+    let magnitude x y = abs coeffs.((y * w) + x) in
+    let bit_of x y plane = (magnitude x y lsr plane) land 1 in
+    let io =
+      {
+        coeff_bit =
+          (fun ~x ~y ~plane ~ctx ->
+            let bit = bit_of x y plane in
+            Mq.encode enc b.contexts.(ctx) bit;
+            bit);
+        sign_bit =
+          (fun ~x ~y ~ctx ~xor ->
+            let s = if coeffs.((y * w) + x) < 0 then 1 else 0 in
+            Mq.encode enc b.contexts.(ctx) (s lxor xor);
+            s);
+        rl_bit =
+          (fun ~x ~y0 ~plane ->
+            let any = ref 0 in
+            for y = y0 to y0 + 3 do
+              if bit_of x y plane = 1 then any := 1
+            done;
+            Mq.encode enc b.contexts.(ctx_rl) !any;
+            !any);
+        uni_pos =
+          (fun ~x ~y0 ~plane ->
+            let rec first r = if bit_of x (y0 + r) plane = 1 then r else first (r + 1) in
+            let r = first 0 in
+            Mq.encode enc b.contexts.(ctx_uni) ((r lsr 1) land 1);
+            Mq.encode enc b.contexts.(ctx_uni) (r land 1);
+            r);
+        on_significant = (fun ~x:_ ~y:_ ~plane:_ -> ());
+        on_refine = (fun ~x:_ ~y:_ ~plane:_ ~bit:_ -> ());
+      }
+    in
+    for plane = planes - 1 downto 0 do
+      code_plane b io ~plane ~first:(plane = planes - 1)
+    done;
+    (planes, Mq.flush enc)
+  end
+
+let decode_block ~orientation ~w ~h ~planes data =
+  check_dims ~w ~h (w * h);
+  if planes = 0 then Array.make (w * h) 0
+  else begin
+    let b = make_blk ~orientation ~w ~h in
+    let dec = Mq.decoder data in
+    let magnitudes = Array.make (w * h) 0 in
+    let set_bit x y plane = magnitudes.((y * w) + x) <- magnitudes.((y * w) + x) lor (1 lsl plane) in
+    let io =
+      {
+        coeff_bit =
+          (fun ~x:_ ~y:_ ~plane:_ ~ctx -> Mq.decode dec b.contexts.(ctx));
+        sign_bit =
+          (fun ~x:_ ~y:_ ~ctx ~xor -> Mq.decode dec b.contexts.(ctx) lxor xor);
+        rl_bit = (fun ~x:_ ~y0:_ ~plane:_ -> Mq.decode dec b.contexts.(ctx_rl));
+        uni_pos =
+          (fun ~x:_ ~y0:_ ~plane:_ ->
+            let hi = Mq.decode dec b.contexts.(ctx_uni) in
+            let lo = Mq.decode dec b.contexts.(ctx_uni) in
+            (hi lsl 1) lor lo);
+        on_significant = (fun ~x ~y ~plane -> set_bit x y plane);
+        on_refine =
+          (fun ~x ~y ~plane ~bit -> if bit = 1 then set_bit x y plane);
+      }
+    in
+    for plane = planes - 1 downto 0 do
+      code_plane b io ~plane ~first:(plane = planes - 1)
+    done;
+    Array.init (w * h) (fun i ->
+        let x = i mod w and y = i / w in
+        let m = magnitudes.(i) in
+        if get b.sign b x y then -m else m)
+  end
+
+
+(* -- SNR-scalable variant ---------------------------------------------
+
+   Every coding pass is terminated into its own MQ codeword (the
+   standard's RESTART/segmentation option, contexts carried across
+   passes), so a codestream can be truncated at any pass boundary and
+   still decode exactly up to that pass. *)
+
+let make_encoder_io b enc coeffs w =
+  let magnitude x y = abs coeffs.((y * w) + x) in
+  let bit_of x y plane = (magnitude x y lsr plane) land 1 in
+  {
+    coeff_bit =
+      (fun ~x ~y ~plane ~ctx ->
+        let bit = bit_of x y plane in
+        Mq.encode !enc b.contexts.(ctx) bit;
+        bit);
+    sign_bit =
+      (fun ~x ~y ~ctx ~xor ->
+        let s = if coeffs.((y * w) + x) < 0 then 1 else 0 in
+        Mq.encode !enc b.contexts.(ctx) (s lxor xor);
+        s);
+    rl_bit =
+      (fun ~x ~y0 ~plane ->
+        let any = ref 0 in
+        for y = y0 to y0 + 3 do
+          if bit_of x y plane = 1 then any := 1
+        done;
+        Mq.encode !enc b.contexts.(ctx_rl) !any;
+        !any);
+    uni_pos =
+      (fun ~x ~y0 ~plane ->
+        let rec first r = if bit_of x (y0 + r) plane = 1 then r else first (r + 1) in
+        let r = first 0 in
+        Mq.encode !enc b.contexts.(ctx_uni) ((r lsr 1) land 1);
+        Mq.encode !enc b.contexts.(ctx_uni) (r land 1);
+        r);
+    on_significant = (fun ~x:_ ~y:_ ~plane:_ -> ());
+    on_refine = (fun ~x:_ ~y:_ ~plane:_ ~bit:_ -> ());
+  }
+
+let encode_block_scalable ~orientation ~w ~h coeffs =
+  check_dims ~w ~h (Array.length coeffs);
+  let planes = num_planes coeffs in
+  if planes = 0 then (0, [])
+  else begin
+    let b = make_blk ~orientation ~w ~h in
+    let enc = ref (Mq.encoder ()) in
+    let io = make_encoder_io b enc coeffs w in
+    let segments =
+      List.map
+        (fun pass ->
+          run_pass b io pass;
+          let segment = Mq.flush !enc in
+          enc := Mq.encoder ();
+          segment)
+        (pass_schedule ~planes)
+    in
+    (planes, segments)
+  end
+
+let make_decoder_io b dec magnitudes w =
+  let set_bit x y plane =
+    magnitudes.((y * w) + x) <- magnitudes.((y * w) + x) lor (1 lsl plane)
+  in
+  {
+    coeff_bit = (fun ~x:_ ~y:_ ~plane:_ ~ctx -> Mq.decode !dec b.contexts.(ctx));
+    sign_bit = (fun ~x:_ ~y:_ ~ctx ~xor -> Mq.decode !dec b.contexts.(ctx) lxor xor);
+    rl_bit = (fun ~x:_ ~y0:_ ~plane:_ -> Mq.decode !dec b.contexts.(ctx_rl));
+    uni_pos =
+      (fun ~x:_ ~y0:_ ~plane:_ ->
+        let hi = Mq.decode !dec b.contexts.(ctx_uni) in
+        let lo = Mq.decode !dec b.contexts.(ctx_uni) in
+        (hi lsl 1) lor lo);
+    on_significant = (fun ~x ~y ~plane -> set_bit x y plane);
+    on_refine = (fun ~x ~y ~plane ~bit -> if bit = 1 then set_bit x y plane);
+  }
+
+let decode_block_scalable ~orientation ~w ~h ~planes segments =
+  check_dims ~w ~h (w * h);
+  if planes = 0 then Array.make (w * h) 0
+  else begin
+    let b = make_blk ~orientation ~w ~h in
+    let dec = ref (Mq.decoder "") in
+    let magnitudes = Array.make (w * h) 0 in
+    let io = make_decoder_io b dec magnitudes w in
+    let rec decode_passes schedule segments =
+      match (schedule, segments) with
+      | _, [] | [], _ -> ()
+      | pass :: schedule, segment :: segments ->
+        dec := Mq.decoder segment;
+        run_pass b io pass;
+        decode_passes schedule segments
+    in
+    decode_passes (pass_schedule ~planes) segments;
+    Array.init (w * h) (fun i ->
+        let x = i mod w and y = i / w in
+        let m = magnitudes.(i) in
+        if get b.sign b x y then -m else m)
+  end

@@ -1,0 +1,59 @@
+(** EBCOT Tier-1 bit-plane coder (ISO/IEC 15444-1, Annex D).
+
+    Codes a block of signed quantised wavelet coefficients bit-plane
+    by bit-plane with three passes per plane — significance
+    propagation, magnitude refinement, and cleanup with run-length
+    shortcut — driving the {!Mq} coder through the standard 19
+    contexts (9 zero-coding, 5 sign-coding, 3 magnitude-refinement,
+    run-length, uniform). Zero-coding context formation depends on
+    the subband orientation, exactly as in Table D.1.
+
+    Simplification w.r.t. the full standard (documented in
+    DESIGN.md): one code-block spans the whole subband and all passes
+    form a single MQ codeword segment — no pass boundaries, RESET/
+    BYPASS modes or rate-distortion truncation. Decoding inverts
+    encoding bit-exactly, which the property tests check on random
+    blocks. *)
+
+val num_planes : int array -> int
+(** Number of magnitude bit-planes needed for the given coefficients
+    (0 if all are zero). *)
+
+val encode_block :
+  orientation:Subband.orientation -> w:int -> h:int -> int array -> int * string
+(** [encode_block ~orientation ~w ~h coeffs] returns
+    [(bit-planes, codeword)]. [coeffs] is row-major of length
+    [w * h]. An all-zero block yields [(0, "")]. *)
+
+val decode_block :
+  orientation:Subband.orientation -> w:int -> h:int -> planes:int -> string -> int array
+(** Inverse of {!encode_block}: reconstructs the exact coefficients. *)
+
+(** {1 SNR-scalable coding}
+
+    The standard's pass-termination option: every coding pass is
+    flushed into its own MQ codeword (contexts persist across
+    passes), so dropping trailing segments yields a coarser — but
+    exactly decodable — reconstruction. *)
+
+val total_passes : planes:int -> int
+(** Number of coding passes for a block with that many bit-planes
+    ([1 + 3*(planes-1)], 0 for an empty block). *)
+
+val encode_block_scalable :
+  orientation:Subband.orientation ->
+  w:int ->
+  h:int ->
+  int array ->
+  int * string list
+(** [(bit-planes, one codeword per pass)]. *)
+
+val decode_block_scalable :
+  orientation:Subband.orientation ->
+  w:int ->
+  h:int ->
+  planes:int ->
+  string list ->
+  int array
+(** Decodes the given pass segments (a prefix of the encoder's list);
+    with all of them the reconstruction is exact. *)

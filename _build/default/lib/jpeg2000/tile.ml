@@ -1,0 +1,56 @@
+type t = { index : int; x0 : int; y0 : int; planes : Image.plane array }
+
+let tile_grid ~image_w ~image_h ~tile_w ~tile_h =
+  if tile_w <= 0 || tile_h <= 0 then invalid_arg "Tile.tile_grid: tile size";
+  ((image_w + tile_w - 1) / tile_w, (image_h + tile_h - 1) / tile_h)
+
+let split image ~tile_w ~tile_h =
+  let image_w = Image.width image and image_h = Image.height image in
+  let cols, rows = tile_grid ~image_w ~image_h ~tile_w ~tile_h in
+  let make_tile tx ty =
+    let x0 = tx * tile_w and y0 = ty * tile_h in
+    let w = Stdlib.min tile_w (image_w - x0) in
+    let h = Stdlib.min tile_h (image_h - y0) in
+    let planes =
+      Array.map
+        (fun plane ->
+          let sub = Image.create_plane ~width:w ~height:h in
+          for y = 0 to h - 1 do
+            for x = 0 to w - 1 do
+              Image.plane_set sub ~x ~y
+                (Image.plane_get plane ~x:(x0 + x) ~y:(y0 + y))
+            done
+          done;
+          sub)
+        image.Image.planes
+    in
+    { index = (ty * cols) + tx; x0; y0; planes }
+  in
+  List.concat
+    (List.init rows (fun ty -> List.init cols (fun tx -> make_tile tx ty)))
+
+let width t = t.planes.(0).Image.width
+let height t = t.planes.(0).Image.height
+let components t = Array.length t.planes
+let samples t = width t * height t * components t
+
+let assemble ~width:image_w ~height:image_h ~components ?bit_depth tiles =
+  let image =
+    Image.create ~width:image_w ~height:image_h ~components ?bit_depth ()
+  in
+  List.iter
+    (fun tile ->
+      if Array.length tile.planes <> components then
+        invalid_arg "Tile.assemble: component mismatch";
+      Array.iteri
+        (fun c sub ->
+          let plane = image.Image.planes.(c) in
+          for y = 0 to sub.Image.height - 1 do
+            for x = 0 to sub.Image.width - 1 do
+              Image.plane_set plane ~x:(tile.x0 + x) ~y:(tile.y0 + y)
+                (Image.plane_get sub ~x ~y)
+            done
+          done)
+        tile.planes)
+    tiles;
+  image

@@ -1,0 +1,1 @@
+lib/models/app_models.mli: Outcome Workload

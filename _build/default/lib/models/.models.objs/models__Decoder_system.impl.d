@@ -1,0 +1,1 @@
+lib/models/decoder_system.ml: Array Jpeg2000 List Meter Osss Outcome Printf Profile Queue Sim Stdlib Workload

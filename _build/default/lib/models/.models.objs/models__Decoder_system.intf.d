@@ -1,0 +1,1 @@
+lib/models/decoder_system.mli: Osss Outcome Sim Workload

@@ -1,0 +1,1 @@
+lib/models/experiment.ml: App_models Float List Outcome Printf String Vta_models Workload

@@ -1,0 +1,1 @@
+lib/models/experiment.mli: Outcome Profile

@@ -1,0 +1,1 @@
+lib/models/idwt_cores.ml: Fossy List Rtl

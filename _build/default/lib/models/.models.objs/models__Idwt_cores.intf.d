@@ -1,0 +1,1 @@
+lib/models/idwt_cores.mli: Fossy Rtl

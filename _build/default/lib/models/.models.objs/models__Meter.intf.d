@@ -1,0 +1,1 @@
+lib/models/meter.mli: Sim

@@ -1,0 +1,1 @@
+lib/models/outcome.ml: Format Jpeg2000 Profile

@@ -1,0 +1,1 @@
+lib/models/outcome.mli: Format Profile

@@ -1,0 +1,1 @@
+lib/models/profile.ml: Array Jpeg2000 List Osss Sim

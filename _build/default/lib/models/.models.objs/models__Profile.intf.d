@@ -1,0 +1,1 @@
+lib/models/profile.mli: Jpeg2000 Sim

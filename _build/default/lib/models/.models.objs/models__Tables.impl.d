@@ -1,0 +1,1 @@
+lib/models/tables.ml: Buffer Experiment Format Fossy Idwt_cores Jpeg2000 List Osss Outcome Printf Profile Rtl Sim String

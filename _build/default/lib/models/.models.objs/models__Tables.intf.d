@@ -1,0 +1,1 @@
+lib/models/tables.mli: Outcome Rtl

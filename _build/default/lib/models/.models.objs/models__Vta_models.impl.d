@@ -1,0 +1,1 @@
+lib/models/vta_models.ml: App_models Array Decoder_system List Osss Printf Profile Sim String Workload

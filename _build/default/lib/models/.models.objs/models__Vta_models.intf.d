@@ -1,0 +1,1 @@
+lib/models/vta_models.mli: Osss Outcome Workload

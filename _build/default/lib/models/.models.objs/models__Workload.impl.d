@@ -1,0 +1,1 @@
+lib/models/workload.ml: Array Jpeg2000 Option Printf Profile

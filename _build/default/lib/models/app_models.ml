@@ -1,0 +1,11 @@
+let sw_parallel_tasks = 4
+
+let v1 w = Decoder_system.run_sw_only ~version:"1" w
+let v2 w = Decoder_system.run_coprocessor ~version:"2" ~sw_tasks:1 w
+let v3 w = Decoder_system.run_pipeline ~version:"3" ~sw_tasks:1 w
+
+let v4 w =
+  Decoder_system.run_coprocessor ~version:"4" ~sw_tasks:sw_parallel_tasks w
+
+let v5 w =
+  Decoder_system.run_pipeline ~version:"5" ~sw_tasks:sw_parallel_tasks w

@@ -1,0 +1,17 @@
+(** The Application-Layer models (Table 1, upper half).
+
+    - version 1: software only;
+    - version 2: HW/SW, not parallel (blocking IQ+IDWT co-processor);
+    - version 3: HW/SW parallel (pipeline, 3 IDWT modules);
+    - version 4: SW parallel (4 decoder tasks, cp. version 2);
+    - version 5: SW & HW/SW parallel (cp. version 3, 7-client SO). *)
+
+val v1 : Workload.t -> Outcome.t
+val v2 : Workload.t -> Outcome.t
+val v3 : Workload.t -> Outcome.t
+val v4 : Workload.t -> Outcome.t
+val v5 : Workload.t -> Outcome.t
+
+val sw_parallel_tasks : int
+(** 4 — the paper's "four independent Software Tasks performing the
+    arithmetic decoding of disjoint parts of the image". *)

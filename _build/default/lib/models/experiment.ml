@@ -1,0 +1,98 @@
+type version = V1 | V2 | V3 | V4 | V5 | V6a | V6b | V7a | V7b
+
+let all_versions = [ V1; V2; V3; V4; V5; V6a; V6b; V7a; V7b ]
+
+let version_name = function
+  | V1 -> "1"
+  | V2 -> "2"
+  | V3 -> "3"
+  | V4 -> "4"
+  | V5 -> "5"
+  | V6a -> "6a"
+  | V6b -> "6b"
+  | V7a -> "7a"
+  | V7b -> "7b"
+
+let version_of_name name =
+  List.find_opt (fun v -> String.equal (version_name v) name) all_versions
+
+let run ?payload version mode =
+  let w = Workload.make ?payload mode in
+  match version with
+  | V1 -> App_models.v1 w
+  | V2 -> App_models.v2 w
+  | V3 -> App_models.v3 w
+  | V4 -> App_models.v4 w
+  | V5 -> App_models.v5 w
+  | V6a -> Vta_models.v6a w
+  | V6b -> Vta_models.v6b w
+  | V7a -> Vta_models.v7a w
+  | V7b -> Vta_models.v7b w
+
+let run_all ?payload mode = List.map (fun v -> run ?payload v mode) all_versions
+
+type relation_check = { relation : string; holds : bool; detail : string }
+
+let paper_relations lossless lossy =
+  let get results version =
+    match
+      List.find_opt
+        (fun r -> String.equal r.Outcome.version (version_name version))
+        results
+    with
+    | Some r -> r
+    | None -> invalid_arg "paper_relations: missing version"
+  in
+  let check relation holds detail = { relation; holds; detail } in
+  let both name f =
+    let h1, d1 = f (get lossless) "lossless" in
+    let h2, d2 = f (get lossy) "lossy" in
+    check name (h1 && h2) (d1 ^ "; " ^ d2)
+  in
+  let functional results =
+    List.for_all (fun r -> r.Outcome.functional_ok <> Some false) results
+  in
+  [
+    check "every model decodes the image correctly"
+      (functional lossless && functional lossy)
+      "payload compared bit-exactly against the reference decoder";
+    both "v2 is ~10 % / ~19 % faster than v1 (co-processor gain)" (fun get label ->
+        let s = Outcome.speedup_vs (get V1) (get V2) in
+        let lo, hi = if label = "lossless" then (1.05, 1.15) else (1.14, 1.25) in
+        (s >= lo && s <= hi, Printf.sprintf "%s: %.3fx" label s));
+    both "v3 (pipelined) is at least as fast as v2" (fun get label ->
+        let ok = (get V3).Outcome.decode_ms <= (get V2).Outcome.decode_ms in
+        ( ok,
+          Printf.sprintf "%s: %.1f vs %.1f ms" label (get V3).Outcome.decode_ms
+            (get V2).Outcome.decode_ms ));
+    both "v4 reaches the ~4.5x / ~5x speedup" (fun get label ->
+        let s = Outcome.speedup_vs (get V1) (get V4) in
+        let lo, hi = if label = "lossless" then (4.0, 5.0) else (4.3, 5.3) in
+        (s >= lo && s <= hi, Printf.sprintf "%s: %.2fx" label s));
+    both "v5 is slightly slower than v4 (7-client SO overhead)" (fun get label ->
+        let d4 = (get V4).Outcome.decode_ms and d5 = (get V5).Outcome.decode_ms in
+        (d5 > d4, Printf.sprintf "%s: %.1f vs %.1f ms" label d5 d4));
+    both "VTA refinement inflates IDWT time by up to a factor 8 (3 -> 6a)"
+      (fun get label ->
+        let f = (get V6a).Outcome.idwt_ms /. (get V3).Outcome.idwt_ms in
+        (f > 2.0 && f <= 8.5, Printf.sprintf "%s: %.1fx" label f));
+    both "6b and 7b have equal IDWT times (P2P decouples the bus)"
+      (fun get label ->
+        let a = (get V6b).Outcome.idwt_ms and b = (get V7b).Outcome.idwt_ms in
+        ( Float.abs (a -. b) < 0.005 *. a,
+          Printf.sprintf "%s: %.2f vs %.2f ms" label a b ));
+    both "7a's IDWT is slower than 6a's (four processors on one OPB)"
+      (fun get label ->
+        let a = (get V7a).Outcome.idwt_ms and b = (get V6a).Outcome.idwt_ms in
+        (a > b, Printf.sprintf "%s: %.2f vs %.2f ms" label a b));
+    (let f1 = Outcome.idwt_speedup_vs (get lossless V1) (get lossless V6b) in
+     let f2 = Outcome.idwt_speedup_vs (get lossy V1) (get lossy V6b) in
+     check "HW IDWT keeps a 12x / 16x advantage over software (1 -> 6b)"
+       (f1 >= 10.0 && f1 <= 14.0 && f2 >= 14.0 && f2 <= 18.0)
+       (Printf.sprintf "lossless: %.1fx; lossy: %.1fx" f1 f2));
+    both "overall decode time stays software-dominated after refinement"
+      (fun get label ->
+        let app = (get V3).Outcome.decode_ms and vta = (get V6a).Outcome.decode_ms in
+        ( vta < app *. 1.02,
+          Printf.sprintf "%s: %.1f -> %.1f ms" label app vta ));
+  ]

@@ -1,0 +1,25 @@
+(** Experiment driver: run any model version by name and check the
+    qualitative relations the paper reports. *)
+
+type version = V1 | V2 | V3 | V4 | V5 | V6a | V6b | V7a | V7b
+
+val all_versions : version list
+val version_name : version -> string
+val version_of_name : string -> version option
+
+val run : ?payload:bool -> version -> Profile.mode -> Outcome.t
+(** Runs the 16-tile, 3-component workload on the given model.
+    [payload] (default true) carries the real image data through the
+    stages and verifies the decode bit-exactly. *)
+
+val run_all : ?payload:bool -> Profile.mode -> Outcome.t list
+(** All nine versions, in Table 1 order. *)
+
+type relation_check = { relation : string; holds : bool; detail : string }
+
+val paper_relations : Outcome.t list -> Outcome.t list -> relation_check list
+(** [paper_relations lossless lossy] evaluates the orderings and
+    factors the paper's text states (v2 ≈ +10/19 %, v3 < v2, v4 ≈
+    4.5/5×, v5 slower than v4, IDWT inflation ≤ 8× from 3 to 6a,
+    6b = 7b, 7a > 6a, HW IDWT 12/16× vs software). Each list must be
+    the output of {!run_all}. *)

@@ -1,0 +1,820 @@
+open Fossy.Hir
+
+let line_buffer_length = 32
+
+(* Datapath parallelism: 4 coefficients per clock, as a realistic
+   line-based lifting engine would stream them. *)
+let lanes = 4
+let blocks = line_buffer_length / lanes
+
+let coeff = int_ty 16
+let wide = int_ty 18 (* lifting intermediates carry two guard bits *)
+let flag = uint_ty 1
+
+(* index expression: base*lanes + lane *)
+let idx ib lane = Bin (Add, Bin (Shl, v ib, c 2), c lane)
+
+(* -- shared skeleton -------------------------------------------------
+
+   Both cores process a tile as [rows] horizontal line passes followed
+   by the same number of vertical passes, the direction being handled
+   by the address generator (kept abstract here: the line buffers are
+   loaded and drained through the streaming ports). *)
+
+let load_loops =
+  [
+    For
+      ( "li",
+        0,
+        blocks - 1,
+        List.init lanes (fun lane -> assign_arr "low" (idx "li" lane) (v "data_in"))
+        @ [ Wait ] );
+    For
+      ( "li",
+        0,
+        blocks - 1,
+        List.init lanes (fun lane -> assign_arr "high" (idx "li" lane) (v "data_in"))
+        @ [ Wait ] );
+  ]
+
+let drain_loop =
+  [
+    For
+      ( "oi",
+        0,
+        (2 * line_buffer_length) - 1,
+        [
+          assign "out_word" (Arr ("line", v "oi"));
+          assign "data_out" (v "out_word");
+          Wait;
+        ] );
+  ]
+
+let wait_for_start =
+  [
+    assign "done_flag" (c 0);
+    assign "done_port" (v "done_flag");
+    While (Bin (Eq, v "start", c 0), [ Wait ]);
+  ]
+
+let finish_frame = [ assign "done_flag" (c 1); assign "done_port" (v "done_flag"); Wait ]
+
+(* -- IDWT 5/3 ------------------------------------------------------- *)
+
+(* Reconstruction (ISO F.3.8.2, reversible):
+   even: x(2i)   = s(i) - floor((d(i-1) + d(i) + 2) / 4)
+   odd:  x(2i+1) = d(i) + floor((x(2i) + x(2i+2)) / 2)        *)
+
+let idwt53_subprograms =
+  [
+    {
+      s_name = "update_even";
+      s_params = [ ("s_c", coeff); ("d_prev", coeff); ("d_cur", coeff) ];
+      s_ret = Some coeff;
+      s_locals = [ ("sum", wide) ];
+      s_body =
+        [
+          assign "sum" (v "d_prev" +: v "d_cur" +: c 2);
+          Return (Some (v "s_c" -: (v "sum" >>: 2)));
+        ];
+    };
+    {
+      s_name = "predict_odd";
+      s_params = [ ("d_c", coeff); ("e_prev", coeff); ("e_next", coeff) ];
+      s_ret = Some coeff;
+      s_locals = [ ("sum", wide) ];
+      s_body =
+        [
+          assign "sum" (v "e_prev" +: v "e_next");
+          Return (Some (v "d_c" +: (v "sum" >>: 1)));
+        ];
+    };
+    {
+      s_name = "process_line_53";
+      s_params = [ ("dir", flag) ];
+      s_ret = None;
+      s_locals = [ ("d_prev", coeff); ("e_next", coeff) ];
+      s_body =
+        load_loops
+        @ [
+            (* Even samples, 4 lanes per cycle. *)
+            For
+              ( "ei",
+                0,
+                blocks - 1,
+                List.concat_map
+                  (fun lane ->
+                    let cur = idx "ei" lane in
+                    let boundary =
+                      if lane = 0 then
+                        [
+                          If
+                            ( Bin (Eq, v "ei", c 0),
+                              [ assign "d_prev" (Arr ("high", c 0)) ],
+                              [
+                                assign "d_prev"
+                                  (Arr ("high", Bin (Sub, cur, c 1)));
+                              ] );
+                        ]
+                      else
+                        [ assign "d_prev" (Arr ("high", Bin (Sub, cur, c 1))) ]
+                    in
+                    boundary
+                    @ [
+                        assign_arr "line"
+                          (Bin (Shl, cur, c 1))
+                          (Call
+                             ( "update_even",
+                               [ Arr ("low", cur); v "d_prev"; Arr ("high", cur) ]
+                             ));
+                      ])
+                  [ 0; 1; 2; 3 ]
+                @ [ Wait ] );
+            (* Odd samples. *)
+            For
+              ( "oi2",
+                0,
+                blocks - 1,
+                List.concat_map
+                  (fun lane ->
+                    let cur = idx "oi2" lane in
+                    let even_at e = Arr ("line", e) in
+                    let boundary =
+                      if lane = lanes - 1 then
+                        [
+                          If
+                            ( Bin (Eq, v "oi2", c (blocks - 1)),
+                              [ assign "e_next" (even_at (Bin (Shl, cur, c 1))) ],
+                              [
+                                assign "e_next"
+                                  (even_at
+                                     (Bin (Add, Bin (Shl, cur, c 1), c 2)));
+                              ] );
+                        ]
+                      else
+                        [
+                          assign "e_next"
+                            (even_at (Bin (Add, Bin (Shl, cur, c 1), c 2)));
+                        ]
+                    in
+                    boundary
+                    @ [
+                        assign_arr "line"
+                          (Bin (Add, Bin (Shl, cur, c 1), c 1))
+                          (Call
+                             ( "predict_odd",
+                               [
+                                 Arr ("high", cur);
+                                 even_at (Bin (Shl, cur, c 1));
+                                 v "e_next";
+                               ] ));
+                      ])
+                  [ 0; 1; 2; 3 ]
+                @ [ Wait ] );
+          ]
+        @ drain_loop;
+    };
+  ]
+
+let idwt53_systemc =
+  {
+    m_name = "idwt53";
+    m_ports =
+      [
+        ("start", Pin, flag);
+        ("data_in", Pin, coeff);
+        ("data_out", Pout, coeff);
+        ("done_port", Pout, flag);
+      ];
+    m_vars = [ ("done_flag", flag); ("out_word", coeff) ];
+    m_arrays =
+      [
+        ("low", coeff, line_buffer_length);
+        ("high", coeff, line_buffer_length);
+        ("line", coeff, 2 * line_buffer_length);
+      ];
+    m_subprograms = idwt53_subprograms;
+    m_body =
+      wait_for_start
+      @ [
+          For ("row", 0, 127, [ Call_p ("process_line_53", [ c 0 ]); Wait ]);
+          For ("col", 0, 127, [ Call_p ("process_line_53", [ c 1 ]); Wait ]);
+        ]
+      @ finish_frame;
+  }
+
+(* -- IDWT 9/7 ------------------------------------------------------- *)
+
+(* Daubechies (9,7) inverse lifting in 13-bit fixed point:
+   -alpha = 12994/8192, -beta = 434/8192, -gamma = 7233/8192,
+   -delta = 3633/8192; K and 1/K as 10079/8192 and 6659/8192. *)
+let q_alpha = 12994
+let q_beta = 434
+let q_gamma = 7233
+let q_delta = 3633
+let q_k = 10079
+let q_inv_k = 6659
+
+let idwt97_lift_subprogram ~name =
+  {
+    s_name = name;
+    s_params =
+      [ ("base", coeff); ("n_prev", coeff); ("n_next", coeff); ("coef_q", wide) ];
+    s_ret = Some coeff;
+    s_locals = [ ("acc", int_ty 36) ];
+    s_body =
+      [
+        assign "acc" (Bin (Mul, v "coef_q", v "n_prev" +: v "n_next"));
+        Return (Some (v "base" +: ((v "acc" +: c 4096) >>: 13)));
+      ];
+  }
+
+let idwt97_scale_subprogram =
+  {
+    s_name = "scale_97";
+    s_params = [ ("value", coeff); ("factor_q", wide) ];
+    s_ret = Some coeff;
+    s_locals = [ ("prod", int_ty 36) ];
+    s_body =
+      [
+        assign "prod" (Bin (Mul, v "value", v "factor_q"));
+        Return (Some ((v "prod" +: c 4096) >>: 13));
+      ];
+  }
+
+(* One lifting sweep over the interleaved line buffer: for every
+   index of the given parity, base += coef * (neighbours). *)
+let lift_loop ~loop_var ~parity ~coef_q =
+  let pos = Bin (Add, Bin (Shl, idx loop_var 0, c 1), c parity) in
+  ignore pos;
+  For
+    ( loop_var,
+      0,
+      blocks - 1,
+      List.concat_map
+        (fun lane ->
+          let p = Bin (Add, Bin (Shl, idx loop_var lane, c 1), c parity) in
+          let prev = Bin (Sub, p, c 1) in
+          let next = Bin (Add, p, c 1) in
+          let guard_lo = parity = 0 && lane = 0 in
+          let guard_hi = parity = 1 && lane = lanes - 1 in
+          let neighbour_prev =
+            if guard_lo then
+              [
+                If
+                  ( Bin (Eq, v loop_var, c 0),
+                    [ assign "n_prev" (Arr ("line", next)) ],
+                    [ assign "n_prev" (Arr ("line", prev)) ] );
+              ]
+            else [ assign "n_prev" (Arr ("line", prev)) ]
+          in
+          let neighbour_next =
+            if guard_hi then
+              [
+                If
+                  ( Bin (Eq, v loop_var, c (blocks - 1)),
+                    [ assign "n_next" (Arr ("line", prev)) ],
+                    [ assign "n_next" (Arr ("line", next)) ] );
+              ]
+            else [ assign "n_next" (Arr ("line", next)) ]
+          in
+          neighbour_prev @ neighbour_next
+          @ [
+              assign_arr "line" p
+                (Call
+                   ( "lift_97",
+                     [ Arr ("line", p); v "n_prev"; v "n_next"; c coef_q ] ));
+            ])
+        [ 0; 1; 2; 3 ]
+      @ [ Wait ] )
+
+let idwt97_process_line =
+  {
+    s_name = "process_line_97";
+    s_params = [ ("dir", flag) ];
+    s_ret = None;
+    s_locals = [ ("n_prev", coeff); ("n_next", coeff) ];
+    s_body =
+      load_loops
+      @ [
+          (* Undo the K scaling while interleaving into the line buffer. *)
+          For
+            ( "si",
+              0,
+              blocks - 1,
+              List.concat_map
+                (fun lane ->
+                  let cur = idx "si" lane in
+                  [
+                    assign_arr "line"
+                      (Bin (Shl, cur, c 1))
+                      (Call ("scale_97", [ Arr ("low", cur); c q_k ]));
+                    assign_arr "line"
+                      (Bin (Add, Bin (Shl, cur, c 1), c 1))
+                      (Call ("scale_97", [ Arr ("high", cur); c q_inv_k ]));
+                  ])
+                [ 0; 1; 2; 3 ]
+              @ [ Wait ] );
+          (* Four inverse lifting sweeps: -delta, -gamma, -beta, -alpha. *)
+          lift_loop ~loop_var:"l1" ~parity:0 ~coef_q:(-q_delta);
+          lift_loop ~loop_var:"l2" ~parity:1 ~coef_q:(-q_gamma);
+          (* alpha and beta are themselves negative, so undoing them
+             adds the positive fixed-point constants. *)
+          lift_loop ~loop_var:"l3" ~parity:0 ~coef_q:q_beta;
+          lift_loop ~loop_var:"l4" ~parity:1 ~coef_q:q_alpha;
+        ]
+      @ drain_loop;
+  }
+
+let idwt97_systemc =
+  {
+    m_name = "idwt97";
+    m_ports =
+      [
+        ("start", Pin, flag);
+        ("data_in", Pin, coeff);
+        ("data_out", Pout, coeff);
+        ("done_port", Pout, flag);
+      ];
+    m_vars = [ ("done_flag", flag); ("out_word", coeff) ];
+    m_arrays =
+      [
+        ("low", coeff, line_buffer_length);
+        ("high", coeff, line_buffer_length);
+        ("line", coeff, 2 * line_buffer_length);
+      ];
+    m_subprograms =
+      [ idwt97_lift_subprogram ~name:"lift_97"; idwt97_scale_subprogram;
+        idwt97_process_line ];
+    m_body =
+      wait_for_start
+      @ [
+          For ("row", 0, 127, [ Call_p ("process_line_97", [ c 0 ]); Wait ]);
+          For ("col", 0, 127, [ Call_p ("process_line_97", [ c 1 ]); Wait ]);
+        ]
+      @ finish_frame;
+  }
+
+(* -- hand-crafted reference designs ----------------------------------
+
+   Classic two-process style: a small control FSM plus a datapath
+   process; the filter arithmetic stays in VHDL functions; the
+   4-lane datapath instantiates its operators side by side (no
+   cross-state sharing — which is what the Flat area estimate
+   models). *)
+
+open Rtl.Vhdl
+
+let signed16 = Signed_v 16
+let signed18 = Signed_v 18
+
+let ref_common_types =
+  [
+    Enum_d
+      ( "state_t",
+        [ "st_idle"; "st_load_low"; "st_load_high"; "st_even"; "st_odd";
+          "st_lift"; "st_drain"; "st_next_line"; "st_done" ] );
+    Array_d ("buf_t", line_buffer_length, signed16);
+    Array_d ("line_t", 2 * line_buffer_length, signed16);
+  ]
+
+let ref_common_signals =
+  [
+    Signal_d ("state", Enum_ref "state_t", Some (Name "st_idle"));
+    Signal_d ("low_buf", Array_ref "buf_t", None);
+    Signal_d ("high_buf", Array_ref "buf_t", None);
+    Signal_d ("line_buf", Array_ref "line_t", None);
+    Signal_d ("i", Integer_range (0, 255), Some (Int_lit 0));
+    Signal_d ("row", Integer_range (0, 255), Some (Int_lit 0));
+    Signal_d ("dir", Std_logic, Some (Bit_lit '0'));
+    Signal_d ("phase", Integer_range (0, 7), Some (Int_lit 0));
+  ]
+
+let ref_ports =
+  [
+    { port_name = "clk"; dir = In; ptype = Std_logic };
+    { port_name = "reset"; dir = In; ptype = Std_logic };
+    { port_name = "start"; dir = In; ptype = Std_logic };
+    { port_name = "data_in"; dir = In; ptype = signed16 };
+    { port_name = "data_out"; dir = Out; ptype = signed16 };
+    { port_name = "done_port"; dir = Out; ptype = Std_logic };
+  ]
+
+(* Shared control FSM: counters and state transitions only. *)
+let ref_control_process ~lift_phases =
+  let next_counter limit next_state =
+    [
+      If_s
+        ( [
+            ( Binop ("=", Name "i", Int_lit (limit - 1)),
+              [ Sig_assign ("i", Int_lit 0); Sig_assign ("state", Name next_state) ]
+            );
+          ],
+          [ Sig_assign ("i", Binop ("+", Name "i", Int_lit 1)) ] );
+    ]
+  in
+  let lift_transition =
+    if lift_phases = 0 then
+      (* 5/3: even then odd pass. *)
+      [
+        ("st_even", next_counter blocks "st_odd");
+        ("st_odd", next_counter blocks "st_drain");
+      ]
+    else
+      (* 9/7: scaling pass then [lift_phases] lifting sweeps. *)
+      [
+        ("st_even", next_counter blocks "st_lift");
+        ( "st_lift",
+          [
+            If_s
+              ( [
+                  ( Binop ("=", Name "i", Int_lit (blocks - 1)),
+                    [
+                      Sig_assign ("i", Int_lit 0);
+                      If_s
+                        ( [
+                            ( Binop ("=", Name "phase", Int_lit (lift_phases - 1)),
+                              [
+                                Sig_assign ("phase", Int_lit 0);
+                                Sig_assign ("state", Name "st_drain");
+                              ] );
+                          ],
+                          [
+                            Sig_assign
+                              ("phase", Binop ("+", Name "phase", Int_lit 1));
+                          ] );
+                    ] );
+                ],
+                [ Sig_assign ("i", Binop ("+", Name "i", Int_lit 1)) ] );
+          ] );
+        ("st_odd", [ Sig_assign ("state", Name "st_drain") ]);
+      ]
+  in
+  clocked_process ~name:"control"
+    [
+      If_s
+        ( [
+            ( Binop ("=", Name "reset", Bit_lit '1'),
+              [
+                Sig_assign ("state", Name "st_idle");
+                Sig_assign ("i", Int_lit 0);
+                Sig_assign ("row", Int_lit 0);
+                Sig_assign ("phase", Int_lit 0);
+                Sig_assign ("done_port", Bit_lit '0');
+              ] );
+            ( Call_e ("rising_edge", [ Name "clk" ]),
+              [
+                Case_s
+                  ( Name "state",
+                    [
+                      ( "st_idle",
+                        [
+                          Sig_assign ("done_port", Bit_lit '0');
+                          If_s
+                            ( [
+                                ( Binop ("=", Name "start", Bit_lit '1'),
+                                  [ Sig_assign ("state", Name "st_load_low") ] );
+                              ],
+                              [] );
+                        ] );
+                      ("st_load_low", next_counter blocks "st_load_high");
+                      ("st_load_high", next_counter blocks "st_even");
+                    ]
+                    @ lift_transition
+                    @ [
+                        ("st_drain", next_counter (2 * blocks) "st_next_line");
+                        ( "st_next_line",
+                          [
+                            If_s
+                              ( [
+                                  ( Binop ("=", Name "row", Int_lit 255),
+                                    [
+                                      Sig_assign ("row", Int_lit 0);
+                                      Sig_assign ("state", Name "st_done");
+                                    ] );
+                                ],
+                                [
+                                  Sig_assign
+                                    ("row", Binop ("+", Name "row", Int_lit 1));
+                                  Sig_assign ("state", Name "st_load_low");
+                                ] );
+                          ] );
+                        ( "st_done",
+                          [
+                            Sig_assign ("done_port", Bit_lit '1');
+                            Sig_assign ("state", Name "st_idle");
+                          ] );
+                      ] );
+              ] );
+          ],
+          [] );
+    ]
+
+let lane_index lane = Binop ("+", Call_e ("to_integer", [ Name "i" ]), Int_lit lane)
+
+(* The 5/3 datapath: loads, the two reconstruction passes (4 lanes in
+   parallel, calling the VHDL filter functions), and the drain. *)
+let ref53_datapath =
+  let even_lane lane =
+    Idx_sig_assign
+      ( "line_buf",
+        Binop ("*", Paren (lane_index lane), Int_lit 2),
+        Call_e
+          ( "f_update_even",
+            [
+              Indexed ("low_buf", lane_index lane);
+              Indexed ("high_buf", Binop ("-", lane_index lane, Int_lit 1));
+              Indexed ("high_buf", lane_index lane);
+            ] ) )
+  in
+  let odd_lane lane =
+    Idx_sig_assign
+      ( "line_buf",
+        Binop ("+", Paren (Binop ("*", Paren (lane_index lane), Int_lit 2)), Int_lit 1),
+        Call_e
+          ( "f_predict_odd",
+            [
+              Indexed ("high_buf", lane_index lane);
+              Indexed ("line_buf", Binop ("*", Paren (lane_index lane), Int_lit 2));
+              Indexed
+                ( "line_buf",
+                  Binop ("+", Paren (Binop ("*", Paren (lane_index lane), Int_lit 2)), Int_lit 2)
+                );
+            ] ) )
+  in
+  clocked_process ~name:"datapath"
+    [
+      If_s
+        ( [
+            ( Call_e ("rising_edge", [ Name "clk" ]),
+              [
+                Case_s
+                  ( Name "state",
+                    [
+                      ("st_idle", []);
+                      ( "st_load_low",
+                        List.init lanes (fun lane ->
+                            Idx_sig_assign ("low_buf", lane_index lane, Name "data_in"))
+                      );
+                      ( "st_load_high",
+                        List.init lanes (fun lane ->
+                            Idx_sig_assign ("high_buf", lane_index lane, Name "data_in"))
+                      );
+                      ("st_even", List.init lanes even_lane);
+                      ("st_odd", List.init lanes odd_lane);
+                      ("st_lift", []);
+                      ( "st_drain",
+                        [
+                          Sig_assign
+                            ( "data_out",
+                              Indexed
+                                ( "line_buf",
+                                  Binop
+                                    ( "*",
+                                      Call_e ("to_integer", [ Name "i" ]),
+                                      Int_lit 2 ) ) );
+                        ] );
+                      ("st_next_line", []);
+                      ("st_done", []);
+                    ] );
+              ] );
+          ],
+          [] );
+    ]
+
+let ref53_functions =
+  [
+    Function_d
+      {
+        f_name = "f_update_even";
+        f_params = [ ("s_c", signed16); ("d_prev", signed16); ("d_cur", signed16) ];
+        f_ret = signed16;
+        f_decls = [ Variable_d ("sum", signed18, None) ];
+        f_body =
+          [
+            Var_assign
+              ( "sum",
+                Binop
+                  ( "+",
+                    Binop ("+", Call_e ("resize", [ Name "d_prev"; Int_lit 18 ]), Name "d_cur"),
+                    Int_lit 2 ) );
+            Return_s
+              (Call_e
+                 ( "resize",
+                   [
+                     Binop ("-", Name "s_c", Call_e ("shift_right", [ Name "sum"; Int_lit 2 ]));
+                     Int_lit 16;
+                   ] ));
+          ];
+      };
+    Function_d
+      {
+        f_name = "f_predict_odd";
+        f_params = [ ("d_c", signed16); ("e_prev", signed16); ("e_next", signed16) ];
+        f_ret = signed16;
+        f_decls = [ Variable_d ("sum", signed18, None) ];
+        f_body =
+          [
+            Var_assign
+              ("sum", Binop ("+", Call_e ("resize", [ Name "e_prev"; Int_lit 18 ]), Name "e_next"));
+            Return_s
+              (Call_e
+                 ( "resize",
+                   [
+                     Binop ("+", Name "d_c", Call_e ("shift_right", [ Name "sum"; Int_lit 1 ]));
+                     Int_lit 16;
+                   ] ));
+          ];
+      };
+  ]
+
+let idwt53_reference =
+  {
+    entity = { ent_name = "idwt53_ref"; ports = ref_ports };
+    architecture =
+      {
+        arch_name = "rtl";
+        arch_decls = ref_common_types @ ref53_functions @ ref_common_signals;
+        processes = [ ref_control_process ~lift_phases:0; ref53_datapath ];
+      };
+  }
+
+(* The 9/7 datapath: K scaling on load interleave, then one lifting
+   sweep per phase. The hand-crafted design spends area for speed:
+   eight lanes of dedicated multipliers, twice the behavioural
+   model's parallelism (the classic hand-RTL trade-off the paper's
+   reference embodies). *)
+let ref97_functions =
+  [
+    Function_d
+      {
+        f_name = "f_lift";
+        f_params =
+          [ ("base", signed16); ("n_prev", signed16); ("n_next", signed16);
+            ("coef_q", signed18) ];
+        f_ret = signed16;
+        f_decls = [ Variable_d ("acc", Signed_v 36, None) ];
+        f_body =
+          [
+            Var_assign
+              ( "acc",
+                Binop
+                  ( "*",
+                    Name "coef_q",
+                    Paren (Binop ("+", Call_e ("resize", [ Name "n_prev"; Int_lit 18 ]), Name "n_next"))
+                  ) );
+            Return_s
+              (Call_e
+                 ( "resize",
+                   [
+                     Binop
+                       ( "+",
+                         Name "base",
+                         Call_e
+                           ( "shift_right",
+                             [ Binop ("+", Name "acc", Int_lit 4096); Int_lit 13 ] ) );
+                     Int_lit 16;
+                   ] ));
+          ];
+      };
+    Function_d
+      {
+        f_name = "f_scale";
+        f_params = [ ("value", signed16); ("factor_q", signed18) ];
+        f_ret = signed16;
+        f_decls = [ Variable_d ("prod", Signed_v 36, None) ];
+        f_body =
+          [
+            Var_assign ("prod", Binop ("*", Name "value", Name "factor_q"));
+            Return_s
+              (Call_e
+                 ( "resize",
+                   [
+                     Call_e
+                       ( "shift_right",
+                         [ Binop ("+", Name "prod", Int_lit 4096); Int_lit 13 ] );
+                     Int_lit 16;
+                   ] ));
+          ];
+      };
+  ]
+
+let ref97_datapath =
+  let scale_lane lane =
+    [
+      Idx_sig_assign
+        ( "line_buf",
+          Binop ("*", Paren (lane_index lane), Int_lit 2),
+          Call_e ("f_scale", [ Indexed ("low_buf", lane_index lane); Name "c_k" ]) );
+      Idx_sig_assign
+        ( "line_buf",
+          Binop ("+", Paren (Binop ("*", Paren (lane_index lane), Int_lit 2)), Int_lit 1),
+          Call_e
+            ("f_scale", [ Indexed ("high_buf", lane_index lane); Name "c_inv_k" ]) );
+    ]
+  in
+  let lift_lane lane =
+    let pos = Binop ("+", Binop ("*", Paren (lane_index lane), Int_lit 2), Name "parity") in
+    Idx_sig_assign
+      ( "line_buf",
+        pos,
+        Call_e
+          ( "f_lift",
+            [
+              Indexed ("line_buf", pos);
+              Indexed ("line_buf", Binop ("-", pos, Int_lit 1));
+              Indexed ("line_buf", Binop ("+", pos, Int_lit 1));
+              Name "coef_q";
+            ] ) )
+  in
+  clocked_process ~name:"datapath"
+    [
+      If_s
+        ( [
+            ( Call_e ("rising_edge", [ Name "clk" ]),
+              [
+                Case_s
+                  ( Name "state",
+                    [
+                      ("st_idle", []);
+                      ( "st_load_low",
+                        List.init lanes (fun lane ->
+                            Idx_sig_assign ("low_buf", lane_index lane, Name "data_in"))
+                      );
+                      ( "st_load_high",
+                        List.init lanes (fun lane ->
+                            Idx_sig_assign ("high_buf", lane_index lane, Name "data_in"))
+                      );
+                      ( "st_even",
+                        List.concat_map scale_lane [ 0; 1; 2; 3; 4; 5; 6; 7 ] );
+                      ("st_odd", []);
+                      ("st_lift", List.init (2 * lanes) lift_lane);
+                      ( "st_drain",
+                        [
+                          Sig_assign
+                            ( "data_out",
+                              Indexed
+                                ( "line_buf",
+                                  Binop
+                                    ( "*",
+                                      Call_e ("to_integer", [ Name "i" ]),
+                                      Int_lit 2 ) ) );
+                        ] );
+                      ("st_next_line", []);
+                      ("st_done", []);
+                    ] );
+              ] );
+          ],
+          [] );
+    ]
+
+(* Combinational phase decode: lifting coefficient and parity per
+   sweep. *)
+let ref97_phase_decode =
+  combinational_process ~name:"phase_decode" ~sensitivity:[ "phase" ]
+    [
+      Case_s
+        ( Name "phase",
+          [
+            ( "0",
+              [
+                Sig_assign ("coef_q", Call_e ("to_signed", [ Int_lit (-3633); Int_lit 18 ]));
+                Sig_assign ("parity", Int_lit 0);
+              ] );
+            ( "1",
+              [
+                Sig_assign ("coef_q", Call_e ("to_signed", [ Int_lit (-7233); Int_lit 18 ]));
+                Sig_assign ("parity", Int_lit 1);
+              ] );
+            ( "2",
+              [
+                Sig_assign ("coef_q", Call_e ("to_signed", [ Int_lit 434; Int_lit 18 ]));
+                Sig_assign ("parity", Int_lit 0);
+              ] );
+            ( "others",
+              [
+                Sig_assign ("coef_q", Call_e ("to_signed", [ Int_lit 12994; Int_lit 18 ]));
+                Sig_assign ("parity", Int_lit 1);
+              ] );
+          ] );
+    ]
+
+let idwt97_reference =
+  {
+    entity = { ent_name = "idwt97_ref"; ports = ref_ports };
+    architecture =
+      {
+        arch_name = "rtl";
+        arch_decls =
+          ref_common_types @ ref97_functions @ ref_common_signals
+          @ [
+              Constant_d ("c_k", signed18, Call_e ("to_signed", [ Int_lit 10079; Int_lit 18 ]));
+              Constant_d
+                ("c_inv_k", signed18, Call_e ("to_signed", [ Int_lit 6659; Int_lit 18 ]));
+              Signal_d ("coef_q", signed18, None);
+              Signal_d ("parity", Integer_range (0, 1), Some (Int_lit 0));
+            ];
+        processes =
+          [ ref_control_process ~lift_phases:4; ref97_datapath; ref97_phase_decode ];
+      };
+  }

@@ -1,0 +1,29 @@
+(** The synthesisable IDWT cores of Section 4.
+
+    Two artefact pairs, as in the paper:
+
+    - the {e behavioural} models ({!idwt53_systemc}, {!idwt97_systemc}):
+      line-based inverse-lifting engines written in FOSSY's
+      synthesisable subset ("the synthesisable SystemC IDWT models"),
+      with the filter arithmetic factored into functions/procedures
+      and an explicit control structure — the input to FOSSY;
+    - the {e hand-crafted reference} designs ({!idwt53_reference},
+      {!idwt97_reference}): RTL VHDL in the classic two-process style
+      (control FSM + datapath with functions kept as VHDL
+      subprograms), against which the paper compares the FOSSY
+      output.
+
+    The 5/3 core is pure adder/shifter datapath; the 9/7 core adds
+    the four fixed-point lifting multipliers (α, β, γ, δ) and the K
+    scalers, which is what makes operator sharing profitable — and
+    is why FOSSY's single-FSM output comes out smaller but slower
+    for the 9/7 (Table 2). *)
+
+val line_buffer_length : int
+(** Maximum line length the cores process (one tile row/column). *)
+
+val idwt53_systemc : Fossy.Hir.module_def
+val idwt97_systemc : Fossy.Hir.module_def
+
+val idwt53_reference : Rtl.Vhdl.design
+val idwt97_reference : Rtl.Vhdl.design

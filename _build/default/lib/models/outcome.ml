@@ -1,0 +1,19 @@
+type t = {
+  version : string;
+  mode : Profile.mode;
+  decode_ms : float;
+  idwt_ms : float;
+  idwt_calls : int;
+  functional_ok : bool option;
+}
+
+let speedup_vs baseline r = baseline.decode_ms /. r.decode_ms
+let idwt_speedup_vs baseline r = baseline.idwt_ms /. r.idwt_ms
+
+let pp fmt r =
+  Format.fprintf fmt "v%s %a: decode %.1f ms, IDWT %.1f ms%s" r.version
+    Jpeg2000.Codestream.pp_mode r.mode r.decode_ms r.idwt_ms
+    (match r.functional_ok with
+    | None -> ""
+    | Some true -> " [functionally correct]"
+    | Some false -> " [FUNCTIONAL MISMATCH]")

@@ -1,0 +1,19 @@
+(** Result of one system-model run (one Table 1 cell pair). *)
+
+type t = {
+  version : string;  (** "1", "2", ..., "6a", "7b" *)
+  mode : Profile.mode;
+  decode_ms : float;  (** total decoding time for the 16-tile workload *)
+  idwt_ms : float;  (** union of IDWT activity intervals *)
+  idwt_calls : int;
+  functional_ok : bool option;
+      (** [Some true] when the payload decoded bit-identically to the
+          reference decoder; [None] for timing-only runs *)
+}
+
+val speedup_vs : t -> t -> float
+(** [speedup_vs baseline r]: how much faster [r] decodes. *)
+
+val idwt_speedup_vs : t -> t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,104 @@
+let default_bus_max_burst = 32
+
+(* Explicit memory insertion: the HW/SW Shared Object's tile arrays
+   become a 32-bit-data, 16-bit-address block RAM (the paper's
+   xilinx_block_ram<osss_array<...>, 32, 16>). One streaming pass of
+   the IDWT working set over that memory costs its burst time. *)
+let make_rig kernel ~sw_tasks ~idwt_p2p ~bus_max_burst ~mode =
+  let bus =
+    Osss.Bus.create kernel ~name:"opb" ~clock_hz:Profile.clock_hz
+      ~max_burst_words:bus_max_burst ()
+  in
+  let bram =
+    Osss.Memory.xilinx_block_ram kernel ~name:"hwsw_so_ram" ~data_width:32
+      ~addr_width:16 ~clock_hz:Profile.clock_hz ()
+  in
+  let processors =
+    Array.init sw_tasks (fun i ->
+        Osss.Processor.create kernel
+          ~name:(Printf.sprintf "microblaze%d" i)
+          ~clock_hz:Profile.clock_hz ())
+  in
+  let sw_links =
+    Array.init sw_tasks (fun i ->
+        Decoder_system.Rmi
+          (Osss.Channel.bus_transport bus
+             (Osss.Bus.attach_master bus ~name:(Printf.sprintf "microblaze%d" i))))
+  in
+  let idwt_link =
+    if idwt_p2p then
+      Decoder_system.Rmi (Osss.Channel.p2p kernel ~clock_hz:Profile.clock_hz ())
+    else
+      Decoder_system.Rmi
+        (Osss.Channel.bus_transport bus
+           (Osss.Bus.attach_master bus ~name:"idwt_blocks"))
+  in
+  let params_link =
+    Decoder_system.Rmi (Osss.Channel.p2p kernel ~clock_hz:Profile.clock_hz ())
+  in
+  {
+    Decoder_system.link_sw = (fun i -> sw_links.(i));
+    link_idwt = idwt_link;
+    link_params = params_link;
+    map_task = (fun i task -> Osss.Sw_task.map_to_processor task processors.(i));
+    coeff_buffer_pass = (fun ~words -> Osss.Memory.access_time bram ~words);
+    payload_words = Profile.nominal_tile_words mode;
+    (* At the VTA the Shared-Object arbitration is the cycle-accurate
+       channel/arbiter model; the software run-time keeps only a
+       fixed request-setup cost. *)
+    sw_grant_overhead =
+      (fun ~clients:_ -> Sim.Sim_time.cycles ~hz:Profile.clock_hz 20);
+  }
+
+let run_custom ?(bus_max_burst = default_bus_max_burst) ?so_policy ~version
+    ~sw_tasks ~idwt_p2p w =
+  Decoder_system.run_pipeline ~version ~sw_tasks
+    ~rig:(fun kernel ->
+      make_rig kernel ~sw_tasks ~idwt_p2p ~bus_max_burst ~mode:(Workload.mode w))
+    ?so_policy w
+
+let run version ~sw_tasks ~idwt_p2p w = run_custom ~version ~sw_tasks ~idwt_p2p w
+
+let v6a w = run "6a" ~sw_tasks:1 ~idwt_p2p:false w
+let v6b w = run "6b" ~sw_tasks:1 ~idwt_p2p:true w
+let v7a w = run "7a" ~sw_tasks:App_models.sw_parallel_tasks ~idwt_p2p:false w
+let v7b w = run "7b" ~sw_tasks:App_models.sw_parallel_tasks ~idwt_p2p:true w
+
+let mapping ~sw_tasks ~idwt_p2p =
+  let vta = Osss.Vta.create Osss.Platform.ml401 in
+  for i = 0 to sw_tasks - 1 do
+    Osss.Vta.map_task vta
+      ~task:(Printf.sprintf "decoder%d" i)
+      ~processor:(Printf.sprintf "microblaze%d" i)
+  done;
+  List.iter
+    (fun m -> Osss.Vta.map_module vta ~module_name:m ~block:(m ^ "_block"))
+    [ "idwt2d"; "idwt53"; "idwt97" ];
+  for i = 0 to sw_tasks - 1 do
+    Osss.Vta.map_link vta
+      ~link:(Printf.sprintf "decoder%d->hwsw_so" i)
+      ~channel:"opb" ~kind:Osss.Vta.Shared_bus
+  done;
+  (if idwt_p2p then
+     List.iteri
+       (fun i m ->
+         Osss.Vta.map_link vta ~link:(m ^ "->hwsw_so")
+           ~channel:(Printf.sprintf "p2p%d" i)
+           ~kind:Osss.Vta.Point_to_point)
+       [ "idwt2d"; "idwt53"; "idwt97" ]
+   else
+     List.iter
+       (fun m ->
+         Osss.Vta.map_link vta ~link:(m ^ "->hwsw_so") ~channel:"opb"
+           ~kind:Osss.Vta.Shared_bus)
+       [ "idwt2d"; "idwt53"; "idwt97" ]);
+  List.iter
+    (fun m ->
+      Osss.Vta.map_link vta ~link:(m ^ "->params_so")
+        ~channel:("params_" ^ m)
+        ~kind:Osss.Vta.Point_to_point)
+    [ "idwt2d"; "idwt53"; "idwt97" ];
+  (match Osss.Vta.validate vta with
+  | Ok () -> ()
+  | Error es -> failwith ("Vta_models.mapping: " ^ String.concat "; " es));
+  vta

@@ -1,0 +1,33 @@
+(** The Virtual-Target-Architecture models (Table 1, lower half).
+
+    The behavioural structures of versions 3 and 5 refined onto the
+    ML401 platform: Software Tasks mapped onto 100 MHz MicroBlaze
+    processors, tile payloads serialised into 32-bit words, the
+    HW/SW Shared Object's arrays inserted into a 32-bit × 16-bit
+    block RAM, and the communication links mapped per model:
+
+    - 6a: version 3; every link to the HW/SW SO on the shared OPB;
+    - 6b: version 3; the IDWT blocks reach the HW/SW SO over
+      dedicated point-to-point channels instead;
+    - 7a: version 5 (4 MicroBlazes), all HW/SW SO links on the OPB;
+    - 7b: version 5 with the IDWT point-to-point channels of 6b. *)
+
+val run_custom :
+  ?bus_max_burst:int ->
+  ?so_policy:Osss.Arbiter.policy ->
+  version:string ->
+  sw_tasks:int ->
+  idwt_p2p:bool ->
+  Workload.t ->
+  Outcome.t
+(** Parameterised VTA run for architecture exploration (the
+    [bus_contention] example sweeps the OPB burst length with it). *)
+
+val v6a : Workload.t -> Outcome.t
+val v6b : Workload.t -> Outcome.t
+val v7a : Workload.t -> Outcome.t
+val v7b : Workload.t -> Outcome.t
+
+val mapping : sw_tasks:int -> idwt_p2p:bool -> Osss.Vta.t
+(** The declarative VTA mapping registry for the given configuration
+    (validated; used by platform generation and shown by the CLI). *)

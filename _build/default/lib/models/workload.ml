@@ -1,0 +1,136 @@
+type slot = {
+  mutable decoded : Jpeg2000.Decoder.entropy_decoded option;
+  mutable wavelet : Jpeg2000.Decoder.wavelet_domain option;
+  mutable spatial : Jpeg2000.Decoder.wavelet_domain option;
+  mutable finished : Jpeg2000.Tile.t option;
+  mutable stage_reached : int;
+}
+
+type payload = {
+  header : Jpeg2000.Codestream.header;
+  segments : Jpeg2000.Codestream.tile_segment array;
+  reference : Jpeg2000.Image.t;
+  slots : slot array;
+}
+
+type t = { w_mode : Profile.mode; w_tiles : int; payload : payload option }
+
+let make_payload mode =
+  let image =
+    Jpeg2000.Image.smooth ~width:128 ~height:128 ~components:Profile.components
+      ~seed:2008
+  in
+  let config =
+    {
+      Jpeg2000.Encoder.tile_w = 32;
+      tile_h = 32;
+      levels = 3;
+      mode;
+      base_step = 2.0;
+      code_block = 16;
+    }
+  in
+  let data = Jpeg2000.Encoder.encode config image in
+  let stream = Jpeg2000.Codestream.parse data in
+  let reference = Jpeg2000.Decoder.decode data in
+  let segments = Array.of_list stream.Jpeg2000.Codestream.tiles in
+  let slots =
+    Array.map
+      (fun _ ->
+        {
+          decoded = None;
+          wavelet = None;
+          spatial = None;
+          finished = None;
+          stage_reached = 0;
+        })
+      segments
+  in
+  { header = stream.Jpeg2000.Codestream.header; segments; reference; slots }
+
+let make ?(payload = true) mode =
+  {
+    w_mode = mode;
+    w_tiles = Profile.tiles;
+    payload = (if payload then Some (make_payload mode) else None);
+  }
+
+let mode t = t.w_mode
+let tile_count t = t.w_tiles
+let has_payload t = t.payload <> None
+
+let expect_stage p i expected =
+  let slot = p.slots.(i) in
+  if slot.stage_reached <> expected then
+    failwith
+      (Printf.sprintf "Workload: tile %d reached stage %d, expected %d" i
+         slot.stage_reached expected);
+  slot.stage_reached <- expected + 1
+
+let stage_decode t i =
+  match t.payload with
+  | None -> ()
+  | Some p ->
+    expect_stage p i 0;
+    p.slots.(i).decoded <-
+      Some (Jpeg2000.Decoder.entropy_decode_tile p.header p.segments.(i))
+
+let stage_iq t i =
+  match t.payload with
+  | None -> ()
+  | Some p ->
+    expect_stage p i 1;
+    (match p.slots.(i).decoded with
+    | Some ed -> p.slots.(i).wavelet <- Some (Jpeg2000.Decoder.dequantise p.header ed)
+    | None -> failwith "Workload: IQ before decode")
+
+let stage_idwt t i =
+  match t.payload with
+  | None -> ()
+  | Some p ->
+    expect_stage p i 2;
+    (match p.slots.(i).wavelet with
+    | Some wd ->
+      p.slots.(i).spatial <- Some (Jpeg2000.Decoder.inverse_wavelet p.header wd)
+    | None -> failwith "Workload: IDWT before IQ")
+
+let stage_ict_dc t i =
+  match t.payload with
+  | None -> ()
+  | Some p ->
+    expect_stage p i 3;
+    (match p.slots.(i).spatial with
+    | Some wd ->
+      p.slots.(i).finished <-
+        Some (Jpeg2000.Decoder.inverse_colour_and_shift p.header p.segments.(i) wd)
+    | None -> failwith "Workload: ICT before IDWT")
+
+let tile_payload_words t i =
+  match t.payload with
+  | None -> 0
+  | Some p ->
+    (* The entropy-decoded coefficients of the reduced tile: one word
+       per sample per component. *)
+    let seg = p.segments.(i) in
+    seg.Jpeg2000.Codestream.tile_w * seg.Jpeg2000.Codestream.tile_h
+    * Array.length seg.Jpeg2000.Codestream.comps
+
+let check t =
+  match t.payload with
+  | None -> None
+  | Some p ->
+    let all_done = Array.for_all (fun s -> s.finished <> None) p.slots in
+    if not all_done then Some false
+    else begin
+      let tiles =
+        Array.to_list (Array.map (fun s -> Option.get s.finished) p.slots)
+      in
+      let image =
+        Jpeg2000.Tile.assemble
+          ~width:(Jpeg2000.Image.width p.reference)
+          ~height:(Jpeg2000.Image.height p.reference)
+          ~components:(Jpeg2000.Image.components p.reference)
+          tiles
+      in
+      Some (Jpeg2000.Image.equal image p.reference)
+    end

@@ -1,0 +1,42 @@
+(** The Table 1 workload and its functional payload.
+
+    Table 1 measures "time needed to decode 16 tiles with 3
+    components". With [payload] enabled, a real image is encoded by
+    our own encoder and every system model performs the actual staged
+    decode (entropy decode → IQ → IDWT → ICT/DC) on genuine tile
+    data, so a mis-wired model produces a wrong image, not just wrong
+    timing. The payload image is reduced (128×128, 32×32 tiles) to
+    keep simulations fast; the timing annotations are the profiled
+    full-scale values from {!Profile}. Without [payload] the stage
+    bodies are skipped and only timing is simulated. *)
+
+type t
+
+val make : ?payload:bool -> Profile.mode -> t
+(** 16 tiles, 3 components. [payload] defaults to [true]. *)
+
+val mode : t -> Profile.mode
+val tile_count : t -> int
+val has_payload : t -> bool
+
+(** {1 Stage bodies}
+
+    Each takes a tile index. They are pure bookkeeping on internal
+    slot arrays — the models wrap them in EETs, Shared-Object calls
+    and channels. Without payload they are no-ops. Stages must be
+    invoked in order per tile; violations raise [Failure], so a model
+    with broken synchronisation fails loudly. *)
+
+val stage_decode : t -> int -> unit
+val stage_iq : t -> int -> unit
+val stage_idwt : t -> int -> unit
+val stage_ict_dc : t -> int -> unit
+
+val tile_payload_words : t -> int -> int
+(** Serialised size of the (reduced) tile's entropy-decoded data —
+    the functional part of a tile transfer. *)
+
+val check : t -> bool option
+(** After a run: [Some true] if all tiles went through all stages and
+    the assembled image equals the reference decoder's output;
+    [None] when running without payload. *)

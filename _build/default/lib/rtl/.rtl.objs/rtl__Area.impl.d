@@ -1,0 +1,1 @@
+lib/rtl/area.ml: Float Format List Netlist Stdlib

@@ -1,0 +1,1 @@
+lib/rtl/area.mli: Format Netlist

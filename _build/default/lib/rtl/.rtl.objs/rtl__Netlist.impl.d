@@ -1,0 +1,1 @@
+lib/rtl/netlist.ml: Format Hashtbl Int List Map Option Stdlib String Vhdl

@@ -1,0 +1,1 @@
+lib/rtl/timing_model.ml: Area List Netlist Stdlib

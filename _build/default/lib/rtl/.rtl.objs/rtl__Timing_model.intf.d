@@ -1,0 +1,1 @@
+lib/rtl/timing_model.mli: Area Netlist

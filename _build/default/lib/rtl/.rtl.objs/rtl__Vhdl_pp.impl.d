@@ -1,0 +1,1 @@
+lib/rtl/vhdl_pp.ml: Buffer Format List Printf String Vhdl

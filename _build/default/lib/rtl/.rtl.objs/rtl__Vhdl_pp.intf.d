@@ -1,0 +1,1 @@
+lib/rtl/vhdl_pp.mli: Format Vhdl

@@ -1,0 +1,45 @@
+let routing_factor = 1.45
+let lut_level_ns = 0.40
+let clock_overhead_ns = 1.1 (* clock-to-out + setup *)
+
+(* RTL synthesis retimes and restructures long arithmetic chains
+   (carry-select rewriting, multiplier pipelining within the cycle
+   budget); the raw statement-level chain over-estimates the
+   achieved path by roughly this factor. *)
+let retiming_credit = 0.20
+
+let log2_ceil v =
+  let rec bits n acc = if n <= 1 then acc else bits ((n + 1) / 2) (acc + 1) in
+  bits (Stdlib.max 1 v) 0
+
+(* State decode: a LUT4 tree absorbs 4 state-register bits per level. *)
+let fsm_decode_ns (s : Netlist.summary) =
+  let levels = (log2_ceil s.Netlist.state_count + 3) / 4 in
+  float_of_int levels *. lut_level_ns
+
+(* Operand-selection muxes in front of shared operators. Only the
+   expensive operators (multipliers) are worth sharing at the cost of
+   path length, so the penalty follows the multiplier fold ratio. *)
+let sharing_mux_levels (s : Netlist.summary) =
+  let muls counts =
+    List.fold_left
+      (fun acc (o : Netlist.op_count) ->
+        if o.kind = Netlist.Mul then acc + o.count else acc)
+      0 counts
+  in
+  let total = muls s.Netlist.ops_total in
+  let shared = muls s.Netlist.ops_shared in
+  if shared = 0 || total <= shared then 0
+  else (log2_ceil ((total + shared - 1) / shared) + 1) / 2
+
+let critical_path_ns ~sharing (s : Netlist.summary) =
+  let mux_in =
+    match sharing with
+    | Area.Flat -> 0.0
+    | Area.Shared -> float_of_int (sharing_mux_levels s) *. lut_level_ns *. 2.0
+  in
+  (((s.Netlist.critical_path_ns *. retiming_credit) +. fsm_decode_ns s +. mux_in)
+  *. routing_factor)
+  +. clock_overhead_ns
+
+let estimate_mhz ~sharing s = 1000.0 /. critical_path_ns ~sharing s

@@ -1,0 +1,13 @@
+(** Virtex-4 timing model: estimated maximum clock frequency.
+
+    The critical path of a synthesised FSM is the longest operator
+    chain of any state, plus FSM decode, plus — in resource-shared
+    designs — the operand multiplexers in front of shared operators,
+    all inflated by a routing factor. Sharing therefore trades area
+    for clock speed, which is exactly the IDWT97 trade-off Table 2
+    reports (FOSSY 15 % smaller but 28 % slower). *)
+
+val estimate_mhz : sharing:Area.sharing -> Netlist.summary -> float
+(** Estimated post-synthesis f_max in MHz. *)
+
+val critical_path_ns : sharing:Area.sharing -> Netlist.summary -> float

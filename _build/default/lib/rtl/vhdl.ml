@@ -1,0 +1,84 @@
+type direction = In | Out
+
+type vtype =
+  | Std_logic
+  | Signed_v of int
+  | Unsigned_v of int
+  | Integer_range of int * int
+  | Enum_ref of string
+  | Array_ref of string
+
+type expr =
+  | Int_lit of int
+  | Bit_lit of char
+  | Name of string
+  | Indexed of string * expr
+  | Binop of string * expr * expr
+  | Unop of string * expr
+  | Call_e of string * expr list
+  | Paren of expr
+
+type seq_stmt =
+  | Sig_assign of string * expr
+  | Var_assign of string * expr
+  | Idx_sig_assign of string * expr * expr
+  | Idx_var_assign of string * expr * expr
+  | If_s of (expr * seq_stmt list) list * seq_stmt list
+  | Case_s of expr * (string * seq_stmt list) list
+  | For_s of string * int * int * seq_stmt list
+  | Proc_call of string * expr list
+  | Return_s of expr
+  | Null_s
+  | Comment of string
+
+type decl =
+  | Signal_d of string * vtype * expr option
+  | Variable_d of string * vtype * expr option
+  | Constant_d of string * vtype * expr
+  | Enum_d of string * string list
+  | Array_d of string * int * vtype
+  | Function_d of {
+      f_name : string;
+      f_params : (string * vtype) list;
+      f_ret : vtype;
+      f_decls : decl list;
+      f_body : seq_stmt list;
+    }
+  | Procedure_d of {
+      p_name : string;
+      p_params : (string * direction * vtype) list;
+      p_decls : decl list;
+      p_body : seq_stmt list;
+    }
+
+type process = {
+  proc_name : string;
+  sensitivity : string list;
+  proc_decls : decl list;
+  proc_body : seq_stmt list;
+  clocked : bool;
+}
+
+type port = { port_name : string; dir : direction; ptype : vtype }
+
+type entity = { ent_name : string; ports : port list }
+
+type architecture = {
+  arch_name : string;
+  arch_decls : decl list;
+  processes : process list;
+}
+
+type design = { entity : entity; architecture : architecture }
+
+let clocked_process ~name ?(decls = []) body =
+  {
+    proc_name = name;
+    sensitivity = [ "clk"; "reset" ];
+    proc_decls = decls;
+    proc_body = body;
+    clocked = true;
+  }
+
+let combinational_process ~name ~sensitivity ?(decls = []) body =
+  { proc_name = name; sensitivity; proc_decls = decls; proc_body = body; clocked = false }

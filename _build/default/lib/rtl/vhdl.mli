@@ -1,0 +1,89 @@
+(** VHDL abstract syntax.
+
+    The target language of FOSSY and the language of the hand-crafted
+    reference IDWT models. The subset covers what RTL synthesis flows
+    accept: entities, architectures, clocked and combinational
+    processes, functions/procedures, signals/variables, if/case/for,
+    and the numeric_std operators. *)
+
+type direction = In | Out
+
+type vtype =
+  | Std_logic
+  | Signed_v of int  (** [signed(width-1 downto 0)] *)
+  | Unsigned_v of int
+  | Integer_range of int * int
+  | Enum_ref of string  (** reference to a declared enumeration type *)
+  | Array_ref of string  (** reference to a declared array type *)
+
+type expr =
+  | Int_lit of int
+  | Bit_lit of char  (** '0' / '1' *)
+  | Name of string
+  | Indexed of string * expr
+  | Binop of string * expr * expr  (** "+", "-", "*", "=", "<", "and", ... *)
+  | Unop of string * expr
+  | Call_e of string * expr list
+  | Paren of expr
+
+type seq_stmt =
+  | Sig_assign of string * expr  (** [name <= e] *)
+  | Var_assign of string * expr  (** [name := e] *)
+  | Idx_sig_assign of string * expr * expr  (** [name(i) <= e] *)
+  | Idx_var_assign of string * expr * expr
+  | If_s of (expr * seq_stmt list) list * seq_stmt list
+      (** if/elsif chain with else branch (possibly empty) *)
+  | Case_s of expr * (string * seq_stmt list) list
+  | For_s of string * int * int * seq_stmt list
+  | Proc_call of string * expr list
+  | Return_s of expr
+  | Null_s
+  | Comment of string
+
+type decl =
+  | Signal_d of string * vtype * expr option
+  | Variable_d of string * vtype * expr option
+  | Constant_d of string * vtype * expr
+  | Enum_d of string * string list  (** [type name is (a, b, ...)] *)
+  | Array_d of string * int * vtype  (** [type name is array (0 to n-1) of t] *)
+  | Function_d of {
+      f_name : string;
+      f_params : (string * vtype) list;
+      f_ret : vtype;
+      f_decls : decl list;
+      f_body : seq_stmt list;
+    }
+  | Procedure_d of {
+      p_name : string;
+      p_params : (string * direction * vtype) list;
+      p_decls : decl list;
+      p_body : seq_stmt list;
+    }
+
+type process = {
+  proc_name : string;
+  sensitivity : string list;
+  proc_decls : decl list;  (** variables local to the process *)
+  proc_body : seq_stmt list;
+  clocked : bool;  (** rising-edge process (registers) *)
+}
+
+type port = { port_name : string; dir : direction; ptype : vtype }
+
+type entity = { ent_name : string; ports : port list }
+
+type architecture = {
+  arch_name : string;
+  arch_decls : decl list;
+  processes : process list;
+}
+
+type design = { entity : entity; architecture : architecture }
+
+val clocked_process :
+  name:string -> ?decls:decl list -> seq_stmt list -> process
+(** Standard synchronous process: sensitivity [clk, reset], body
+    wrapped by the caller in the reset/rising-edge idiom. *)
+
+val combinational_process :
+  name:string -> sensitivity:string list -> ?decls:decl list -> seq_stmt list -> process

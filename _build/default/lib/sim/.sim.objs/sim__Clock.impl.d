@@ -1,0 +1,1 @@
+lib/sim/clock.ml: Event Kernel Signal Sim_time Stdlib

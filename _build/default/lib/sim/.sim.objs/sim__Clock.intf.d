@@ -1,0 +1,1 @@
+lib/sim/clock.mli: Event Kernel Signal Sim_time

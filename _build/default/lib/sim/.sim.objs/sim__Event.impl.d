@@ -1,0 +1,1 @@
+lib/sim/event.ml: Kernel List Queue Sim_time

@@ -1,0 +1,1 @@
+lib/sim/kernel.ml: Effect Hashtbl List Option Pqueue Printf Queue Sim_time String

@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Buffer Bytes Char Event Format Kernel List Printf Signal Sim_time String

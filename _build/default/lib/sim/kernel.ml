@@ -1,0 +1,137 @@
+type t = {
+  mutable now : Sim_time.t;
+  calendar : (unit -> unit) Pqueue.t;
+  current : (unit -> unit) Queue.t;
+  next_delta : (unit -> unit) Queue.t;
+  updates : (unit -> unit) Queue.t;
+  mutable deltas : int;
+  mutable live : int;
+  unfinished : (int, string) Hashtbl.t;
+  mutable next_pid : int;
+  mutable stop_requested : bool;
+  mutable started : bool;
+}
+
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+type _ Effect.t += Self : t Effect.t
+
+let create () =
+  {
+    now = Sim_time.zero;
+    calendar = Pqueue.create ();
+    current = Queue.create ();
+    next_delta = Queue.create ();
+    updates = Queue.create ();
+    deltas = 0;
+    live = 0;
+    unfinished = Hashtbl.create 16;
+    next_pid = 0;
+    stop_requested = false;
+    started = false;
+  }
+
+let now t = t.now
+let delta_count t = t.deltas
+let live_processes t = t.live
+let schedule_now t f = Queue.push f t.current
+let schedule_delta t f = Queue.push f t.next_delta
+
+let schedule_after t d f =
+  if Sim_time.is_zero d then schedule_delta t f
+  else Pqueue.push t.calendar ~key:(Sim_time.to_ps (Sim_time.add t.now d)) f
+
+let at_update t f = Queue.push f t.updates
+let stop t = t.stop_requested <- true
+
+let spawn t ?name body =
+  t.live <- t.live + 1;
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  Hashtbl.replace t.unfinished pid
+    (Option.value name ~default:(Printf.sprintf "process-%d" pid));
+  let finished () =
+    t.live <- t.live - 1;
+    Hashtbl.remove t.unfinished pid
+  in
+  let handler =
+    {
+      Effect.Deep.retc = finished;
+      exnc = (fun exn -> finished (); raise exn);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                register (fun () -> Effect.Deep.continue k ()))
+          | Self ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                Effect.Deep.continue k t)
+          | _ -> None);
+    }
+  in
+  let start () = Effect.Deep.match_with body () handler in
+  schedule_now t start
+
+(* One delta cycle: drain the evaluation queue (actions may append
+   more), then commit updates. Returns [true] if the update phase or
+   the evaluation phase scheduled work for another delta at the same
+   time. *)
+let run_delta t =
+  while not (Queue.is_empty t.current) && not t.stop_requested do
+    let action = Queue.pop t.current in
+    action ()
+  done;
+  while not (Queue.is_empty t.updates) do
+    let update = Queue.pop t.updates in
+    update ()
+  done;
+  t.deltas <- t.deltas + 1;
+  not (Queue.is_empty t.next_delta)
+
+let run ?until t =
+  t.started <- true;
+  t.stop_requested <- false;
+  let horizon =
+    match until with None -> max_int | Some u -> Sim_time.to_ps u
+  in
+  let continue = ref true in
+  while !continue && not t.stop_requested do
+    let again = run_delta t in
+    if t.stop_requested then continue := false
+    else if again then Queue.transfer t.next_delta t.current
+    else begin
+      match Pqueue.min_key t.calendar with
+      | None -> continue := false
+      | Some key when key > horizon ->
+        (match until with Some u -> t.now <- u | None -> ());
+        continue := false
+      | Some key ->
+        t.now <- Sim_time.of_ps key;
+        let rec drain () =
+          match Pqueue.pop_le t.calendar ~key with
+          | None -> ()
+          | Some action ->
+            Queue.push action t.current;
+            drain ()
+        in
+        drain ()
+    end
+  done
+
+let live_process_names t =
+  Hashtbl.fold (fun _ name acc -> name :: acc) t.unfinished []
+  |> List.sort String.compare
+
+let self () = Effect.perform Self
+
+let suspend register = Effect.perform (Suspend register)
+
+let wait_for d =
+  let t = self () in
+  suspend (fun resume -> schedule_after t d resume)
+
+let yield () =
+  let t = self () in
+  suspend (fun resume -> schedule_delta t resume)

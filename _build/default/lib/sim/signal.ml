@@ -1,0 +1,48 @@
+type 'a t = {
+  kernel : Kernel.t;
+  name : string;
+  equal : 'a -> 'a -> bool;
+  mutable current : 'a;
+  mutable pending : 'a option;
+  changed : Event.t;
+}
+
+let create kernel ?(name = "signal") ?(equal = ( = )) init =
+  {
+    kernel;
+    name;
+    equal;
+    current = init;
+    pending = None;
+    changed = Event.create kernel ~name:(name ^ ".changed") ();
+  }
+
+let name t = t.name
+let value t = t.current
+let changed t = t.changed
+
+let commit t =
+  match t.pending with
+  | None -> ()
+  | Some v ->
+    t.pending <- None;
+    if not (t.equal t.current v) then begin
+      t.current <- v;
+      Event.notify t.changed
+    end
+
+let write t v =
+  let first_write = t.pending = None in
+  t.pending <- Some v;
+  if first_write then Kernel.at_update t.kernel (fun () -> commit t)
+
+let wait_change t = Event.wait t.changed
+
+let wait_value t pred =
+  let rec loop () =
+    if not (pred t.current) then begin
+      Event.wait t.changed;
+      loop ()
+    end
+  in
+  loop ()

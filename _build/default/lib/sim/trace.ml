@@ -1,0 +1,33 @@
+type t = {
+  kernel : Kernel.t;
+  mutable enabled : bool;
+  mutable entries : (Sim_time.t * string) list; (* newest first *)
+}
+
+let create kernel ?(enabled = true) () = { kernel; enabled; entries = [] }
+let enabled t = t.enabled
+let set_enabled t flag = t.enabled <- flag
+
+let record t msg =
+  if t.enabled then t.entries <- (Kernel.now t.kernel, msg) :: t.entries
+
+let recordf t fmt =
+  Format.kasprintf
+    (fun msg ->
+      if t.enabled then t.entries <- (Kernel.now t.kernel, msg) :: t.entries)
+    fmt
+
+let records t = List.rev t.entries
+
+let find t msg =
+  let rec scan = function
+    | [] -> None
+    | (time, m) :: rest -> if String.equal m msg then Some time else scan rest
+  in
+  scan (records t)
+
+let pp fmt t =
+  List.iter
+    (fun (time, msg) ->
+      Format.fprintf fmt "@[<h>%a: %s@]@." Sim_time.pp time msg)
+    (records t)

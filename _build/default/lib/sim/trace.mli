@@ -1,0 +1,26 @@
+(** Lightweight simulation tracing.
+
+    A trace collects timestamped text records during a run; tests and
+    examples use it to assert on event ordering without re-running the
+    model. Disabled traces cost one branch per record. *)
+
+type t
+
+val create : Kernel.t -> ?enabled:bool -> unit -> t
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val record : t -> string -> unit
+(** Appends a record stamped with the kernel's current time. *)
+
+val recordf : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Like {!record} with a format string. The message is only built
+    when the trace is enabled. *)
+
+val records : t -> (Sim_time.t * string) list
+(** All records, oldest first. *)
+
+val find : t -> string -> Sim_time.t option
+(** Time of the first record with exactly the given text. *)
+
+val pp : Format.formatter -> t -> unit

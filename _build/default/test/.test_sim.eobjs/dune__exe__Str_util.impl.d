@@ -1,0 +1,1 @@
+test/str_util.ml: String

@@ -1,0 +1,1 @@
+test/test_fossy.ml: Alcotest Array Fossy Fun Gen List Models Osss QCheck QCheck_alcotest Rtl Str_util String

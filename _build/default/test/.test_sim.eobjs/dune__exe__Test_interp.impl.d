@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Float Fossy Jpeg2000 List Models Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_jpeg2000.ml: Alcotest Array Bytes Char Filename Float Gen Jpeg2000 List Printf QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_jpeg2000.mli:

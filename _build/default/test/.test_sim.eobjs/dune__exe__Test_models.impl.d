@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Format Fossy Hashtbl Jpeg2000 Lazy List Models Osss Printf Rtl Sim Str_util String

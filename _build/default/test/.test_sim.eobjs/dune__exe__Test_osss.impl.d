@@ -1,0 +1,1 @@
+test/test_osss.ml: Alcotest Array Float List Osss Printf QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Gen Int List QCheck QCheck_alcotest Sim Str_util

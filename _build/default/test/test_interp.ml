@@ -1,0 +1,234 @@
+(* Tests for the behavioural/FSM interpreter and the functional
+   verification of the IDWT cores — the executable form of the
+   paper's "seamless refinement to implementation" claim. *)
+
+open Fossy.Hir
+
+let qc = QCheck_alcotest.to_alcotest
+
+(* -- wrap semantics -------------------------------------------------- *)
+
+let test_wrap () =
+  Alcotest.(check int) "8-bit signed wrap" (-128) (Fossy.Interp.wrap (int_ty 8) 128);
+  Alcotest.(check int) "8-bit signed keep" 127 (Fossy.Interp.wrap (int_ty 8) 127);
+  Alcotest.(check int) "unsigned wrap" 1 (Fossy.Interp.wrap (uint_ty 4) 17);
+  Alcotest.(check int) "negative unsigned" 15 (Fossy.Interp.wrap (uint_ty 4) (-1));
+  Alcotest.(check int) "wide passthrough" 123456789
+    (Fossy.Interp.wrap (int_ty 62) 123456789)
+
+(* -- direct execution ------------------------------------------------ *)
+
+let counter_module =
+  {
+    m_name = "counter";
+    m_ports = [ ("step", Pin, int_ty 8); ("total", Pout, int_ty 8) ];
+    m_vars = [ ("acc", int_ty 8) ];
+    m_arrays = [];
+    m_subprograms = [];
+    m_body =
+      [
+        assign "acc" (c 0);
+        For
+          ("i", 0, 3, [ assign "acc" (v "acc" +: v "step"); assign "total" (v "acc"); Wait ]);
+      ];
+  }
+
+let test_run_hir_basic () =
+  let trace = Fossy.Interp.run_hir counter_module [ ("step", [ 1; 2; 3; 4 ]) ] in
+  Alcotest.(check (list int)) "running totals" [ 1; 3; 6; 10 ]
+    (Fossy.Interp.output_port trace "total")
+
+let test_stream_repeats_last_value () =
+  let trace = Fossy.Interp.run_hir counter_module [ ("step", [ 5 ]) ] in
+  Alcotest.(check (list int)) "last value repeats" [ 5; 10; 15; 20 ]
+    (Fossy.Interp.output_port trace "total")
+
+let test_wrapping_during_run () =
+  let trace = Fossy.Interp.run_hir counter_module [ ("step", [ 100 ]) ] in
+  (* 8-bit signed accumulation: 100, 200->-56, 44, 144->-112. *)
+  Alcotest.(check (list int)) "wrap applied on store" [ 100; -56; 44; -112 ]
+    (Fossy.Interp.output_port trace "total")
+
+let test_fuel_exhaustion () =
+  let looping =
+    {
+      counter_module with
+      m_body = [ While (Bin (Eq, c 0, c 0), [ assign "acc" (v "acc" +: c 1); Wait ]) ];
+    }
+  in
+  Alcotest.check_raises "out of fuel" Fossy.Interp.Out_of_fuel (fun () ->
+      ignore (Fossy.Interp.run_hir ~fuel:1000 looping []))
+
+let test_bad_index_detected () =
+  let bad =
+    {
+      counter_module with
+      m_arrays = [ ("buf", int_ty 8, 4) ];
+      m_body = [ assign "acc" (Arr ("buf", c 9)); Wait ];
+    }
+  in
+  Alcotest.(check bool) "raises runtime error" true
+    (try
+       ignore (Fossy.Interp.run_hir bad []);
+       false
+     with Fossy.Interp.Runtime_error _ -> true)
+
+let test_max_outputs_stops_early () =
+  let trace =
+    Fossy.Interp.run_hir ~max_outputs:2 counter_module [ ("step", [ 1 ]) ]
+  in
+  Alcotest.(check (list int)) "stopped after two" [ 1; 2 ]
+    (Fossy.Interp.output_port trace "total")
+
+(* -- HIR / FSM equivalence ------------------------------------------- *)
+
+let test_fsm_matches_hir_on_counter () =
+  Alcotest.(check bool) "equivalent" true
+    (Fossy.Interp.equivalent counter_module [ ("step", [ 7; 9; 11; 13 ]) ])
+
+(* Random structured modules: a pool of statement templates over a
+   fixed set of variables, one function, one array. *)
+let random_module_gen =
+  let open QCheck.Gen in
+  let stmt_of_code code =
+    match code mod 8 with
+    | 0 -> [ assign "x" (v "x" +: v "din") ]
+    | 1 -> [ assign "y" (Call ("triple", [ v "x" ])) ]
+    | 2 -> [ assign_arr "mem" (Bin (Band, v "x", c 3)) (v "y") ]
+    | 3 -> [ assign "y" (Arr ("mem", Bin (Band, v "din", c 3))) ]
+    | 4 -> [ Wait ]
+    | 5 ->
+      [
+        If
+          ( Bin (Gt, v "x", c 0),
+            [ assign "out" (v "x" -: v "y"); Wait ],
+            [ assign "out" (v "y") ] );
+      ]
+    | 6 -> [ For ("k", 0, 2, [ assign "x" (v "x" +: c 1) ]) ]
+    | _ -> [ assign "out" (Bin (Bxor, v "x", v "y")) ]
+  in
+  let* codes = list_size (1 -- 12) (0 -- 7) in
+  let body = List.concat_map stmt_of_code codes @ [ assign "out" (v "x"); Wait ] in
+  return
+    {
+      m_name = "rand";
+      m_ports = [ ("din", Pin, int_ty 12); ("out", Pout, int_ty 12) ];
+      m_vars = [ ("x", int_ty 12); ("y", int_ty 12) ];
+      m_arrays = [ ("mem", int_ty 12, 4) ];
+      m_subprograms =
+        [
+          {
+            s_name = "triple";
+            s_params = [ ("a", int_ty 12) ];
+            s_ret = Some (int_ty 12);
+            s_locals = [ ("t", int_ty 14) ];
+            s_body = [ assign "t" (v "a" *: c 3); Return (Some (v "t" >>: 1)) ];
+          };
+        ];
+      m_body = body;
+    }
+
+let equivalence_qcheck =
+  QCheck.Test.make ~name:"synthesis preserves behaviour on random modules"
+    ~count:200
+    (QCheck.make random_module_gen)
+    (fun m ->
+      match validate m with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () ->
+        Fossy.Interp.equivalent m
+          [ ("din", [ 3; -7; 100; 0; 55; -2; 9; 1; 4; -100 ]) ])
+
+(* -- IDWT core functional verification ------------------------------- *)
+
+let n = Models.Idwt_cores.line_buffer_length
+
+let line_signal seed =
+  let state = ref (seed + 1) in
+  Array.init (2 * n) (fun _ ->
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      (!state mod 511) - 255)
+
+let first_line_outputs core stimulus =
+  (* +1 skips the done_port write that precedes the drain. *)
+  let trace = Fossy.Interp.run_hir ~max_outputs:((2 * n) + 1) core stimulus in
+  Fossy.Interp.output_port trace "data_out"
+
+let test_idwt53_core_reconstructs () =
+  List.iter
+    (fun seed ->
+      let signal = line_signal seed in
+      let forward = Jpeg2000.Dwt53.forward_1d signal in
+      let stimulus = [ ("start", [ 1 ]); ("data_in", Array.to_list forward) ] in
+      let out = first_line_outputs Models.Idwt_cores.idwt53_systemc stimulus in
+      Alcotest.(check (list int))
+        (Printf.sprintf "seed %d: core inverts the 5/3 exactly" seed)
+        (Array.to_list signal) out)
+    [ 1; 17; 4242 ]
+
+let test_idwt97_core_tolerance () =
+  let signal = line_signal 7 in
+  let forward = Jpeg2000.Dwt97.forward_1d (Array.map float_of_int signal) in
+  let coeffs = Array.map (fun x -> int_of_float (Float.round x)) forward in
+  let stimulus = [ ("start", [ 1 ]); ("data_in", Array.to_list coeffs) ] in
+  let out = first_line_outputs Models.Idwt_cores.idwt97_systemc stimulus in
+  let expected = Jpeg2000.Dwt97.inverse_1d (Array.map float_of_int coeffs) in
+  List.iteri
+    (fun i got ->
+      let err = Float.abs (float_of_int got -. expected.(i)) in
+      if err > 3.0 then
+        Alcotest.failf "sample %d: fixed-point %d vs float %.2f" i got expected.(i))
+    out;
+  Alcotest.(check int) "full line produced" (2 * n) (List.length out)
+
+let test_idwt_cores_fsm_equivalence () =
+  let signal = line_signal 3 in
+  let forward = Jpeg2000.Dwt53.forward_1d signal in
+  let stimulus = [ ("start", [ 1 ]); ("data_in", Array.to_list forward) ] in
+  Alcotest.(check bool) "idwt53 behavioural = synthesised" true
+    (Fossy.Interp.equivalent ~max_outputs:(2 * n)
+       Models.Idwt_cores.idwt53_systemc stimulus);
+  Alcotest.(check bool) "idwt97 behavioural = synthesised" true
+    (Fossy.Interp.equivalent ~max_outputs:(2 * n)
+       Models.Idwt_cores.idwt97_systemc stimulus)
+
+let idwt53_core_qcheck =
+  QCheck.Test.make ~name:"IDWT53 core inverts random lines exactly" ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let signal = line_signal seed in
+      let forward = Jpeg2000.Dwt53.forward_1d signal in
+      let stimulus = [ ("start", [ 1 ]); ("data_in", Array.to_list forward) ] in
+      let out = first_line_outputs Models.Idwt_cores.idwt53_systemc stimulus in
+      out = Array.to_list signal)
+
+let () =
+  Alcotest.run "interp"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "wrap" `Quick test_wrap;
+          Alcotest.test_case "basic run" `Quick test_run_hir_basic;
+          Alcotest.test_case "stream repeats last" `Quick
+            test_stream_repeats_last_value;
+          Alcotest.test_case "wrapping during run" `Quick test_wrapping_during_run;
+          Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
+          Alcotest.test_case "bad index detected" `Quick test_bad_index_detected;
+          Alcotest.test_case "max_outputs stops" `Quick test_max_outputs_stops_early;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "counter" `Quick test_fsm_matches_hir_on_counter;
+          qc equivalence_qcheck;
+        ] );
+      ( "idwt_cores",
+        [
+          Alcotest.test_case "5/3 reconstructs exactly" `Quick
+            test_idwt53_core_reconstructs;
+          Alcotest.test_case "9/7 within fixed-point tolerance" `Quick
+            test_idwt97_core_tolerance;
+          Alcotest.test_case "behavioural = FSM on cores" `Quick
+            test_idwt_cores_fsm_equivalence;
+          qc idwt53_core_qcheck;
+        ] );
+    ]

@@ -1,0 +1,730 @@
+(* Tests for the OSSS core library (Application + VTA layer). *)
+
+let time = Alcotest.testable Sim.Sim_time.pp Sim.Sim_time.equal
+let ms = Sim.Sim_time.ms
+let us = Sim.Sim_time.us
+let clock_hz = 100_000_000
+
+let run_model build =
+  let k = Sim.Kernel.create () in
+  build k;
+  Sim.Kernel.run k;
+  Sim.Kernel.now k
+
+(* -- Arbiter ------------------------------------------------------ *)
+
+let test_arbiter_fcfs () =
+  let a = Osss.Arbiter.create Osss.Arbiter.Fcfs in
+  Alcotest.(check (option int)) "head" (Some 3)
+    (Osss.Arbiter.choose a ~pending:[ 3; 1; 2 ]);
+  Alcotest.(check (option int)) "empty" None (Osss.Arbiter.choose a ~pending:[])
+
+let test_arbiter_priority () =
+  let a = Osss.Arbiter.create Osss.Arbiter.Static_priority in
+  Alcotest.(check (option int)) "lowest id" (Some 1)
+    (Osss.Arbiter.choose a ~pending:[ 3; 1; 2 ])
+
+let test_arbiter_round_robin () =
+  let a = Osss.Arbiter.create Osss.Arbiter.Round_robin in
+  let grant pending =
+    match Osss.Arbiter.choose a ~pending with
+    | Some id ->
+      Osss.Arbiter.note_grant a id;
+      id
+    | None -> Alcotest.fail "no grant"
+  in
+  Alcotest.(check int) "first grant" 0 (grant [ 0; 1; 2 ]);
+  Alcotest.(check int) "next in cycle" 1 (grant [ 0; 1; 2 ]);
+  Alcotest.(check int) "next again" 2 (grant [ 0; 1; 2 ]);
+  Alcotest.(check int) "wraps" 0 (grant [ 0; 1; 2 ]);
+  Osss.Arbiter.note_grant a 1;
+  Alcotest.(check int) "skips absent" 0 (grant [ 0 ])
+
+let round_robin_fairness_qcheck =
+  QCheck.Test.make ~name:"round-robin grants everyone within one cycle"
+    ~count:100
+    QCheck.(pair (int_range 2 8) (int_range 2 50))
+    (fun (clients, rounds) ->
+      let a = Osss.Arbiter.create Osss.Arbiter.Round_robin in
+      let pending = List.init clients (fun i -> i) in
+      let counts = Array.make clients 0 in
+      for _ = 1 to rounds * clients do
+        match Osss.Arbiter.choose a ~pending with
+        | Some id ->
+          Osss.Arbiter.note_grant a id;
+          counts.(id) <- counts.(id) + 1
+        | None -> ()
+      done;
+      Array.for_all (fun c -> c = rounds) counts)
+
+(* -- Lock / Shared object ----------------------------------------- *)
+
+let test_lock_mutual_exclusion () =
+  let final =
+    run_model (fun k ->
+        let lock =
+          Osss.Lock.create k ~name:"l"
+            ~arbiter:(Osss.Arbiter.create Osss.Arbiter.Fcfs)
+            ()
+        in
+        let spawn_worker i =
+          let h = Osss.Lock.register lock ~name:(Printf.sprintf "w%d" i) () in
+          Sim.Kernel.spawn k (fun () ->
+              Osss.Lock.with_lock lock h (fun () -> Sim.Kernel.wait_for (ms 2)))
+        in
+        List.iter spawn_worker [ 1; 2; 3 ])
+  in
+  (* Three 2 ms critical sections must serialise: 6 ms total. *)
+  Alcotest.check time "serialised" (ms 6) final
+
+let test_lock_reentry_rejected () =
+  let k = Sim.Kernel.create () in
+  let lock =
+    Osss.Lock.create k ~name:"l"
+      ~arbiter:(Osss.Arbiter.create Osss.Arbiter.Fcfs)
+      ()
+  in
+  let h = Osss.Lock.register lock ~name:"w" () in
+  let raised = ref false in
+  Sim.Kernel.spawn k (fun () ->
+      Osss.Lock.acquire lock h;
+      (try Osss.Lock.acquire lock h with Invalid_argument _ -> raised := true);
+      Osss.Lock.release lock h);
+  Sim.Kernel.run k;
+  Alcotest.(check bool) "re-acquire rejected" true !raised
+
+let test_shared_object_blocking_call () =
+  let result = ref 0 in
+  let final =
+    run_model (fun k ->
+        let so =
+          Osss.Shared_object.create k ~name:"so"
+            ~arbiter:(Osss.Arbiter.create Osss.Arbiter.Fcfs)
+            (ref 5)
+        in
+        let c = Osss.Shared_object.register_client so ~name:"caller" () in
+        Sim.Kernel.spawn k (fun () ->
+            result :=
+              Osss.Shared_object.call so c ~eet:(ms 3) (fun state ->
+                  state := !state * 2;
+                  !state)))
+  in
+  Alcotest.(check int) "method result" 10 !result;
+  Alcotest.check time "EET consumed" (ms 3) final
+
+let test_shared_object_guard () =
+  (* Producer/consumer through a guarded Shared Object: the consumer's
+     guard only opens once the producer has stored a value. *)
+  let got = ref 0 in
+  let consumed_at = ref Sim.Sim_time.zero in
+  let _ =
+    run_model (fun k ->
+        let so =
+          Osss.Shared_object.create k ~name:"buffer"
+            ~arbiter:(Osss.Arbiter.create Osss.Arbiter.Fcfs)
+            (ref None)
+        in
+        let producer = Osss.Shared_object.register_client so ~name:"producer" () in
+        let consumer = Osss.Shared_object.register_client so ~name:"consumer" () in
+        Sim.Kernel.spawn k (fun () ->
+            got :=
+              Osss.Shared_object.call_guarded so consumer
+                ~guard:(fun state -> !state <> None)
+                (fun state ->
+                  match !state with
+                  | Some v ->
+                    state := None;
+                    v
+                  | None -> assert false);
+            consumed_at := Sim.Kernel.now k);
+        Sim.Kernel.spawn k (fun () ->
+            Sim.Kernel.wait_for (ms 7);
+            Osss.Shared_object.call so producer (fun state -> state := Some 42)))
+  in
+  Alcotest.(check int) "value passed" 42 !got;
+  Alcotest.check time "consumer woke on completion" (ms 7) !consumed_at
+
+let test_shared_object_grant_overhead () =
+  let final =
+    run_model (fun k ->
+        let so =
+          Osss.Shared_object.create k ~name:"so"
+            ~arbiter:(Osss.Arbiter.create Osss.Arbiter.Fcfs)
+            ~grant_overhead:(us 50) ()
+        in
+        let c = Osss.Shared_object.register_client so ~name:"c" () in
+        Sim.Kernel.spawn k (fun () ->
+            for _ = 1 to 4 do
+              Osss.Shared_object.call so c ~eet:(ms 1) (fun () -> ())
+            done))
+  in
+  Alcotest.check time "4 calls + 4 grant overheads"
+    (Sim.Sim_time.add (ms 4) (us 200))
+    final
+
+let test_shared_object_contention_stats () =
+  let k = Sim.Kernel.create () in
+  let so =
+    Osss.Shared_object.create k ~name:"so"
+      ~arbiter:(Osss.Arbiter.create Osss.Arbiter.Fcfs)
+      ()
+  in
+  let spawn_client i =
+    let c = Osss.Shared_object.register_client so ~name:(Printf.sprintf "c%d" i) () in
+    Sim.Kernel.spawn k (fun () ->
+        Osss.Shared_object.call so c ~eet:(ms 1) (fun () -> ()))
+  in
+  List.iter spawn_client [ 1; 2; 3 ];
+  Sim.Kernel.run k;
+  Alcotest.(check int) "three calls" 3 (Osss.Shared_object.calls so);
+  (* Client 2 waits 1 ms, client 3 waits 2 ms. *)
+  Alcotest.check time "waiting accumulated" (ms 3)
+    (Osss.Shared_object.total_wait so);
+  Alcotest.check time "busy accumulated" (ms 3)
+    (Osss.Shared_object.total_busy so)
+
+(* -- EET / tasks / processor -------------------------------------- *)
+
+let test_eet_block () =
+  let final =
+    run_model (fun k ->
+        Sim.Kernel.spawn k (fun () ->
+            let v = Osss.Eet.eet (ms 4) (fun () -> 21 * 2) in
+            Alcotest.(check int) "value" 42 v))
+  in
+  Alcotest.check time "time consumed" (ms 4) final
+
+let test_eet_scaled () =
+  Alcotest.check time "half" (ms 2) (Osss.Eet.scaled 0.5 (ms 4));
+  Alcotest.check time "identity" (ms 4) (Osss.Eet.scaled 1.0 (ms 4))
+
+let test_ret_deadline_met () =
+  let result = ref 0 in
+  let final =
+    run_model (fun k ->
+        Sim.Kernel.spawn k (fun () ->
+            result :=
+              Osss.Eet.ret (ms 10) (fun () -> Osss.Eet.eet (ms 4) (fun () -> 5))))
+  in
+  Alcotest.(check int) "value" 5 !result;
+  Alcotest.check time "time consumed" (ms 4) final
+
+let test_ret_deadline_violated () =
+  let k = Sim.Kernel.create () in
+  let violated = ref false in
+  Sim.Kernel.spawn k (fun () ->
+      try Osss.Eet.ret ~label:"tile" (ms 2) (fun () -> Osss.Eet.consume (ms 5))
+      with Osss.Eet.Deadline_violation { label; required; actual } ->
+        violated := true;
+        Alcotest.(check string) "label" "tile" label;
+        Alcotest.check time "required" (ms 2) required;
+        Alcotest.check time "actual" (ms 5) actual);
+  Sim.Kernel.run k;
+  Alcotest.(check bool) "violation detected" true !violated
+
+let test_ret_check_variant () =
+  let k = Sim.Kernel.create () in
+  Sim.Kernel.spawn k (fun () ->
+      let _, ok = Osss.Eet.ret_check (ms 3) (fun () -> Osss.Eet.consume (ms 1)) in
+      Alcotest.(check bool) "met" true ok;
+      let _, ok = Osss.Eet.ret_check (ms 3) (fun () -> Osss.Eet.consume (ms 7)) in
+      Alcotest.(check bool) "missed" false ok);
+  Sim.Kernel.run k
+
+let test_unmapped_tasks_run_in_parallel () =
+  let final =
+    run_model (fun k ->
+        for i = 1 to 3 do
+          ignore
+            (Osss.Sw_task.create k ~name:(Printf.sprintf "t%d" i) (fun t ->
+                 Osss.Sw_task.consume t (ms 10)))
+        done)
+  in
+  Alcotest.check time "application layer: concurrent" (ms 10) final
+
+let test_mapped_tasks_share_processor () =
+  let final =
+    run_model (fun k ->
+        let proc =
+          Osss.Processor.create k ~name:"microblaze0" ~clock_hz ()
+        in
+        for i = 1 to 3 do
+          let t =
+            Osss.Sw_task.create k ~name:(Printf.sprintf "t%d" i) (fun t ->
+                Osss.Sw_task.consume t (ms 10))
+          in
+          Osss.Sw_task.map_to_processor t proc
+        done)
+  in
+  Alcotest.check time "VTA: serialised on one CPU" (ms 30) final
+
+let test_context_switch_cost () =
+  let final =
+    run_model (fun k ->
+        let proc =
+          Osss.Processor.create k ~name:"cpu" ~clock_hz
+            ~context_switch:(us 100) ()
+        in
+        for i = 1 to 2 do
+          let t =
+            Osss.Sw_task.create k ~name:(Printf.sprintf "t%d" i) (fun t ->
+                Osss.Sw_task.consume t (ms 1);
+                Osss.Sw_task.consume t (ms 1))
+          in
+          Osss.Sw_task.map_to_processor t proc
+        done)
+  in
+  (* Execution alternates t1,t2,t1,t2: 3 switches after the first run. *)
+  Alcotest.check time "switch overhead counted"
+    (Sim.Sim_time.add (ms 4) (us 300))
+    final
+
+let test_task_cannot_map_twice () =
+  let k = Sim.Kernel.create () in
+  let proc1 = Osss.Processor.create k ~name:"p1" ~clock_hz () in
+  let proc2 = Osss.Processor.create k ~name:"p2" ~clock_hz () in
+  let t = Osss.Sw_task.create k ~name:"t" (fun _ -> ()) in
+  Osss.Sw_task.map_to_processor t proc1;
+  Alcotest.(check bool) "mapping visible" true
+    (Osss.Sw_task.processor t <> None);
+  let raised =
+    try
+      Osss.Sw_task.map_to_processor t proc2;
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "second mapping rejected" true raised
+
+let test_hw_module_clock_rounding () =
+  let final =
+    run_model (fun k ->
+        let m = Osss.Hw_module.create k ~name:"idwt" ~clock_hz () in
+        Osss.Hw_module.add_process m ~name:"main" (fun () ->
+            (* 25 ns at 100 MHz must round up to 3 cycles = 30 ns. *)
+            ignore (Osss.Hw_module.eet m (Sim.Sim_time.ns 25) (fun () -> ()))))
+  in
+  Alcotest.check time "rounded to cycles" (Sim.Sim_time.ns 30) final
+
+(* -- Serialisation ------------------------------------------------ *)
+
+let roundtrip codec v = Osss.Serialisation.(decode codec (encode codec v))
+
+let test_serialisation_base () =
+  Alcotest.(check int) "int" (-123456789) (roundtrip Osss.Serialisation.int (-123456789));
+  Alcotest.(check bool) "bool" true (roundtrip Osss.Serialisation.bool true);
+  Alcotest.(check int32) "int32" 0xDEADBEEl (roundtrip Osss.Serialisation.int32 0xDEADBEEl);
+  Alcotest.(check (float 1e-12)) "float" 3.14159 (roundtrip Osss.Serialisation.float 3.14159);
+  Alcotest.(check int) "int16" (-32768) (roundtrip Osss.Serialisation.int16 (-32768))
+
+let test_serialisation_word_counts () =
+  let open Osss.Serialisation in
+  Alcotest.(check int) "int = 2 words" 2 (word_count int 7);
+  Alcotest.(check int) "int16 = 1 word" 1 (word_count int16 7);
+  Alcotest.(check int) "array = 1 + n" 5 (word_count int_array [| 1; 2; 3; 4 |]);
+  Alcotest.(check int) "unit = 0" 0 (word_count unit ())
+
+let test_serialisation_errors () =
+  let open Osss.Serialisation in
+  let raised f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "int16 overflow" true
+    (raised (fun () -> encode int16 40000));
+  Alcotest.(check bool) "truncated" true
+    (raised (fun () -> decode int [| 1l |]));
+  Alcotest.(check bool) "trailing" true
+    (raised (fun () -> decode int16 [| 1l; 2l |]))
+
+let serialisation_roundtrip_qcheck =
+  QCheck.Test.make ~name:"composite codec round-trips" ~count:200
+    QCheck.(
+      triple (list small_signed_int)
+        (pair small_signed_int (QCheck.float_bound_inclusive 1e6))
+        (option bool))
+    (fun value ->
+      let open Osss.Serialisation in
+      let codec =
+        triple (list int) (pair int float) (option bool)
+      in
+      let (l, (a, f), b) = roundtrip codec value in
+      let (l0, (a0, f0), b0) = value in
+      l = l0 && a = a0 && Float.equal f f0 && b = b0)
+
+let int_array_roundtrip_qcheck =
+  QCheck.Test.make ~name:"int_array codec round-trips" ~count:200
+    QCheck.(array (int_range (-1_000_000) 1_000_000))
+    (fun value ->
+      roundtrip Osss.Serialisation.int_array value = value)
+
+(* -- Memory -------------------------------------------------------- *)
+
+let test_register_file_is_instant () =
+  let final =
+    run_model (fun k ->
+        let mem = Osss.Memory.register_file k ~name:"regs" ~size_words:64 in
+        Sim.Kernel.spawn k (fun () ->
+            Osss.Memory.write mem 3 99l;
+            Alcotest.(check int32) "stored" 99l (Osss.Memory.read mem 3)))
+  in
+  Alcotest.check time "no latency" Sim.Sim_time.zero final
+
+let test_block_ram_timing () =
+  let final =
+    run_model (fun k ->
+        let mem =
+          Osss.Memory.xilinx_block_ram k ~name:"bram" ~data_width:32
+            ~addr_width:10 ~clock_hz ()
+        in
+        Sim.Kernel.spawn k (fun () ->
+            Osss.Memory.write_burst mem ~addr:0 (Array.make 100 7l);
+            let data = Osss.Memory.read_burst mem ~addr:0 ~len:100 in
+            Alcotest.(check int32) "data back" 7l data.(99)))
+  in
+  (* Each 100-word burst: latency 1 + 100 cycles = 101 cycles; two bursts. *)
+  Alcotest.check time "burst timing"
+    (Sim.Sim_time.cycles ~hz:clock_hz 202)
+    final
+
+let test_memory_bounds () =
+  let k = Sim.Kernel.create () in
+  let mem = Osss.Memory.register_file k ~name:"m" ~size_words:8 in
+  let raised = ref false in
+  Sim.Kernel.spawn k (fun () ->
+      try ignore (Osss.Memory.read mem 8) with Invalid_argument _ -> raised := true);
+  Sim.Kernel.run k;
+  Alcotest.(check bool) "bounds checked" true !raised
+
+(* -- Bus / channel ------------------------------------------------- *)
+
+let test_bus_unloaded_time () =
+  let k = Sim.Kernel.create () in
+  let bus = Osss.Bus.create k ~name:"opb" ~clock_hz () in
+  (* 40 words = 2 full bursts of 16 + tail of 8.
+     Each burst: 2 arb + 1 addr + n data cycles. *)
+  Alcotest.check time "computed"
+    (Sim.Sim_time.cycles ~hz:clock_hz ((2 + 1 + 16) * 2 + (2 + 1 + 8)))
+    (Osss.Bus.transfer_time_unloaded bus ~words:40)
+
+let test_bus_transfer_matches_model () =
+  let k = Sim.Kernel.create () in
+  let bus = Osss.Bus.create k ~name:"opb" ~clock_hz () in
+  let m = Osss.Bus.attach_master bus ~name:"cpu" in
+  let expected = Osss.Bus.transfer_time_unloaded bus ~words:40 in
+  Sim.Kernel.spawn k (fun () -> Osss.Bus.transfer bus m ~words:40);
+  Sim.Kernel.run k;
+  Alcotest.check time "idle bus matches unloaded model" expected
+    (Sim.Kernel.now k)
+
+let test_bus_contention_serialises () =
+  let k = Sim.Kernel.create () in
+  let bus = Osss.Bus.create k ~name:"opb" ~clock_hz () in
+  let m1 = Osss.Bus.attach_master bus ~name:"m1" in
+  let m2 = Osss.Bus.attach_master bus ~name:"m2" in
+  let single = Osss.Bus.transfer_time_unloaded bus ~words:64 in
+  Sim.Kernel.spawn k (fun () -> Osss.Bus.transfer bus m1 ~words:64);
+  Sim.Kernel.spawn k (fun () -> Osss.Bus.transfer bus m2 ~words:64);
+  Sim.Kernel.run k;
+  Alcotest.check time "two masters take twice as long"
+    (Sim.Sim_time.mul_int single 2)
+    (Sim.Kernel.now k);
+  Alcotest.(check bool) "contention recorded" true
+    Sim.Sim_time.(Osss.Bus.contention_time bus > Sim.Sim_time.zero)
+
+let test_bus_presets () =
+  let k = Sim.Kernel.create () in
+  let opb = Osss.Bus.opb k () in
+  let plb = Osss.Bus.plb k () in
+  (* Same payload: the 64-bit pipelined PLB must be roughly twice as
+     fast as the OPB. *)
+  let t_opb = Osss.Bus.transfer_time_unloaded opb ~words:256 in
+  let t_plb = Osss.Bus.transfer_time_unloaded plb ~words:256 in
+  Alcotest.(check bool) "plb at least 1.8x faster" true
+    (Sim.Sim_time.to_ps t_opb > 18 * Sim.Sim_time.to_ps t_plb / 10);
+  (* OPB: 16 bursts of (2+1+16) = 304 cycles. *)
+  Alcotest.check time "opb cycles" (Sim.Sim_time.cycles ~hz:100_000_000 304) t_opb;
+  (* PLB: 8 bursts of (2+0+16 beats) = 144 cycles. *)
+  Alcotest.check time "plb cycles" (Sim.Sim_time.cycles ~hz:100_000_000 144) t_plb
+
+let test_p2p_faster_than_contended_bus () =
+  let k = Sim.Kernel.create () in
+  let p2p = Osss.Channel.p2p k ~clock_hz () in
+  let t = Osss.Channel.transfer_time_unloaded p2p ~words:64 in
+  (* 2 setup + 64 words *)
+  Alcotest.check time "p2p timing" (Sim.Sim_time.cycles ~hz:clock_hz 66) t
+
+let test_rmi_call_over_p2p () =
+  let k = Sim.Kernel.create () in
+  let so =
+    Osss.Shared_object.create k ~name:"coproc"
+      ~arbiter:(Osss.Arbiter.create Osss.Arbiter.Fcfs)
+      (ref 0)
+  in
+  let client = Osss.Shared_object.register_client so ~name:"sw" () in
+  let transport = Osss.Channel.p2p k ~clock_hz () in
+  let doubler =
+    Osss.Channel.rmi_method ~name:"double" ~args:Osss.Serialisation.int_array
+      ~ret:Osss.Serialisation.int_array
+      ~execution_time:(fun a -> us (Array.length a))
+      (fun state a ->
+        incr state;
+        Array.map (fun x -> 2 * x) a)
+  in
+  let result = ref [||] in
+  Sim.Kernel.spawn k (fun () ->
+      result :=
+        Osss.Channel.rmi_call transport so client doubler [| 1; 2; 3 |]);
+  Sim.Kernel.run k;
+  Alcotest.(check (array int)) "functional result through words"
+    [| 2; 4; 6 |] !result;
+  Alcotest.(check int) "state mutated" 1 (Osss.Shared_object.peek so (fun r -> !r));
+  (* args: 4+1 words, ret: 4+1 words, each +2 setup cycles; eet 3 us. *)
+  let expected =
+    Sim.Sim_time.add
+      (Sim.Sim_time.cycles ~hz:clock_hz (7 + 7))
+      (us 3)
+  in
+  Alcotest.check time "transfer + execution time" expected (Sim.Kernel.now k)
+
+let test_rmi_guarded () =
+  let k = Sim.Kernel.create () in
+  let so =
+    Osss.Shared_object.create k ~name:"store"
+      ~arbiter:(Osss.Arbiter.create Osss.Arbiter.Fcfs)
+      (ref None)
+  in
+  let producer = Osss.Shared_object.register_client so ~name:"p" () in
+  let consumer = Osss.Shared_object.register_client so ~name:"c" () in
+  let transport = Osss.Channel.p2p k ~clock_hz () in
+  let put =
+    Osss.Channel.rmi_method ~name:"put" ~args:Osss.Serialisation.int
+      ~ret:Osss.Serialisation.unit
+      (fun state v -> state := Some v)
+  in
+  let take =
+    Osss.Channel.rmi_method ~name:"take" ~args:Osss.Serialisation.unit
+      ~ret:Osss.Serialisation.int
+      (fun state () ->
+        match !state with
+        | Some v ->
+          state := None;
+          v
+        | None -> assert false)
+  in
+  let got = ref 0 in
+  Sim.Kernel.spawn k (fun () ->
+      got :=
+        Osss.Channel.rmi_call_guarded transport so consumer
+          ~guard:(fun state -> !state <> None)
+          take ());
+  Sim.Kernel.spawn k (fun () ->
+      Sim.Kernel.wait_for (ms 1);
+      ignore (Osss.Channel.rmi_call transport so producer put 77));
+  Sim.Kernel.run k;
+  Alcotest.(check int) "guarded take" 77 !got
+
+let test_serialisation_nested () =
+  let open Osss.Serialisation in
+  let codec = list (pair int16 (option (array bool))) in
+  let value =
+    [ (5, Some [| true; false |]); (-3, None); (0, Some [||]) ]
+  in
+  Alcotest.(check bool) "nested structures round-trip" true
+    (decode codec (encode codec value) = value)
+
+let test_memory_access_time_zero () =
+  let k = Sim.Kernel.create () in
+  let bram =
+    Osss.Memory.xilinx_block_ram k ~name:"b" ~data_width:32 ~addr_width:8
+      ~clock_hz ()
+  in
+  Alcotest.check time "zero words cost nothing" Sim.Sim_time.zero
+    (Osss.Memory.access_time bram ~words:0);
+  Alcotest.check time "one word: latency + transfer"
+    (Sim.Sim_time.cycles ~hz:clock_hz 2)
+    (Osss.Memory.access_time bram ~words:1)
+
+let test_processor_stats () =
+  let k = Sim.Kernel.create () in
+  let proc = Osss.Processor.create k ~name:"p" ~clock_hz () in
+  let t1 =
+    Osss.Sw_task.create k ~name:"a" (fun t -> Osss.Sw_task.consume t (ms 3))
+  in
+  let t2 =
+    Osss.Sw_task.create k ~name:"b" (fun t -> Osss.Sw_task.consume t (ms 5))
+  in
+  Osss.Sw_task.map_to_processor t1 proc;
+  Osss.Sw_task.map_to_processor t2 proc;
+  Sim.Kernel.run k;
+  Alcotest.(check int) "two tasks registered" 2 (Osss.Processor.task_count proc);
+  Alcotest.check time "busy accumulated" (ms 8) (Osss.Processor.busy_time proc);
+  Alcotest.check time "wait accumulated" (ms 3) (Osss.Processor.wait_time proc);
+  Alcotest.(check bool) "both finished" true
+    (Osss.Sw_task.finished t1 && Osss.Sw_task.finished t2)
+
+let test_bus_rejects_bad_config () =
+  let k = Sim.Kernel.create () in
+  let raised f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "bad width" true
+    (raised (fun () -> Osss.Bus.create k ~name:"x" ~clock_hz ~data_width_bits:48 ()));
+  Alcotest.(check bool) "bad burst" true
+    (raised (fun () -> Osss.Bus.create k ~name:"x" ~clock_hz ~max_burst_words:0 ()))
+
+let test_round_robin_bus_alternates () =
+  (* Under round-robin arbitration two masters with queued bursts
+     interleave fairly: both finish within one burst of each other. *)
+  let k = Sim.Kernel.create () in
+  let bus =
+    Osss.Bus.create k ~name:"rr" ~clock_hz
+      ~arbiter:(Osss.Arbiter.create Osss.Arbiter.Round_robin)
+      ()
+  in
+  let m1 = Osss.Bus.attach_master bus ~name:"m1" in
+  let m2 = Osss.Bus.attach_master bus ~name:"m2" in
+  let done1 = ref Sim.Sim_time.zero and done2 = ref Sim.Sim_time.zero in
+  Sim.Kernel.spawn k (fun () ->
+      Osss.Bus.transfer bus m1 ~words:64;
+      done1 := Sim.Kernel.now k);
+  Sim.Kernel.spawn k (fun () ->
+      Osss.Bus.transfer bus m2 ~words:64;
+      done2 := Sim.Kernel.now k);
+  Sim.Kernel.run k;
+  let gap =
+    abs (Sim.Sim_time.to_ps !done1 - Sim.Sim_time.to_ps !done2)
+  in
+  Alcotest.(check bool) "fair interleaving" true
+    (gap <= Sim.Sim_time.to_ps (Sim.Sim_time.cycles ~hz:clock_hz 19))
+
+(* -- Platform / VTA / report -------------------------------------- *)
+
+let test_platform_ml401 () =
+  let p = Osss.Platform.ml401 in
+  Alcotest.(check int) "100 MHz" 100_000_000 p.Osss.Platform.clock_hz;
+  Alcotest.(check string) "fpga" "xc4vlx25" p.Osss.Platform.fpga;
+  Alcotest.check time "period" (Sim.Sim_time.ns 10) (Osss.Platform.clock_period p)
+
+let test_vta_validate_ok () =
+  let v = Osss.Vta.create Osss.Platform.ml401 in
+  Osss.Vta.map_task v ~task:"decoder0" ~processor:"microblaze0";
+  Osss.Vta.map_task v ~task:"decoder1" ~processor:"microblaze0";
+  Osss.Vta.map_module v ~module_name:"idwt53" ~block:"block0";
+  Osss.Vta.map_module v ~module_name:"idwt97" ~block:"block1";
+  Osss.Vta.map_link v ~link:"sw->so" ~channel:"opb" ~kind:Osss.Vta.Shared_bus;
+  Osss.Vta.map_link v ~link:"idwt->so" ~channel:"p2p0"
+    ~kind:Osss.Vta.Point_to_point;
+  (match Osss.Vta.validate v with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "unexpected errors: %s" (String.concat "; " es));
+  Alcotest.(check (list string)) "processors" [ "microblaze0" ]
+    (Osss.Vta.processors v)
+
+let test_vta_validate_errors () =
+  let v = Osss.Vta.create Osss.Platform.ml401 in
+  Osss.Vta.map_task v ~task:"t" ~processor:"p0";
+  Osss.Vta.map_task v ~task:"t" ~processor:"p1";
+  Osss.Vta.map_module v ~module_name:"m1" ~block:"b";
+  Osss.Vta.map_module v ~module_name:"m2" ~block:"b";
+  (match Osss.Vta.validate v with
+  | Ok () -> Alcotest.fail "expected errors"
+  | Error es -> Alcotest.(check int) "two violations" 2 (List.length es))
+
+let test_report_render () =
+  let table =
+    Osss.Report.render ~header:[ "version"; "time" ]
+      [ [ "1"; "3243.1" ]; [ "2"; "2975.0" ] ]
+  in
+  let lines = String.split_on_char '\n' table in
+  Alcotest.(check int) "4 lines + trailing" 5 (List.length lines);
+  Alcotest.(check bool) "right-aligned numbers" true
+    (String.length (List.nth lines 2) = String.length (List.nth lines 0))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "osss"
+    [
+      ( "arbiter",
+        [
+          Alcotest.test_case "fcfs" `Quick test_arbiter_fcfs;
+          Alcotest.test_case "static priority" `Quick test_arbiter_priority;
+          Alcotest.test_case "round robin" `Quick test_arbiter_round_robin;
+          qc round_robin_fairness_qcheck;
+        ] );
+      ( "lock",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick
+            test_lock_mutual_exclusion;
+          Alcotest.test_case "re-entry rejected" `Quick
+            test_lock_reentry_rejected;
+        ] );
+      ( "shared_object",
+        [
+          Alcotest.test_case "blocking call with EET" `Quick
+            test_shared_object_blocking_call;
+          Alcotest.test_case "guarded method" `Quick test_shared_object_guard;
+          Alcotest.test_case "grant overhead" `Quick
+            test_shared_object_grant_overhead;
+          Alcotest.test_case "contention statistics" `Quick
+            test_shared_object_contention_stats;
+        ] );
+      ( "processor_stats",
+        [ Alcotest.test_case "busy/wait accounting" `Quick test_processor_stats ]
+      );
+      ( "eet_tasks",
+        [
+          Alcotest.test_case "eet block" `Quick test_eet_block;
+          Alcotest.test_case "eet scaling" `Quick test_eet_scaled;
+          Alcotest.test_case "unmapped tasks parallel" `Quick
+            test_unmapped_tasks_run_in_parallel;
+          Alcotest.test_case "mapped tasks share processor" `Quick
+            test_mapped_tasks_share_processor;
+          Alcotest.test_case "context switch cost" `Quick
+            test_context_switch_cost;
+          Alcotest.test_case "double mapping rejected" `Quick
+            test_task_cannot_map_twice;
+          Alcotest.test_case "hw module clock rounding" `Quick
+            test_hw_module_clock_rounding;
+          Alcotest.test_case "ret deadline met" `Quick test_ret_deadline_met;
+          Alcotest.test_case "ret deadline violated" `Quick
+            test_ret_deadline_violated;
+          Alcotest.test_case "ret_check variant" `Quick test_ret_check_variant;
+        ] );
+      ( "serialisation",
+        [
+          Alcotest.test_case "base codecs" `Quick test_serialisation_base;
+          Alcotest.test_case "word counts" `Quick
+            test_serialisation_word_counts;
+          Alcotest.test_case "errors" `Quick test_serialisation_errors;
+          qc serialisation_roundtrip_qcheck;
+          qc int_array_roundtrip_qcheck;
+          Alcotest.test_case "nested composite" `Quick test_serialisation_nested;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "register file instant" `Quick
+            test_register_file_is_instant;
+          Alcotest.test_case "block ram timing" `Quick test_block_ram_timing;
+          Alcotest.test_case "bounds checked" `Quick test_memory_bounds;
+          Alcotest.test_case "access_time edges" `Quick
+            test_memory_access_time_zero;
+        ] );
+      ( "bus_channel",
+        [
+          Alcotest.test_case "unloaded time" `Quick test_bus_unloaded_time;
+          Alcotest.test_case "idle transfer matches model" `Quick
+            test_bus_transfer_matches_model;
+          Alcotest.test_case "contention serialises" `Quick
+            test_bus_contention_serialises;
+          Alcotest.test_case "p2p timing" `Quick
+            test_p2p_faster_than_contended_bus;
+          Alcotest.test_case "opb/plb presets" `Quick test_bus_presets;
+          Alcotest.test_case "rmi over p2p" `Quick test_rmi_call_over_p2p;
+          Alcotest.test_case "guarded rmi" `Quick test_rmi_guarded;
+          Alcotest.test_case "bad bus configs" `Quick test_bus_rejects_bad_config;
+          Alcotest.test_case "round-robin fairness on bus" `Quick
+            test_round_robin_bus_alternates;
+        ] );
+      ( "platform_vta",
+        [
+          Alcotest.test_case "ml401" `Quick test_platform_ml401;
+          Alcotest.test_case "valid mapping" `Quick test_vta_validate_ok;
+          Alcotest.test_case "invalid mapping" `Quick test_vta_validate_errors;
+          Alcotest.test_case "report rendering" `Quick test_report_render;
+        ] );
+    ]
