@@ -33,6 +33,7 @@ let synth_cmd =
         List.iter prerr_endline es;
         exit 1
       | Ok r ->
+        List.iter prerr_endline r.Fossy.Synthesis.warnings;
         if show_systemc then print_string (Fossy.Hir_pp.emit hir);
         (match out_dir with
         | Some dir ->
@@ -110,6 +111,69 @@ let testbench_cmd =
           value
           & opt (some string) None
           & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Write the testbench here."))
+
+let lint_cmd =
+  let run with_models =
+    let cores =
+      [
+        ("idwt53", Models.Idwt_cores.idwt53_systemc);
+        ("idwt97", Models.Idwt_cores.idwt97_systemc);
+      ]
+    in
+    let diagnostics = ref [] in
+    let collect ds = diagnostics := !diagnostics @ ds in
+    (* Behavioural models and their extracted FSMs. *)
+    List.iter (fun (_, hir) -> collect (Analysis.Lint.lint_module hir)) cores;
+    (* Generated VHDL plus the hand-crafted Table 2 references. *)
+    List.iter
+      (fun (_, hir) ->
+        match Fossy.Synthesis.synthesise hir with
+        | Ok r -> collect (Analysis.Lint.lint_design r.Fossy.Synthesis.vhdl)
+        | Error _ -> ())
+      cores;
+    List.iter
+      (fun d -> collect (Analysis.Lint.lint_design d))
+      [ Models.Idwt_cores.idwt53_reference; Models.Idwt_cores.idwt97_reference ];
+    (* Shared-Object wait-for graphs of every platform mapping. *)
+    List.iter
+      (fun (sw_tasks, idwt_p2p) ->
+        collect
+          (Analysis.Lint.lint_vta (Models.Vta_models.mapping ~sw_tasks ~idwt_p2p)))
+      [ (1, false); (1, true); (4, false); (4, true) ];
+    (* Optionally simulate all nine decoder variants with the kernels
+       set to fault on same-delta conflicting writes. *)
+    if with_models then
+      List.iter
+        (fun mode ->
+          List.iter
+            (fun version ->
+              match Models.Experiment.run ~payload:false version mode with
+              | (_ : Models.Outcome.t) -> ()
+              | exception Sim.Kernel.Delta_race race ->
+                collect [ Analysis.Concurrency.diag_of_race race ])
+            Models.Experiment.all_versions)
+        [ Jpeg2000.Codestream.Lossless; Jpeg2000.Codestream.Lossy ];
+    let ds = List.sort_uniq Analysis.Diagnostic.compare !diagnostics in
+    List.iter (fun d -> print_endline (Analysis.Diagnostic.render d)) ds;
+    let errors = Analysis.Diagnostic.errors ds in
+    Printf.printf "lint: %d finding(s), %d error(s)\n" (List.length ds)
+      (List.length errors);
+    if errors <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the analysis-layer diagnostic suite over the IDWT cores (HIR, \
+          FSM and generated VHDL), the reference designs and the VTA \
+          mappings. Exits non-zero on error-severity findings.")
+    Term.(
+      const run
+      $ Arg.(
+          value & flag
+          & info [ "models" ]
+              ~doc:
+                "Also simulate the nine decoder variants with delta-race \
+                 checking enabled."))
 
 let table2_cmd =
   let run () = print_string (Models.Tables.table2 ()) in
@@ -192,6 +256,10 @@ let swgen_cmd =
           & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Write files here instead of stdout."))
 
 let () =
+  Analysis.Lint.install ();
   let doc = "FOSSY high-level synthesis flow" in
   exit
-    (Cmd.eval (Cmd.group (Cmd.info "fossy_cli" ~doc) [ synth_cmd; testbench_cmd; table2_cmd; platgen_cmd; swgen_cmd ]))
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "fossy_cli" ~doc)
+          [ synth_cmd; testbench_cmd; lint_cmd; table2_cmd; platgen_cmd; swgen_cmd ]))

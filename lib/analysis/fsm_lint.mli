@@ -1,0 +1,11 @@
+(** Structural lints on the extracted FSM.
+
+    - [W012] — unreachable state (constant-aware next-state edges);
+    - [W013] — register never read by any action or branch condition
+      (a flip-flop whose output goes nowhere). *)
+
+val reachable : Fossy.Fsm.t -> bool array
+(** Constant-aware variant of {!Fossy.Fsm.reachable_states}: a
+    [Branch] on a constant condition only reaches the selected arm. *)
+
+val run : Fossy.Fsm.t -> Diagnostic.t list

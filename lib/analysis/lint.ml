@@ -1,0 +1,34 @@
+module D = Diagnostic
+
+let fsm_diagnostics m =
+  (* FSM extraction can legitimately fail on modules the HIR lints
+     already reject (e.g. wait-free loops); those passes have reported
+     the cause, so extraction failure is not itself a finding. *)
+  match Fossy.Fsm.of_module (Fossy.Inline.run m) with
+  | fsm -> Fsm_lint.run fsm
+  | exception _ -> []
+
+let lint_module m =
+  let structural =
+    match Fossy.Hir.validate m with
+    | Ok () -> []
+    | Error es ->
+      List.map
+        (fun e -> D.error ~code:"E000" ~path:m.Fossy.Hir.m_name "%s" e)
+        es
+  in
+  List.sort_uniq D.compare (structural @ Hir_lint.run m @ fsm_diagnostics m)
+
+let lint_design = Vhdl_lint.run
+let lint_vta = Concurrency.guard_deadlocks
+let lint_kernel = Concurrency.race_diagnostics
+
+let split ds =
+  ( List.map D.render (List.filter D.is_error ds),
+    List.map D.render (List.filter (fun d -> not (D.is_error d)) ds) )
+
+let install () =
+  Fossy.Synthesis.set_linter (fun m ->
+      (* validate already ran inside [synthesise]; only the semantic
+         passes gate here. *)
+      split (List.sort_uniq D.compare (Hir_lint.run m @ fsm_diagnostics m)))

@@ -1,0 +1,28 @@
+(** Facade of the analysis layer: one call per artefact kind, all
+    returning {!Diagnostic.t} lists sorted errors-first.
+
+    Diagnostic catalogue: [E000] structural validation (relayed from
+    {!Fossy.Hir.validate}), [W001]/[W002] possibly-uninitialised
+    reads, [W003] dead assignment, [W004] unreachable statement,
+    [W005] constant overflow, [E006] over-wide shift, [W007]
+    signed/unsigned comparison, [E008] wait-free loop path, [E009]
+    call cycle, [E010] input port driven, [E011]/[W015] undriven
+    output, [W012] unreachable FSM state, [W013] unread register,
+    [E014] guard deadlock, [E015] delta race, [W017] unused VHDL
+    signal. *)
+
+val lint_module : Fossy.Hir.module_def -> Diagnostic.t list
+(** Structural validation + HIR dataflow/width/synthesisability passes
+    + (when extraction succeeds) FSM passes. *)
+
+val lint_design : Rtl.Vhdl.design -> Diagnostic.t list
+val lint_vta : Osss.Vta.t -> Diagnostic.t list
+
+val lint_kernel : Sim.Kernel.t -> Diagnostic.t list
+(** Races recorded so far by a kernel, as [E015] diagnostics. *)
+
+val install : unit -> unit
+(** Plugs the HIR/FSM suite into {!Fossy.Synthesis.set_linter}:
+    error-severity findings block synthesis, the rest surface in
+    {!Fossy.Synthesis.result.warnings}. Call once at program start
+    (the CLI and the tests do). *)

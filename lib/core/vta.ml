@@ -1,13 +1,18 @@
 type channel_kind = Shared_bus | Point_to_point
 
+type so_access = { sa_client : string; sa_object : string; sa_guarded : bool }
+
 type t = {
   platform : Platform.t;
   mutable tasks : (string * string) list; (* reversed *)
   mutable modules : (string * string) list;
   mutable links : (string * string * channel_kind) list;
+  mutable accesses : so_access list; (* reversed *)
 }
 
-let create platform = { platform; tasks = []; modules = []; links = [] }
+let create platform =
+  { platform; tasks = []; modules = []; links = []; accesses = [] }
+
 let platform t = t.platform
 
 let map_task t ~task ~processor = t.tasks <- (task, processor) :: t.tasks
@@ -18,9 +23,26 @@ let map_module t ~module_name ~block =
 let map_link t ~link ~channel ~kind =
   t.links <- (link, channel, kind) :: t.links
 
+let record_so_access t ~client ~so ~guarded =
+  t.accesses <- { sa_client = client; sa_object = so; sa_guarded = guarded } :: t.accesses
+
 let task_mappings t = List.rev t.tasks
 let module_mappings t = List.rev t.modules
 let link_mappings t = List.rev t.links
+let so_accesses t = List.rev t.accesses
+
+let wait_graph t =
+  (* Client -> accessed Shared Objects, preserving first-access order
+     of the clients; guarded accesses are the blocking (wait-for)
+     edges the deadlock analysis follows. *)
+  List.fold_left
+    (fun acc a ->
+      let edges = try List.assoc a.sa_client acc with Not_found -> [] in
+      let edge = (a.sa_object, a.sa_guarded) in
+      if List.mem edge edges then acc
+      else (a.sa_client, edges @ [ edge ]) :: List.remove_assoc a.sa_client acc)
+    [] (so_accesses t)
+  |> List.rev
 
 let dedup_keep_order items =
   let seen = Hashtbl.create 8 in
@@ -91,4 +113,9 @@ let pp fmt t =
     (fun (link, channel, kind) ->
       Format.fprintf fmt "  link %s -> %s (%a)@," link channel pp_kind kind)
     (link_mappings t);
+  List.iter
+    (fun a ->
+      Format.fprintf fmt "  access %s -> %s%s@," a.sa_client a.sa_object
+        (if a.sa_guarded then " (guarded)" else ""))
+    (so_accesses t);
   Format.fprintf fmt "@]"

@@ -93,11 +93,24 @@ let validate m =
     in
     scan sorted
   in
+  let module_names =
+    List.map (fun (n, _, _) -> n) m.m_ports
+    @ List.map fst m.m_vars @ array_names
+  in
   duplicate subprogram_names "subprogram";
-  duplicate array_names "array";
-  duplicate
-    (List.map (fun (n, _, _) -> n) m.m_ports @ List.map fst m.m_vars)
-    "variable/port";
+  (* Ports, variables and arrays share one name space: codegen maps
+     them all to VHDL signals/variables of the entity. *)
+  duplicate module_names "port/variable/array";
+  List.iter
+    (fun s ->
+      let local_names = List.map fst s.s_params @ List.map fst s.s_locals in
+      duplicate local_names (Printf.sprintf "parameter/local in %s" s.s_name);
+      List.iter
+        (fun n ->
+          if List.mem n module_names then
+            err "%s in %s shadows a module-level name" n s.s_name)
+        local_names)
+    m.m_subprograms;
   let known_vars extra =
     List.map (fun (n, _, _) -> n) m.m_ports @ List.map fst m.m_vars @ extra
   in
@@ -141,7 +154,7 @@ let validate m =
             err "while loop without Wait in %s is not synthesisable" m.m_name;
           check_stmts vars ~in_function body
         | For (iv, lo, hi, body) ->
-          if lo > hi + 1 then err "for %s: bad bounds" iv;
+          if lo > hi then err "for %s: reversed bounds (%d > %d)" iv lo hi;
           check_stmts (iv :: vars) ~in_function body
         | Wait ->
           (* Clock boundaries are fine in procedures (they are inlined

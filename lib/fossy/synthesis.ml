@@ -8,12 +8,25 @@ type result = {
   summary : Rtl.Netlist.summary;
   area : Rtl.Area.report;
   fmax_mhz : float;
+  warnings : string list;
 }
+
+(* The deep semantic checks live in the [analysis] library, which
+   depends on this one; it plugs itself in through this hook
+   ([Analysis.Lint.install]). Without a linter installed, synthesis
+   performs only the structural [Hir.validate]. *)
+let linter : (Hir.module_def -> string list * string list) ref =
+  ref (fun _ -> ([], []))
+
+let set_linter f = linter := f
 
 let synthesise m =
   match Hir.validate m with
   | Error es -> Error es
   | Ok () ->
+    let lint_errors, warnings = !linter m in
+    if lint_errors <> [] then Error lint_errors
+    else
     let systemc_loc = Hir_pp.loc m in
     let inlined = Inline.run m in
     let fsm = Fsm.of_module inlined in
@@ -33,6 +46,7 @@ let synthesise m =
         summary;
         area;
         fmax_mhz;
+        warnings;
       }
 
 type reference_result = {

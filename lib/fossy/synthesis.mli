@@ -17,10 +17,21 @@ type result = {
   summary : Rtl.Netlist.summary;
   area : Rtl.Area.report;
   fmax_mhz : float;
+  warnings : string list;
+      (** non-blocking findings of the installed linter (empty when no
+          linter is installed) *)
 }
 
+val set_linter : (Hir.module_def -> string list * string list) -> unit
+(** Installs a semantic linter run after {!Hir.validate}. It returns
+    [(errors, warnings)]: any error blocks synthesis (reported through
+    the [Error] case exactly like validation failures), warnings are
+    passed through in {!result.warnings}. The [analysis] library
+    installs its diagnostic suite here ([Analysis.Lint.install]); the
+    default linter reports nothing. *)
+
 val synthesise : Hir.module_def -> (result, string list) Stdlib.result
-(** The full flow. [Error] carries validation diagnostics. *)
+(** The full flow. [Error] carries validation or lint diagnostics. *)
 
 type reference_result = {
   ref_name : string;

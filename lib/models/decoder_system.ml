@@ -71,6 +71,9 @@ let partition ~sw_tasks ~tiles task =
 
 let run_sw_only ~version w =
   let kernel = Sim.Kernel.create () in
+  (* Any same-delta conflicting signal write in a decoder model is a
+     modelling bug; fault immediately rather than record. *)
+  Sim.Kernel.set_race_policy kernel Sim.Kernel.Race_raise;
   let meter = Meter.create kernel in
   let times = Profile.sw (Workload.mode w) in
   let _task =
@@ -95,6 +98,7 @@ let run_sw_only ~version w =
 
 let run_coprocessor ~version ~sw_tasks ?(rig = fun _ -> application_rig) w =
   let kernel = Sim.Kernel.create () in
+  Sim.Kernel.set_race_policy kernel Sim.Kernel.Race_raise;
   let rig = rig kernel in
   let meter = Meter.create kernel in
   let mode = Workload.mode w in
@@ -163,6 +167,7 @@ let queue_exists q pred = Queue.fold (fun acc x -> acc || pred x) false q
 let run_pipeline ~version ~sw_tasks ?(rig = fun _ -> application_rig)
     ?(so_policy = Osss.Arbiter.Fcfs) w =
   let kernel = Sim.Kernel.create () in
+  Sim.Kernel.set_race_policy kernel Sim.Kernel.Race_raise;
   let rig = rig kernel in
   let meter = Meter.create kernel in
   let mode = Workload.mode w in

@@ -98,6 +98,31 @@ let mapping ~sw_tasks ~idwt_p2p =
         ~channel:("params_" ^ m)
         ~kind:Osss.Vta.Point_to_point)
     [ "idwt2d"; "idwt53"; "idwt97" ];
+  (* Shared-Object access declarations mirroring the method calls of
+     Decoder_system.run_pipeline — the wait-for graph the analysis
+     layer checks for guard-deadlock cycles. *)
+  for i = 0 to sw_tasks - 1 do
+    let client = Printf.sprintf "decoder%d" i in
+    (* put_pending is plain, take_ready waits on a non-empty guard. *)
+    Osss.Vta.record_so_access vta ~client ~so:"hwsw_so" ~guarded:false;
+    Osss.Vta.record_so_access vta ~client ~so:"hwsw_so" ~guarded:true
+  done;
+  (* idwt2d: take_pending (guarded) / put_ready on the HW/SW SO,
+     put_params / take_finished (guarded) on the params SO. *)
+  Osss.Vta.record_so_access vta ~client:"idwt2d" ~so:"hwsw_so" ~guarded:true;
+  Osss.Vta.record_so_access vta ~client:"idwt2d" ~so:"hwsw_so" ~guarded:false;
+  Osss.Vta.record_so_access vta ~client:"idwt2d" ~so:"idwt_params_so"
+    ~guarded:false;
+  Osss.Vta.record_so_access vta ~client:"idwt2d" ~so:"idwt_params_so"
+    ~guarded:true;
+  (* Filter banks: take_params (guarded) / put_finished on the params
+     SO, coefficient streaming on the HW/SW SO. *)
+  List.iter
+    (fun m ->
+      Osss.Vta.record_so_access vta ~client:m ~so:"idwt_params_so" ~guarded:true;
+      Osss.Vta.record_so_access vta ~client:m ~so:"idwt_params_so" ~guarded:false;
+      Osss.Vta.record_so_access vta ~client:m ~so:"hwsw_so" ~guarded:false)
+    [ "idwt53"; "idwt97" ];
   (match Osss.Vta.validate vta with
   | Ok () -> ()
   | Error es -> failwith ("Vta_models.mapping: " ^ String.concat "; " es));

@@ -1,3 +1,15 @@
+type race = {
+  race_signal : string;
+  race_first : string;
+  race_second : string;
+  race_time : Sim_time.t;
+  race_delta : int;
+}
+
+type race_policy = Race_ignore | Race_record | Race_raise
+
+exception Delta_race of race
+
 type t = {
   mutable now : Sim_time.t;
   calendar : (unit -> unit) Pqueue.t;
@@ -10,6 +22,9 @@ type t = {
   mutable next_pid : int;
   mutable stop_requested : bool;
   mutable started : bool;
+  mutable current_label : string option;
+  mutable race_policy : race_policy;
+  mutable races : race list; (* reversed *)
 }
 
 type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
@@ -28,6 +43,9 @@ let create () =
     next_pid = 0;
     stop_requested = false;
     started = false;
+    current_label = None;
+    race_policy = Race_record;
+    races = [];
   }
 
 let now t = t.now
@@ -42,13 +60,41 @@ let schedule_after t d f =
 
 let at_update t f = Queue.push f t.updates
 let stop t = t.stop_requested <- true
+let current_label t = t.current_label
+let set_race_policy t p = t.race_policy <- p
+let race_policy t = t.race_policy
+let races t = List.rev t.races
+let clear_races t = t.races <- []
+
+let report_race t ~signal ~first ~second =
+  let race =
+    {
+      race_signal = signal;
+      race_first = first;
+      race_second = second;
+      race_time = t.now;
+      race_delta = t.deltas;
+    }
+  in
+  match t.race_policy with
+  | Race_ignore -> ()
+  | Race_record -> t.races <- race :: t.races
+  | Race_raise -> raise (Delta_race race)
 
 let spawn t ?name body =
   t.live <- t.live + 1;
   let pid = t.next_pid in
   t.next_pid <- pid + 1;
-  Hashtbl.replace t.unfinished pid
-    (Option.value name ~default:(Printf.sprintf "process-%d" pid));
+  let label = Option.value name ~default:(Printf.sprintf "process-%d" pid) in
+  Hashtbl.replace t.unfinished pid label;
+  (* Every slice of this process runs with its label as the kernel's
+     current label, so primitive channels can attribute writes to a
+     driver (the delta-race detector keys on this). *)
+  let with_label f () =
+    let prev = t.current_label in
+    t.current_label <- Some label;
+    Fun.protect ~finally:(fun () -> t.current_label <- prev) f
+  in
   let finished () =
     t.live <- t.live - 1;
     Hashtbl.remove t.unfinished pid
@@ -63,7 +109,7 @@ let spawn t ?name body =
           | Suspend register ->
             Some
               (fun (k : (a, unit) Effect.Deep.continuation) ->
-                register (fun () -> Effect.Deep.continue k ()))
+                register (with_label (fun () -> Effect.Deep.continue k ())))
           | Self ->
             Some
               (fun (k : (a, unit) Effect.Deep.continuation) ->
@@ -71,7 +117,7 @@ let spawn t ?name body =
           | _ -> None);
     }
   in
-  let start () = Effect.Deep.match_with body () handler in
+  let start = with_label (fun () -> Effect.Deep.match_with body () handler) in
   schedule_now t start
 
 (* One delta cycle: drain the evaluation queue (actions may append

@@ -21,6 +21,28 @@
 
 type t
 
+(** {1 Delta-cycle write-write races}
+
+    Primitive channels (see {!Signal}) report two different processes
+    writing the same channel within one evaluation phase — multiple
+    drivers in SystemC terms, where the committed value would depend
+    on process ordering. *)
+
+type race = {
+  race_signal : string;
+  race_first : string;  (** process holding the pending write *)
+  race_second : string;  (** process that wrote over it *)
+  race_time : Sim_time.t;
+  race_delta : int;
+}
+
+type race_policy =
+  | Race_ignore
+  | Race_record  (** keep the race in {!races} (the default) *)
+  | Race_raise  (** raise {!Delta_race} at the second write *)
+
+exception Delta_race of race
+
 val create : unit -> t
 
 val now : t -> Sim_time.t
@@ -72,6 +94,23 @@ val schedule_after : t -> Sim_time.t -> (unit -> unit) -> unit
 val at_update : t -> (unit -> unit) -> unit
 (** Registers an action for the update phase of the current delta
     cycle. *)
+
+val current_label : t -> string option
+(** Name of the process whose slice is currently executing, [None]
+    inside scheduler callbacks and outside {!run}. *)
+
+val set_race_policy : t -> race_policy -> unit
+val race_policy : t -> race_policy
+
+val report_race : t -> signal:string -> first:string -> second:string -> unit
+(** Applies the current policy to a conflicting-driver observation.
+    Called by primitive channels; raises {!Delta_race} under
+    [Race_raise]. *)
+
+val races : t -> race list
+(** Races recorded so far (oldest first) under [Race_record]. *)
+
+val clear_races : t -> unit
 
 (** {1 Process context}
 

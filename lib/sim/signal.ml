@@ -4,6 +4,7 @@ type 'a t = {
   equal : 'a -> 'a -> bool;
   mutable current : 'a;
   mutable pending : 'a option;
+  mutable pending_writer : string; (* meaningful while [pending <> None] *)
   changed : Event.t;
 }
 
@@ -14,12 +15,14 @@ let create kernel ?(name = "signal") ?(equal = ( = )) init =
     equal;
     current = init;
     pending = None;
+    pending_writer = "";
     changed = Event.create kernel ~name:(name ^ ".changed") ();
   }
 
 let name t = t.name
 let value t = t.current
 let changed t = t.changed
+let last_writer t = if t.pending = None && t.pending_writer = "" then None else Some t.pending_writer
 
 let commit t =
   match t.pending with
@@ -32,9 +35,25 @@ let commit t =
     end
 
 let write t v =
-  let first_write = t.pending = None in
-  t.pending <- Some v;
-  if first_write then Kernel.at_update t.kernel (fun () -> commit t)
+  let writer =
+    match Kernel.current_label t.kernel with
+    | Some label -> label
+    | None -> "<scheduler>"
+  in
+  (match t.pending with
+  | None ->
+    t.pending_writer <- writer;
+    Kernel.at_update t.kernel (fun () -> commit t)
+  | Some _ ->
+    (* Re-writing within the same evaluation phase is fine for the
+       process that owns the pending value (last write wins); a write
+       from a different process is a conflicting driver. *)
+    if not (String.equal t.pending_writer writer) then begin
+      Kernel.report_race t.kernel ~signal:t.name ~first:t.pending_writer
+        ~second:writer;
+      t.pending_writer <- writer
+    end);
+  t.pending <- Some v
 
 let wait_change t = Event.wait t.changed
 

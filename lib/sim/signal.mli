@@ -21,7 +21,13 @@ val value : 'a t -> 'a
 
 val write : 'a t -> 'a -> unit
 (** Schedules the value for the next update phase. The last write in
-    an evaluation phase wins. *)
+    an evaluation phase wins. If a second process writes the same
+    signal within one evaluation phase, the conflict is reported to
+    the kernel's race policy ({!Kernel.report_race}) — multiple
+    drivers make the committed value scheduling-dependent. *)
+
+val last_writer : 'a t -> string option
+(** Process that performed the most recent write, if any. *)
 
 val changed : 'a t -> Event.t
 (** Event notified when a committed write changes the value. *)
