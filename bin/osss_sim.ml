@@ -26,7 +26,8 @@ let run_cmd =
       exit 1
     | Some version ->
       let r = Models.Experiment.run ~payload:(not no_payload) version mode in
-      Format.printf "%a@." Models.Outcome.pp r
+      Format.printf "%a@." Models.Outcome.pp r;
+      if r.Models.Outcome.functional_ok = Some false then exit 1
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one model version.")
@@ -56,6 +57,69 @@ let relations_cmd =
     (Cmd.info "check" ~doc:"Evaluate the paper's in-text claims against the simulation.")
     Term.(const run $ payload_arg)
 
+let campaign_cmd =
+  let run seed rates mode versions unprotected =
+    let versions =
+      match versions with
+      | [] -> Models.Experiment.all_versions
+      | names ->
+        List.map
+          (fun name ->
+            match Models.Experiment.version_of_name name with
+            | Some v -> v
+            | None ->
+              Printf.eprintf "unknown version %S (use 1..5, 6a, 6b, 7a, 7b)\n"
+                name;
+              exit 1)
+          names
+    in
+    let protection =
+      if unprotected then Some Osss.Channel.Unprotected else None
+    in
+    let config =
+      Models.Campaign.default ~seed ?rates ~mode ~versions ?protection ()
+    in
+    let rows = Models.Campaign.run config in
+    print_string (Models.Campaign.render config rows);
+    let aborted =
+      List.exists (fun r -> Result.is_error r.Models.Campaign.row_result) rows
+    in
+    let mismatch =
+      List.exists
+        (fun r ->
+          match r.Models.Campaign.row_result with
+          | Ok o -> o.Models.Outcome.functional_ok = Some false
+          | Error _ -> false)
+        rows
+    in
+    if mismatch then exit 1;
+    ignore aborted
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run the seeded fault-injection campaign and print the resilience \
+          table. Deterministic: equal seeds print equal tables.")
+    Term.(
+      const run
+      $ Arg.(value & opt int 2008 & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed.")
+      $ Arg.(
+          value
+          & opt (some (list float)) None
+          & info [ "rates" ] ~docv:"R1,R2,..."
+              ~doc:"Fault rates to sweep (default 0,0.001,0.01,0.05).")
+      $ Arg.(value & opt mode_conv Jpeg2000.Codestream.Lossless
+             & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"lossless or lossy.")
+      $ Arg.(
+          value
+          & opt (list string) []
+          & info [ "versions" ] ~docv:"V1,V2,..."
+              ~doc:"Model versions to include (default: all nine).")
+      $ Arg.(
+          value & flag
+          & info [ "unprotected" ]
+              ~doc:"Disable the CRC/retry channel hardening."))
+
 let mapping_cmd =
   let run sw_tasks idwt_p2p =
     let vta = Models.Vta_models.mapping ~sw_tasks ~idwt_p2p in
@@ -73,4 +137,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "osss_sim" ~doc)
-          [ run_cmd; table1_cmd; fig1_cmd; relations_cmd; mapping_cmd ]))
+          [ run_cmd; table1_cmd; fig1_cmd; relations_cmd; campaign_cmd; mapping_cmd ]))

@@ -1,4 +1,4 @@
-type transport =
+type kind =
   | Bus_link of Bus.t * Bus.master
   | P2p of {
       kernel : Sim.Kernel.t;
@@ -7,22 +7,77 @@ type transport =
       setup_cycles : int;
     }
 
-let bus_transport bus master = Bus_link (bus, master)
+type protection =
+  | Unprotected
+  | Crc_retry of {
+      max_retries : int;
+      timeout_cycles : int;
+      backoff_base_cycles : int;
+    }
+
+type stats = {
+  mutable frames : int;
+  mutable crc_errors : int;
+  mutable retries : int;
+  mutable giveups : int;
+  mutable retry_time : Sim.Sim_time.t;
+}
+
+type transport = {
+  kind : kind;
+  link_name : string;
+  mutable protection : protection;
+  stats : stats;
+}
+
+exception Transfer_failed of { link : string; what : string; attempts : int }
+
+let fresh_stats () =
+  { frames = 0; crc_errors = 0; retries = 0; giveups = 0;
+    retry_time = Sim.Sim_time.zero }
+
+let make kind link_name =
+  { kind; link_name; protection = Unprotected; stats = fresh_stats () }
+
+let bus_transport bus master = make (Bus_link (bus, master)) (Bus.name bus)
 
 let p2p kernel ?(clock_hz = 100_000_000) ?(cycles_per_word = 1)
-    ?(setup_cycles = 2) () =
+    ?(setup_cycles = 2) ?(name = "p2p") () =
   if clock_hz <= 0 then invalid_arg "Channel.p2p: clock_hz";
   if cycles_per_word <= 0 then invalid_arg "Channel.p2p: cycles_per_word";
   if setup_cycles < 0 then invalid_arg "Channel.p2p: setup_cycles";
-  P2p { kernel; clock_hz; cycles_per_word; setup_cycles }
+  make (P2p { kernel; clock_hz; cycles_per_word; setup_cycles }) name
 
-let transport_name = function
-  | Bus_link (bus, _) -> Bus.name bus
-  | P2p _ -> "p2p"
+let transport_name t = t.link_name
+
+let crc_retry ?(max_retries = 8) ?(timeout_cycles = 64)
+    ?(backoff_base_cycles = 16) () =
+  if max_retries < 0 then invalid_arg "Channel.crc_retry: max_retries";
+  if timeout_cycles < 0 then invalid_arg "Channel.crc_retry: timeout_cycles";
+  if backoff_base_cycles < 0 then
+    invalid_arg "Channel.crc_retry: backoff_base_cycles";
+  Crc_retry { max_retries; timeout_cycles; backoff_base_cycles }
+
+let set_protection t p = t.protection <- p
+let protection t = t.protection
+let stats t = t.stats
+
+let reset_stats t =
+  let s = t.stats in
+  s.frames <- 0;
+  s.crc_errors <- 0;
+  s.retries <- 0;
+  s.giveups <- 0;
+  s.retry_time <- Sim.Sim_time.zero
+
+let clock_hz t =
+  match t.kind with
+  | Bus_link (bus, _) -> Bus.clock_hz bus
+  | P2p { clock_hz; _ } -> clock_hz
 
 let transfer t ~words =
   if words < 0 then invalid_arg "Channel.transfer: negative word count";
-  match t with
+  match t.kind with
   | Bus_link (bus, master) -> Bus.transfer bus master ~words
   | P2p { clock_hz; cycles_per_word; setup_cycles; _ } ->
     if words > 0 then
@@ -33,13 +88,102 @@ let transfer t ~words =
 let transfer_time_unloaded t ~words =
   if words < 0 then invalid_arg "Channel.transfer_time_unloaded: negative"
   else
-    match t with
+    match t.kind with
     | Bus_link (bus, _) -> Bus.transfer_time_unloaded bus ~words
     | P2p { clock_hz; cycles_per_word; setup_cycles; _ } ->
       if words = 0 then Sim.Sim_time.zero
       else
         Sim.Sim_time.cycles ~hz:clock_hz
           (setup_cycles + (words * cycles_per_word))
+
+(* -- protected transfers ------------------------------------------- *)
+
+(* Retry bookkeeping shared by the data-carrying and timing-only
+   protected paths. [attempt n] performs one transmission and returns
+   [Some v] on success, [None] on a detected corruption; on [None]
+   the caller pays the detection timeout, an exponential backoff, and
+   retries until the budget is exhausted. The retransmission time is
+   real simulated time — retries are never free. *)
+let with_retries t ~what ~max_retries ~timeout_cycles ~backoff_base_cycles
+    attempt =
+  let hz = clock_hz t in
+  let started =
+    try Some (Sim.Kernel.now (Sim.Kernel.self ())) with _ -> None
+  in
+  let rec go n =
+    t.stats.frames <- t.stats.frames + 1;
+    match attempt n with
+    | Some v ->
+      (match started with
+      | Some t0 when n > 0 ->
+        let now = Sim.Kernel.now (Sim.Kernel.self ()) in
+        t.stats.retry_time <-
+          Sim.Sim_time.add t.stats.retry_time (Sim.Sim_time.sub now t0)
+      | _ -> ());
+      v
+    | None ->
+      t.stats.crc_errors <- t.stats.crc_errors + 1;
+      Eet.consume (Sim.Sim_time.cycles ~hz timeout_cycles);
+      if n >= max_retries then begin
+        t.stats.giveups <- t.stats.giveups + 1;
+        raise (Transfer_failed { link = t.link_name; what; attempts = n + 1 })
+      end;
+      t.stats.retries <- t.stats.retries + 1;
+      Eet.consume (Sim.Sim_time.cycles ~hz (backoff_base_cycles * (1 lsl Stdlib.min n 16)));
+      go (n + 1)
+  in
+  go 0
+
+(* One extra protocol word carries the method id in each direction. *)
+let protocol_words = 1
+
+(* Send a serialised payload over the channel and return what the
+   receiver deserialises. Unprotected: the words travel as they are
+   (a fault hook may corrupt them — detection is then the decoder's
+   problem, typically an [Invalid_argument] from {!Serialisation}).
+   Protected: CRC framing, verification, timeout + bounded retry with
+   exponential backoff. *)
+let send_words t ~what payload =
+  let corrupt arr =
+    match Fault_hooks.channel () with
+    | None -> arr
+    | Some f -> f ~link:t.link_name arr
+  in
+  match t.protection with
+  | Unprotected ->
+    t.stats.frames <- t.stats.frames + 1;
+    transfer t ~words:(Array.length payload + protocol_words);
+    corrupt payload
+  | Crc_retry { max_retries; timeout_cycles; backoff_base_cycles } ->
+    with_retries t ~what ~max_retries ~timeout_cycles ~backoff_base_cycles
+      (fun _n ->
+        let framed = Crc.frame payload in
+        transfer t ~words:(Array.length framed + protocol_words);
+        Crc.check (corrupt framed))
+
+(* Timing-only bulk frame (tile payload): no words are materialised,
+   the frame hook decides the fate of each attempt. *)
+let payload_transfer t ~words =
+  if words < 0 then invalid_arg "Channel.payload_transfer: negative word count";
+  if words > 0 then begin
+    let fate () =
+      match Fault_hooks.frame () with
+      | None -> false
+      | Some f -> f ~link:t.link_name ~words
+    in
+    match t.protection with
+    | Unprotected ->
+      t.stats.frames <- t.stats.frames + 1;
+      transfer t ~words;
+      ignore (fate ())
+    | Crc_retry { max_retries; timeout_cycles; backoff_base_cycles } ->
+      with_retries t ~what:"payload" ~max_retries ~timeout_cycles
+        ~backoff_base_cycles (fun _n ->
+          transfer t ~words:(words + 1) (* + CRC word *);
+          if fate () then None else Some ())
+  end
+
+(* -- remote method invocation --------------------------------------- *)
 
 type ('state, 'a, 'b) rmi_method = {
   method_name : string;
@@ -59,18 +203,15 @@ let rmi_method ~name ~args ~ret
     body;
   }
 
-(* One extra protocol word carries the method id in each direction. *)
-let protocol_words = 1
-
 let rmi_transaction transport so client m args ~call =
   let encoded_args = Serialisation.encode m.args_codec args in
-  transfer transport ~words:(Array.length encoded_args + protocol_words);
-  let received_args = Serialisation.decode m.args_codec encoded_args in
+  let arrived = send_words transport ~what:(m.method_name ^ ":args") encoded_args in
+  let received_args = Serialisation.decode m.args_codec arrived in
   let eet = m.execution_time received_args in
   let result = call so client ~eet (fun state -> m.body state received_args) in
   let encoded_ret = Serialisation.encode m.ret_codec result in
-  transfer transport ~words:(Array.length encoded_ret + protocol_words);
-  Serialisation.decode m.ret_codec encoded_ret
+  let returned = send_words transport ~what:(m.method_name ^ ":ret") encoded_ret in
+  Serialisation.decode m.ret_codec returned
 
 let rmi_call transport so client m args =
   rmi_transaction transport so client m args ~call:(fun so client ~eet f ->

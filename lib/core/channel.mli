@@ -15,7 +15,17 @@
 
     Because the method body is untouched, swapping a bus for a P2P
     link (models 6a vs 6b, 7a vs 7b) changes only timing — the
-    paper's seamless-refinement claim. *)
+    paper's seamless-refinement claim.
+
+    {2 Hardened mode}
+
+    A transport optionally runs in a {!protection} mode that appends
+    a {!Crc} word to every serialised frame, verifies it at the
+    receiver, and recovers from detected corruption with a timeout,
+    a bounded number of retransmissions and exponential backoff. All
+    recovery costs are paid in simulated time at the transport's
+    clock, and counted in {!stats}. The default is {!Unprotected},
+    whose timing is bit-for-bit the seed behaviour. *)
 
 type transport
 
@@ -26,18 +36,74 @@ val p2p :
   ?clock_hz:int ->
   ?cycles_per_word:int ->
   ?setup_cycles:int ->
+  ?name:string ->
   unit ->
   transport
 (** Dedicated point-to-point link: no arbitration; a transfer costs
     [setup_cycles + words * cycles_per_word] at [clock_hz]. Defaults:
-    100 MHz, 1 cycle/word, 2 setup cycles. *)
+    100 MHz, 1 cycle/word, 2 setup cycles, name ["p2p"]. *)
 
 val transport_name : transport -> string
 
+val clock_hz : transport -> int
+(** Clock of the physical carrier (bus clock or P2P link clock);
+    prices the hardened mode's timeout and backoff waits. *)
+
 val transfer : transport -> words:int -> unit
-(** Raw timed transfer (process context). *)
+(** Raw timed transfer (process context). Never protected, never
+    faulted — use {!payload_transfer} for frames that should be. *)
 
 val transfer_time_unloaded : transport -> words:int -> Sim.Sim_time.t
+
+(** {1 Hardened RMI} *)
+
+type protection =
+  | Unprotected
+      (** Seed behaviour: frames travel bare, corruption (if a fault
+          hook is installed) reaches the deserialiser undetected. *)
+  | Crc_retry of {
+      max_retries : int;  (** retransmissions before giving up *)
+      timeout_cycles : int;
+          (** cycles to detect a bad frame before reacting *)
+      backoff_base_cycles : int;
+          (** backoff before retry [n] is [base * 2{^n}] cycles *)
+    }
+
+val crc_retry :
+  ?max_retries:int ->
+  ?timeout_cycles:int ->
+  ?backoff_base_cycles:int ->
+  unit ->
+  protection
+(** [Crc_retry] with defaults 8 retries, 64-cycle timeout, 16-cycle
+    backoff base. *)
+
+val set_protection : transport -> protection -> unit
+val protection : transport -> protection
+
+type stats = {
+  mutable frames : int;  (** transmission attempts (incl. retries) *)
+  mutable crc_errors : int;  (** frames that failed verification *)
+  mutable retries : int;  (** retransmissions performed *)
+  mutable giveups : int;  (** transfers abandoned after the budget *)
+  mutable retry_time : Sim.Sim_time.t;
+      (** simulated time spent on transfers that needed recovery *)
+}
+
+val stats : transport -> stats
+val reset_stats : transport -> unit
+
+exception Transfer_failed of { link : string; what : string; attempts : int }
+(** Raised by a protected transfer once [max_retries] retransmissions
+    have all arrived corrupted. *)
+
+val payload_transfer : transport -> words:int -> unit
+(** Timed transfer of one timing-only bulk frame (e.g. a tile
+    payload) that participates in fault injection and protection:
+    the frame fate comes from {!Fault_hooks.frame}; under [Crc_retry]
+    a corrupted attempt costs timeout + backoff + retransmission and
+    may end in {!Transfer_failed}. Unprotected with no hook installed
+    this is exactly [transfer]. *)
 
 (** {1 Remote method invocation} *)
 
@@ -67,7 +133,10 @@ val rmi_call :
   'b
 (** Performs the full refined call. The argument and result values
     actually travel through their word encodings, so a codec mismatch
-    is a simulation failure, not a silent approximation. *)
+    is a simulation failure, not a silent approximation. Under a
+    {!Fault_hooks.channel} hook the words may be corrupted in flight;
+    {!Crc_retry} protection detects and repairs that at a measured
+    retransmission cost. *)
 
 val rmi_call_guarded :
   transport ->

@@ -1,0 +1,40 @@
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over 32-bit
+   bus words, little-endian byte order within each word. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update_byte crc b =
+  let t = Lazy.force table in
+  let idx = Int32.to_int (Int32.logand (Int32.logxor crc (Int32.of_int b)) 0xFFl) in
+  Int32.logxor t.(idx) (Int32.shift_right_logical crc 8)
+
+let update_word crc w =
+  let b k = Int32.to_int (Int32.logand (Int32.shift_right_logical w (8 * k)) 0xFFl) in
+  update_byte (update_byte (update_byte (update_byte crc (b 0)) (b 1)) (b 2)) (b 3)
+
+let words data =
+  Int32.lognot (Array.fold_left update_word 0xFFFFFFFFl data)
+
+let frame data =
+  let n = Array.length data in
+  let out = Array.make (n + 1) 0l in
+  Array.blit data 0 out 0 n;
+  out.(n) <- words data;
+  out
+
+let check framed =
+  let n = Array.length framed - 1 in
+  if n < 0 then None
+  else
+    let payload = Array.sub framed 0 n in
+    if Int32.equal (words payload) framed.(n) then Some payload else None

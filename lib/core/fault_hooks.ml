@@ -1,0 +1,33 @@
+type channel_hook = link:string -> int32 array -> int32 array
+type frame_hook = link:string -> words:int -> bool
+type memory_hook = mem:string -> addr:int -> int32 -> int32
+type stall_hook = proc:string -> int
+
+let channel_hook : channel_hook option ref = ref None
+let frame_hook : frame_hook option ref = ref None
+let memory_read_hook : memory_hook option ref = ref None
+let memory_write_hook : memory_hook option ref = ref None
+let stall_hook : stall_hook option ref = ref None
+
+let set_channel f = channel_hook := Some f
+let set_frame f = frame_hook := Some f
+let set_memory_read f = memory_read_hook := Some f
+let set_memory_write f = memory_write_hook := Some f
+let set_stall f = stall_hook := Some f
+
+let channel () = !channel_hook
+let frame () = !frame_hook
+let memory_read () = !memory_read_hook
+let memory_write () = !memory_write_hook
+let stall () = !stall_hook
+
+let active () =
+  !channel_hook <> None || !frame_hook <> None || !memory_read_hook <> None
+  || !memory_write_hook <> None || !stall_hook <> None
+
+let clear () =
+  channel_hook := None;
+  frame_hook := None;
+  memory_read_hook := None;
+  memory_write_hook := None;
+  stall_hook := None

@@ -61,11 +61,24 @@ let single_access_time t =
   | Clocked { clock_hz; read_latency_cycles } ->
     Sim.Sim_time.cycles ~hz:clock_hz (read_latency_cycles + 1)
 
+(* Fault-injection points: a read fault models a transient or
+   stuck-at error on the output port (storage untouched), a write
+   fault corrupts the stored cell itself. *)
+let faulted_read t addr v =
+  match Fault_hooks.memory_read () with
+  | None -> v
+  | Some f -> f ~mem:t.name ~addr v
+
+let faulted_write t addr v =
+  match Fault_hooks.memory_write () with
+  | None -> v
+  | Some f -> f ~mem:t.name ~addr v
+
 let read t addr =
   check_addr t addr;
   t.reads <- t.reads + 1;
   Eet.consume (single_access_time t);
-  t.storage.(addr)
+  faulted_read t addr t.storage.(addr)
 
 let write t addr v =
   check_addr t addr;
@@ -73,7 +86,7 @@ let write t addr v =
   (match t.timing with
   | Combinational -> ()
   | Clocked { clock_hz; _ } -> Eet.consume (Sim.Sim_time.cycles ~hz:clock_hz 1));
-  t.storage.(addr) <- v
+  t.storage.(addr) <- faulted_write t addr v
 
 let read_burst t ~addr ~len =
   if len < 0 then invalid_arg "Memory.read_burst: negative length";
@@ -83,7 +96,12 @@ let read_burst t ~addr ~len =
   end;
   t.reads <- t.reads + len;
   Eet.consume (access_time t ~words:len);
-  Array.sub t.storage addr len
+  let data = Array.sub t.storage addr len in
+  (match Fault_hooks.memory_read () with
+  | None -> ()
+  | Some f ->
+    Array.iteri (fun i v -> data.(i) <- f ~mem:t.name ~addr:(addr + i) v) data);
+  data
 
 let write_burst t ~addr data =
   let len = Array.length data in
@@ -93,7 +111,10 @@ let write_burst t ~addr data =
   end;
   t.writes <- t.writes + len;
   Eet.consume (access_time t ~words:len);
-  Array.blit data 0 t.storage addr len
+  match Fault_hooks.memory_write () with
+  | None -> Array.blit data 0 t.storage addr len
+  | Some f ->
+    Array.iteri (fun i v -> t.storage.(addr + i) <- f ~mem:t.name ~addr:(addr + i) v) data
 
 let reads t = t.reads
 let writes t = t.writes

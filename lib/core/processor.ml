@@ -35,7 +35,15 @@ let execute t binding duration =
       if t.last_ran <> Some id && t.last_ran <> None then
         Eet.consume t.context_switch;
       t.last_ran <- Some id;
-      Eet.consume duration)
+      Eet.consume duration;
+      (* Stall jitter fault model: extra pipeline-stall cycles charged
+         to this EET slice, at the processor's own clock. *)
+      match Fault_hooks.stall () with
+      | None -> ()
+      | Some f ->
+        let cycles = f ~proc:(Lock.name t.lock) in
+        if cycles > 0 then
+          Eet.consume (Sim.Sim_time.cycles ~hz:t.clock_hz cycles))
 
 let busy_time t = Lock.total_held t.lock
 let wait_time t = Lock.total_wait t.lock

@@ -55,12 +55,31 @@ let f64 buf v =
     u8 buf (Int64.to_int (Int64.shift_right_logical bits (8 * i)))
   done
 
+type error =
+  | Truncated of int
+  | Bad_magic
+  | Bad_version of int
+  | Bad_field of string
+  | Trailing of int
+
+let error_message = function
+  | Truncated off -> Printf.sprintf "truncated at byte %d" off
+  | Bad_magic -> "bad magic"
+  | Bad_version v -> Printf.sprintf "unsupported version %d" v
+  | Bad_field what -> what
+  | Trailing n -> Printf.sprintf "%d trailing bytes" n
+
+let pp_error fmt e = Format.pp_print_string fmt (error_message e)
+
+exception Error of error
+
 type reader = { data : string; mutable pos : int }
 
-let fail msg = failwith ("Codestream.parse: " ^ msg)
+let fail_err e = raise (Error e)
+let fail msg = fail_err (Bad_field msg)
 
 let r8 r =
-  if r.pos >= String.length r.data then fail "truncated";
+  if r.pos >= String.length r.data then fail_err (Truncated r.pos);
   let v = Char.code r.data.[r.pos] in
   r.pos <- r.pos + 1;
   v
@@ -81,7 +100,7 @@ let rf64 r =
   Int64.float_of_bits !bits
 
 let rbytes r n =
-  if r.pos + n > String.length r.data then fail "truncated payload";
+  if r.pos + n > String.length r.data then fail_err (Truncated r.pos);
   let s = String.sub r.data r.pos n in
   r.pos <- r.pos + n;
   s
@@ -154,7 +173,20 @@ let emit t =
 
 (* -- parse ---------------------------------------------------------- *)
 
-let parse_band r =
+(* Hostile-input bounds: a corrupt stream must never make the parser
+   (or a later decode stage sized from header fields) allocate
+   unboundedly. These caps are far above anything the models emit. *)
+let max_dim = 32768
+let max_components = 16
+let max_levels = 12
+let max_code_block = 4096
+let max_pixels = 1 lsl 26
+
+let check_range what v lo hi =
+  if v < lo || v > hi then
+    fail (Printf.sprintf "%s %d out of range [%d, %d]" what v lo hi)
+
+let parse_band r ~tile_w ~tile_h =
   let seg_level = r8 r in
   let seg_orientation =
     try Subband.orientation_of_code (r8 r)
@@ -162,6 +194,8 @@ let parse_band r =
   in
   let seg_w = r16 r in
   let seg_h = r16 r in
+  check_range "band width" seg_w 0 tile_w;
+  check_range "band height" seg_h 0 tile_h;
   let nblocks = r16 r in
   let seg_blocks =
     List.init nblocks (fun _ ->
@@ -176,24 +210,34 @@ let parse_band r =
   in
   { seg_level; seg_orientation; seg_w; seg_h; seg_blocks }
 
-let parse_tile r =
+let parse_tile r ~header =
   let tile_index = r16 r in
   let tile_x0 = r32 r in
   let tile_y0 = r32 r in
   let tile_w = r16 r in
   let tile_h = r16 r in
+  check_range "tile x0" tile_x0 0 header.width;
+  check_range "tile y0" tile_y0 0 header.height;
+  check_range "tile width" tile_w 1 header.tile_w;
+  check_range "tile height" tile_h 1 header.tile_h;
+  if tile_x0 + tile_w > header.width || tile_y0 + tile_h > header.height then
+    fail "tile exceeds image bounds";
   let ncomps = r8 r in
+  if ncomps <> header.components then fail "tile component count mismatch";
   let comps =
     Array.init ncomps (fun _ ->
         let nbands = r8 r in
-        List.init nbands (fun _ -> parse_band r))
+        check_range "band count" nbands 0 ((3 * max_levels) + 1);
+        List.init nbands (fun _ -> parse_band r ~tile_w ~tile_h))
   in
   { tile_index; tile_x0; tile_y0; tile_w; tile_h; comps }
 
-let parse data =
+let parse_exn data =
   let r = { data; pos = 0 } in
-  if String.length data < 5 || rbytes r 4 <> magic then fail "bad magic";
-  if r8 r <> version then fail "unsupported version";
+  if String.length data < 4 then fail_err Bad_magic;
+  if rbytes r 4 <> magic then fail_err Bad_magic;
+  let v = r8 r in
+  if v <> version then fail_err (Bad_version v);
   let width = r32 r in
   let height = r32 r in
   let components = r8 r in
@@ -204,9 +248,17 @@ let parse data =
   let bit_depth = r8 r in
   let base_step = rf64 r in
   let code_block = r16 r in
-  if width <= 0 || height <= 0 || components <= 0 || tile_w <= 0 || tile_h <= 0
-  then fail "bad dimensions";
-  if code_block <= 0 then fail "bad code-block size";
+  check_range "width" width 1 max_dim;
+  check_range "height" height 1 max_dim;
+  check_range "components" components 1 max_components;
+  check_range "tile width" tile_w 1 max_dim;
+  check_range "tile height" tile_h 1 max_dim;
+  check_range "levels" levels 0 max_levels;
+  check_range "bit depth" bit_depth 1 16;
+  check_range "code-block size" code_block 1 max_code_block;
+  if width * height * components > max_pixels then fail "image too large";
+  if not (Float.is_finite base_step) || base_step < 0.0 then
+    fail "bad base step";
   let header =
     {
       width; height; components; tile_w; tile_h; levels; mode; bit_depth;
@@ -214,9 +266,24 @@ let parse data =
     }
   in
   let ntiles = r16 r in
-  let tiles = List.init ntiles (fun _ -> parse_tile r) in
-  if r.pos <> String.length data then fail "trailing bytes";
+  let grid_tiles =
+    ((width + tile_w - 1) / tile_w) * ((height + tile_h - 1) / tile_h)
+  in
+  check_range "tile count" ntiles 0 grid_tiles;
+  let tiles = List.init ntiles (fun _ -> parse_tile r ~header) in
+  if r.pos <> String.length data then
+    fail_err (Trailing (String.length data - r.pos));
   { header; tiles }
+
+let parse_result data =
+  match parse_exn data with
+  | t -> Ok t
+  | exception Error e -> Error e
+
+let parse data =
+  match parse_exn data with
+  | t -> t
+  | exception Error e -> failwith ("Codestream.parse: " ^ error_message e)
 
 let segment_bytes tile =
   Array.fold_left

@@ -52,9 +52,31 @@ type tile_segment = {
 type t = { header : header; tiles : tile_segment list }
 
 val emit : t -> string
+
+(** {1 Parsing}
+
+    The reader validates every size field against hostile-input
+    bounds before anything is allocated from it, so a truncated or
+    bit-flipped stream yields a typed error — never an uncaught
+    exception, never an unbounded allocation. *)
+
+type error =
+  | Truncated of int  (** byte offset at which input ran out *)
+  | Bad_magic
+  | Bad_version of int
+  | Bad_field of string  (** an out-of-range or inconsistent field *)
+  | Trailing of int  (** well-formed stream followed by junk bytes *)
+
+val error_message : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+val parse_result : string -> (t, error) result
+(** [parse_result (emit s) = Ok s]; total on arbitrary input. *)
+
 val parse : string -> t
 (** [parse (emit s) = s]. Raises [Failure] on malformed input
-    (bad magic, truncation, invalid field values). *)
+    (bad magic, truncation, invalid field values) — the historical
+    interface; new code should prefer {!parse_result}. *)
 
 val segment_bytes : tile_segment -> int
 (** Total entropy-coded payload of a tile (sum of all code-block

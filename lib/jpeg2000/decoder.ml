@@ -295,3 +295,173 @@ let decode data = decode_with data
 let decode_progressive ~max_passes data =
   if max_passes < 0 then invalid_arg "Decoder.decode_progressive: max_passes";
   decode_with ~max_passes data
+
+(* -- graceful degradation ------------------------------------------- *)
+
+type report = {
+  concealed_blocks : int;
+  concealed_tiles : int;
+  total_blocks : int;
+  total_tiles : int;
+}
+
+let no_damage = function
+  | { concealed_blocks = 0; concealed_tiles = 0; _ } -> true
+  | _ -> false
+
+let pp_report ppf r =
+  Format.fprintf ppf "%d/%d blocks concealed, %d/%d tiles concealed"
+    r.concealed_blocks r.total_blocks r.concealed_tiles r.total_tiles
+
+(* Entropy decode in which each code block is a containment domain: a
+   block whose MQ codeword no longer decodes is concealed (all-zero
+   coefficients — mid-grey after the DC shift, the classic JPEG 2000
+   error-resilience strategy) instead of poisoning the tile. Returns
+   [None] when the tile's structure itself is inconsistent with the
+   header geometry and the whole tile must be concealed. *)
+let max_robust_planes = 30
+
+let entropy_decode_tile_robust header tile =
+  let concealed = ref 0 in
+  let bands =
+    Subband.decompose ~width:tile.Codestream.tile_w
+      ~height:tile.Codestream.tile_h ~levels:header.Codestream.levels
+  in
+  let decode_comp segments =
+    if List.length segments <> List.length bands then raise Exit;
+    List.map2
+      (fun band seg ->
+        if
+          band.Subband.w <> seg.Codestream.seg_w
+          || band.Subband.h <> seg.Codestream.seg_h
+          || band.Subband.orientation <> seg.Codestream.seg_orientation
+        then raise Exit;
+        let bw = band.Subband.w and bh = band.Subband.h in
+        let grid =
+          Codestream.block_grid ~code_block:header.Codestream.code_block ~w:bw
+            ~h:bh
+        in
+        if List.length grid <> List.length seg.Codestream.seg_blocks then
+          raise Exit;
+        let coeffs = Array.make (Stdlib.max 1 (bw * bh)) 0 in
+        let max_planes = ref 0 in
+        List.iter2
+          (fun (x0, y0, w, h) blk ->
+            let block =
+              if blk.Codestream.blk_planes > max_robust_planes then None
+              else
+                try
+                  Some
+                    (T1.decode_block_scalable
+                       ~orientation:band.Subband.orientation ~w ~h
+                       ~planes:blk.Codestream.blk_planes
+                       blk.Codestream.blk_passes)
+                with Failure _ | Invalid_argument _ | Exit | Not_found ->
+                  None
+            in
+            match block with
+            | Some block when Array.length block = w * h ->
+              max_planes := Stdlib.max !max_planes blk.Codestream.blk_planes;
+              Array.iteri
+                (fun i v ->
+                  let x = x0 + (i mod w) and y = y0 + (i / w) in
+                  coeffs.((y * bw) + x) <- v)
+                block
+            | _ ->
+              (* concealed: the block's coefficients stay zero *)
+              incr concealed)
+          grid seg.Codestream.seg_blocks;
+        { bc_band = band; bc_planes = !max_planes; bc_coeffs = coeffs })
+      bands segments
+  in
+  match Array.map decode_comp tile.Codestream.comps with
+  | comps -> Some ({ ed_tile = tile; ed_comps = comps }, !concealed)
+  | exception Exit -> None
+
+(* A fully concealed tile: every coefficient zero, same pipeline, so
+   it renders as mid-grey at the right place and size. *)
+let concealed_entropy_decoded header tile =
+  let bands =
+    Subband.decompose ~width:tile.Codestream.tile_w
+      ~height:tile.Codestream.tile_h ~levels:header.Codestream.levels
+  in
+  let zero_comp () =
+    List.map
+      (fun (band : Subband.band) ->
+        {
+          bc_band = band;
+          bc_planes = 0;
+          bc_coeffs = Array.make (Stdlib.max 1 (band.Subband.w * band.Subband.h)) 0;
+        })
+      bands
+  in
+  {
+    ed_tile = tile;
+    ed_comps = Array.map (fun _ -> zero_comp ()) tile.Codestream.comps;
+  }
+
+let concealed_tile header tile =
+  concealed_entropy_decoded header tile
+  |> dequantise header |> inverse_wavelet header
+  |> inverse_colour_and_shift header tile
+
+let tile_block_count header tile =
+  let bands =
+    Subband.decompose ~width:tile.Codestream.tile_w
+      ~height:tile.Codestream.tile_h ~levels:header.Codestream.levels
+  in
+  List.fold_left
+    (fun acc (band : Subband.band) ->
+      acc
+      + List.length
+          (Codestream.block_grid ~code_block:header.Codestream.code_block
+             ~w:band.Subband.w ~h:band.Subband.h))
+    0 bands
+  * Array.length tile.Codestream.comps
+
+let decode_robust data =
+  match Codestream.parse_result data with
+  | Error e -> Error e
+  | Ok stream ->
+    let header = stream.Codestream.header in
+    let concealed_blocks = ref 0 and concealed_tiles = ref 0 in
+    let total_blocks = ref 0 in
+    let tiles =
+      List.map
+        (fun tile ->
+          total_blocks := !total_blocks + tile_block_count header tile;
+          let decoded =
+            match entropy_decode_tile_robust header tile with
+            | Some (ed, concealed) ->
+              concealed_blocks := !concealed_blocks + concealed;
+              (try
+                 Some
+                   (dequantise header ed |> inverse_wavelet header
+                   |> inverse_colour_and_shift header tile)
+               with Failure _ | Invalid_argument _ -> None)
+            | None -> None
+          in
+          match decoded with
+          | Some t -> t
+          | None ->
+            incr concealed_tiles;
+            concealed_tile header tile)
+        stream.Codestream.tiles
+    in
+    let image =
+      Tile.assemble ~width:header.Codestream.width
+        ~height:header.Codestream.height
+        ~components:header.Codestream.components
+        ~bit_depth:header.Codestream.bit_depth tiles
+    in
+    Ok
+      ( image,
+        {
+          concealed_blocks = !concealed_blocks;
+          concealed_tiles = !concealed_tiles;
+          total_blocks = !total_blocks;
+          total_tiles = List.length stream.Codestream.tiles;
+        } )
+
+let psnr_impact ~reference (image, report) =
+  if no_damage report then Float.infinity else Image.psnr reference image

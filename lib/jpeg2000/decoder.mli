@@ -82,3 +82,49 @@ val decode_reduced : discard_levels:int -> string -> Image.t
     raises [Invalid_argument] otherwise. On the lossy path the K
     normalisation of skipped levels is preserved, so brightness does
     not drift. *)
+
+(** {1 Graceful degradation}
+
+    The robust decode path never raises on hostile input: a stream
+    that does not parse yields a typed {!Codestream.error}; a stream
+    that parses but whose entropy payload is damaged is decoded with
+    {e containment} — each code block whose MQ codeword fails to
+    decode is concealed (all-zero coefficients, mid-grey after the DC
+    shift), each tile whose structure is inconsistent is concealed
+    whole, and the rest of the image decodes normally. *)
+
+type report = {
+  concealed_blocks : int;  (** blocks replaced by concealment *)
+  concealed_tiles : int;  (** tiles concealed whole *)
+  total_blocks : int;
+  total_tiles : int;
+}
+
+val no_damage : report -> bool
+val pp_report : Format.formatter -> report -> unit
+
+val concealed_entropy_decoded :
+  Codestream.header -> Codestream.tile_segment -> entropy_decoded
+(** The all-zero entropy-decoded form of a tile — what a whole-tile
+    concealment feeds to the remaining stages (mid-grey after the DC
+    shift). *)
+
+val entropy_decode_tile_robust :
+  Codestream.header ->
+  Codestream.tile_segment ->
+  (entropy_decoded * int) option
+(** Stage 1 with per-code-block containment. [Some (decoded, n)]
+    decodes the tile with [n] blocks concealed; [None] means the
+    tile structure itself contradicts the header geometry and the
+    whole tile must be concealed. Never raises on any parsed tile. *)
+
+val decode_robust : string -> (Image.t * report, Codestream.error) result
+(** Total decode of arbitrary bytes: [Error] iff the codestream
+    framing is invalid, otherwise a full-size image with damage
+    confined and reported. [decode_robust (emit s)] of a well-formed
+    stream equals [Ok (decode s, r)] with [no_damage r]. *)
+
+val psnr_impact : reference:Image.t -> Image.t * report -> float
+(** PSNR (dB) of a robust decode against the undamaged reference —
+    the fidelity cost of the concealment; [infinity] when nothing
+    was concealed. *)

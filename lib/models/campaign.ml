@@ -1,0 +1,163 @@
+type config = {
+  seed : int;
+  rates : float list;
+  mode : Profile.mode;
+  versions : Experiment.version list;
+  protection : Osss.Channel.protection;
+}
+
+let default ?(seed = 2008) ?(rates = [ 0.0; 0.001; 0.01; 0.05 ])
+    ?(mode = Jpeg2000.Codestream.Lossless)
+    ?(versions = Experiment.all_versions)
+    ?(protection = Osss.Channel.crc_retry ()) () =
+  { seed; rates; mode; versions; protection }
+
+type row = {
+  row_version : string;
+  row_rate : float;
+  row_result : (Outcome.t, string) result;
+  row_inflation : float;  (** decode time vs the clean unprotected run *)
+  row_psnr_db : float;  (** concealment fidelity vs the clean decode *)
+}
+
+(* Deterministic per-run seed: a pure hash of (campaign seed, version
+   index, rate index), so adding a version or rate never reshuffles
+   the other runs' fault patterns. *)
+let run_seed config ~vi ~ri =
+  Int64.to_int
+    (Int64.logand
+       (Faults.Rng.hash64
+          (Int64.of_int config.seed)
+          (Int64.of_int ((vi * 8191) + ri)))
+       Int64.max_int)
+
+(* The sweep couples the three fault surfaces to one rate knob:
+   [rate] per channel-frame corruption, [rate / 4] per payload byte
+   for stream damage, plus mild stall jitter at [rate]. *)
+let fault_rates rate =
+  {
+    (Faults.Engine.channel_only rate) with
+    Faults.Engine.stall_probability = rate;
+    stall_max_cycles = 2000;
+  }
+
+let stream_rate rate = rate /. 4.0
+
+let run_one config ~vi ~ri ~baseline version rate =
+  if rate = 0.0 then (baseline, Float.infinity)
+  else begin
+    let seed = run_seed config ~vi ~ri in
+    let w = Workload.make ~corrupt:(seed, stream_rate rate) config.mode in
+    let engine = Faults.Engine.create ~seed (fault_rates rate) in
+    let outcome =
+      Faults.Engine.with_engine engine (fun () ->
+          Experiment.run_workload ~protection:config.protection version w)
+    in
+    (outcome, Workload.psnr_db w)
+  end
+
+let run config =
+  List.concat
+    (List.mapi
+       (fun vi version ->
+         let name = Experiment.version_name version in
+         (* Baseline: the clean, unprotected run — no hooks, bare
+            channels, the seed configuration itself. Computed once per
+            version whether or not 0.0 is swept; a 0.0 row reports it
+            directly. *)
+         let baseline =
+           Experiment.run_workload version (Workload.make config.mode)
+         in
+         List.mapi
+           (fun ri rate ->
+             let result =
+               try
+                 let outcome, psnr =
+                   run_one config ~vi ~ri ~baseline version rate
+                 in
+                 Ok (outcome, psnr)
+               with
+               | Osss.Channel.Transfer_failed { link; what; attempts } ->
+                 Error
+                   (Printf.sprintf "aborted: %s gave up on %s after %d attempts"
+                      link what attempts)
+               | Failure msg -> Error ("aborted: " ^ msg)
+               | Invalid_argument msg -> Error ("aborted: " ^ msg)
+             in
+             let inflation =
+               match result with
+               | Ok (o, _) -> o.Outcome.decode_ms /. baseline.Outcome.decode_ms
+               | Error _ -> Float.nan
+             in
+             {
+               row_version = name;
+               row_rate = rate;
+               row_result = Result.map fst result;
+               row_inflation = inflation;
+               row_psnr_db =
+                 (match result with Ok (_, p) -> p | Error _ -> Float.nan);
+             })
+           config.rates)
+       config.versions)
+
+let fmt_psnr p =
+  if Float.is_nan p then "-"
+  else if p = Float.infinity then "inf"
+  else Printf.sprintf "%.1f" p
+
+let fmt_inflation f =
+  if Float.is_nan f then "-" else Printf.sprintf "%.4fx" f
+
+let render config rows =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Fault campaign: seed %d, %s, %s\n\n"
+       config.seed
+       (Format.asprintf "%a mode" Jpeg2000.Codestream.pp_mode config.mode)
+       (match config.protection with
+       | Osss.Channel.Unprotected -> "unprotected channels"
+       | Osss.Channel.Crc_retry { max_retries; timeout_cycles; backoff_base_cycles }
+         ->
+         Printf.sprintf
+           "CRC/retry channels (max %d retries, %d-cycle timeout, %d-cycle backoff)"
+           max_retries timeout_cycles backoff_base_cycles))
+  ;
+  let header =
+    [
+      "version"; "rate"; "decode [ms]"; "inflation"; "retry [ms]"; "retries";
+      "giveups"; "miss"; "concealed"; "PSNR [dB]"; "functional";
+    ]
+  in
+  let table_rows =
+    List.map
+      (fun r ->
+        match r.row_result with
+        | Ok o ->
+          let res = o.Outcome.resilience in
+          [
+            r.row_version;
+            Printf.sprintf "%g" r.row_rate;
+            Osss.Report.fmt_ms o.Outcome.decode_ms;
+            fmt_inflation r.row_inflation;
+            Printf.sprintf "%.3f" res.Outcome.retry_ms;
+            string_of_int res.Outcome.retries;
+            string_of_int res.Outcome.giveups;
+            string_of_int res.Outcome.deadline_misses;
+            Printf.sprintf "%db/%dt" res.Outcome.concealed_blocks
+              res.Outcome.concealed_tiles;
+            fmt_psnr r.row_psnr_db;
+            (match o.Outcome.functional_ok with
+            | Some true -> "ok"
+            | Some false -> "MISMATCH"
+            | None -> "-");
+          ]
+        | Error msg ->
+          [
+            r.row_version; Printf.sprintf "%g" r.row_rate; "-"; "-"; "-"; "-";
+            "-"; "-"; "-"; "-"; msg;
+          ])
+      rows
+  in
+  Buffer.add_string buf (Osss.Report.render ~header table_rows);
+  Buffer.contents buf

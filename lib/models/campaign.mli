@@ -1,0 +1,52 @@
+(** Fault-injection campaign over the nine decoder models.
+
+    Sweeps a fault-rate knob across model versions, coupling three
+    fault surfaces per rate [r]: channel frame corruption at [r]
+    (bit flips, word drops at [r/8]), entropy-payload byte corruption
+    at [r/4], and processor stall jitter at [r]. Channels run in the
+    configured {!Osss.Channel.protection} mode, so the table shows
+    the cost of recovery (decode-time inflation from retransmissions)
+    and of concealment (PSNR impact) side by side, plus the point
+    where the retry budget breaks and the run aborts.
+
+    Determinism: the campaign seed, the per-run seed derivation, the
+    simulation kernel and the {!Faults.Rng} stream are all
+    deterministic — two runs of the same config render identical
+    tables (asserted by the CI smoke step). *)
+
+type config = {
+  seed : int;
+  rates : float list;  (** swept fault rates; [0.0] = seed baseline *)
+  mode : Profile.mode;
+  versions : Experiment.version list;
+  protection : Osss.Channel.protection;
+}
+
+val default :
+  ?seed:int ->
+  ?rates:float list ->
+  ?mode:Profile.mode ->
+  ?versions:Experiment.version list ->
+  ?protection:Osss.Channel.protection ->
+  unit ->
+  config
+(** Seed 2008, rates [0; 0.001; 0.01; 0.05], lossless, all nine
+    versions, CRC/retry protection with default budget. *)
+
+type row = {
+  row_version : string;
+  row_rate : float;
+  row_result : (Outcome.t, string) result;
+      (** [Error] when the run aborted (retry budget exhausted or an
+          unrecovered corruption broke the model's stage protocol) *)
+  row_inflation : float;  (** decode time vs the clean unprotected run *)
+  row_psnr_db : float;  (** concealment fidelity vs the clean decode *)
+}
+
+val run : config -> row list
+(** One run per (version, rate), version-major order. The zero-rate
+    run is the unfaulted, unprotected seed configuration — the
+    baseline for every inflation factor. *)
+
+val render : config -> row list -> string
+(** The resilience table. *)

@@ -8,6 +8,7 @@ type rig = {
   coeff_buffer_pass : words:int -> Sim.Sim_time.t;
   payload_words : int;
   sw_grant_overhead : clients:int -> Sim.Sim_time.t;
+  transports : Osss.Channel.transport list;
 }
 
 let application_rig =
@@ -19,6 +20,7 @@ let application_rig =
     coeff_buffer_pass = (fun ~words:_ -> Sim.Sim_time.zero);
     payload_words = 0;
     sw_grant_overhead = (fun ~clients -> Profile.so_grant_overhead ~clients);
+    transports = [];
   }
 
 (* One method invocation over a (possibly refined) communication
@@ -45,12 +47,43 @@ let invoke comm so client ?guard ?eet ~name ?(pad = 0) body arg =
       | None -> Osss.Channel.rmi_call transport so client m arg
       | Some g -> Osss.Channel.rmi_call_guarded transport so client ~guard:g m arg
     in
-    if pad > 0 then Osss.Channel.transfer transport ~words:pad;
+    if pad > 0 then Osss.Channel.payload_transfer transport ~words:pad;
     result
 
 (* -- run scaffolding ------------------------------------------------ *)
 
-let finish ~version ~kernel ~workload ~meter () =
+(* Per-run deadline monitor: wraps each IDWT service interval in
+   [Eet.ret_check] against the per-tile deadline — counting misses
+   without consuming simulated time, so a clean run's timing is
+   untouched. *)
+type monitor = { deadline : Sim.Sim_time.t; mutable misses : int }
+
+let make_monitor ?deadline mode =
+  {
+    deadline =
+      (match deadline with
+      | Some d -> d
+      | None -> Profile.idwt_deadline mode);
+    misses = 0;
+  }
+
+let monitored mon f =
+  let v, held = Osss.Eet.ret_check ~label:"idwt" mon.deadline f in
+  if not held then mon.misses <- mon.misses + 1;
+  v
+
+let finish ~version ~kernel ~workload ~meter ?(monitor = None)
+    ?(transports = []) () =
+  let crc_errors = ref 0 and retries = ref 0 and giveups = ref 0 in
+  let retry_time = ref Sim.Sim_time.zero in
+  List.iter
+    (fun tr ->
+      let s = Osss.Channel.stats tr in
+      crc_errors := !crc_errors + s.Osss.Channel.crc_errors;
+      retries := !retries + s.Osss.Channel.retries;
+      giveups := !giveups + s.Osss.Channel.giveups;
+      retry_time := Sim.Sim_time.add !retry_time s.Osss.Channel.retry_time)
+    transports;
   {
     Outcome.version;
     mode = Workload.mode workload;
@@ -58,6 +91,17 @@ let finish ~version ~kernel ~workload ~meter () =
     idwt_ms = Meter.busy_ms meter;
     idwt_calls = Meter.count meter;
     functional_ok = Workload.check workload;
+    resilience =
+      {
+        Outcome.deadline_misses =
+          (match monitor with Some m -> m.misses | None -> 0);
+        crc_errors = !crc_errors;
+        retries = !retries;
+        giveups = !giveups;
+        retry_ms = Sim.Sim_time.to_float_ms !retry_time;
+        concealed_blocks = Workload.concealed_blocks workload;
+        concealed_tiles = Workload.concealed_tiles workload;
+      };
   }
 
 let partition ~sw_tasks ~tiles task =
@@ -69,12 +113,13 @@ let partition ~sw_tasks ~tiles task =
 
 (* -- version 1: software only --------------------------------------- *)
 
-let run_sw_only ~version w =
+let run_sw_only ~version ?idwt_deadline w =
   let kernel = Sim.Kernel.create () in
   (* Any same-delta conflicting signal write in a decoder model is a
      modelling bug; fault immediately rather than record. *)
   Sim.Kernel.set_race_policy kernel Sim.Kernel.Race_raise;
   let meter = Meter.create kernel in
+  let mon = make_monitor ?deadline:idwt_deadline (Workload.mode w) in
   let times = Profile.sw (Workload.mode w) in
   let _task =
     Osss.Sw_task.create kernel ~name:"decoder" (fun task ->
@@ -83,25 +128,28 @@ let run_sw_only ~version w =
             (Profile.sw_decode_time (Workload.mode w) ~tile:i) (fun () ->
               Workload.stage_decode w i);
           Osss.Sw_task.eet task times.Profile.t_iq (fun () -> Workload.stage_iq w i);
-          Meter.measure meter (fun () ->
-              Osss.Sw_task.eet task times.Profile.t_idwt (fun () ->
-                  Workload.stage_idwt w i));
+          monitored mon (fun () ->
+              Meter.measure meter (fun () ->
+                  Osss.Sw_task.eet task times.Profile.t_idwt (fun () ->
+                      Workload.stage_idwt w i)));
           Osss.Sw_task.eet task times.Profile.t_ict (fun () ->
               Workload.stage_ict_dc w i);
           Osss.Sw_task.consume task times.Profile.t_dc_shift
         done)
   in
   Sim.Kernel.run kernel;
-  finish ~version ~kernel ~workload:w ~meter ()
+  finish ~version ~kernel ~workload:w ~meter ~monitor:(Some mon) ()
 
 (* -- versions 2 and 4: blocking IQ+IDWT co-processor ----------------- *)
 
-let run_coprocessor ~version ~sw_tasks ?(rig = fun _ -> application_rig) w =
+let run_coprocessor ~version ~sw_tasks ?(rig = fun _ -> application_rig)
+    ?idwt_deadline w =
   let kernel = Sim.Kernel.create () in
   Sim.Kernel.set_race_policy kernel Sim.Kernel.Race_raise;
   let rig = rig kernel in
   let meter = Meter.create kernel in
   let mode = Workload.mode w in
+  let mon = make_monitor ?deadline:idwt_deadline mode in
   let sw_times = Profile.sw mode and hw_times = Profile.hw mode in
   let so =
     Osss.Shared_object.create kernel ~name:"iq_idwt_coproc"
@@ -131,14 +179,15 @@ let run_coprocessor ~version ~sw_tasks ?(rig = fun _ -> application_rig) w =
                      Workload.stage_iq w j;
                      j)
                    i);
-              Meter.measure meter (fun () ->
-                  ignore
-                    (invoke comm so client ~eet:hw_times.Profile.t_idwt
-                       ~name:"idwt" ~pad:rig.payload_words
-                       (fun () j ->
-                         Workload.stage_idwt w j;
-                         j)
-                       i));
+              monitored mon (fun () ->
+                  Meter.measure meter (fun () ->
+                      ignore
+                        (invoke comm so client ~eet:hw_times.Profile.t_idwt
+                           ~name:"idwt" ~pad:rig.payload_words
+                           (fun () j ->
+                             Workload.stage_idwt w j;
+                             j)
+                           i)));
               Osss.Sw_task.eet task sw_times.Profile.t_ict (fun () ->
                   Workload.stage_ict_dc w i);
               Osss.Sw_task.consume task sw_times.Profile.t_dc_shift)
@@ -147,7 +196,8 @@ let run_coprocessor ~version ~sw_tasks ?(rig = fun _ -> application_rig) w =
     rig.map_task t task
   done;
   Sim.Kernel.run kernel;
-  finish ~version ~kernel ~workload:w ~meter ()
+  finish ~version ~kernel ~workload:w ~meter ~monitor:(Some mon)
+    ~transports:rig.transports ()
 
 (* -- versions 3/5 and their VTA refinements: pipelined structure ----- *)
 
@@ -165,12 +215,13 @@ type params_state = {
 let queue_exists q pred = Queue.fold (fun acc x -> acc || pred x) false q
 
 let run_pipeline ~version ~sw_tasks ?(rig = fun _ -> application_rig)
-    ?(so_policy = Osss.Arbiter.Fcfs) w =
+    ?(so_policy = Osss.Arbiter.Fcfs) ?idwt_deadline w =
   let kernel = Sim.Kernel.create () in
   Sim.Kernel.set_race_policy kernel Sim.Kernel.Race_raise;
   let rig = rig kernel in
   let meter = Meter.create kernel in
   let mode = Workload.mode w in
+  let mon = make_monitor ?deadline:idwt_deadline mode in
   let sw_times = Profile.sw mode and hw_times = Profile.hw mode in
   let tile_count = Workload.tile_count w in
   let filter_tag =
@@ -301,23 +352,24 @@ let run_pipeline ~version ~sw_tasks ?(rig = fun _ -> application_rig)
                 j)
               0
           in
-          Meter.measure meter (fun () ->
-              (* Stream coefficients out of the HW/SW object, run the
-                 lifting passes over the local working memory, store
-                 the spatial result back. *)
-              ignore
-                (invoke rig.link_idwt hwsw filter_clients.(tag)
-                   ~name:"get_coefficients" ~pad:rig.payload_words
-                   (fun _ j -> j)
-                   i);
-              Osss.Eet.consume (rig.coeff_buffer_pass ~words:rig.payload_words);
-              Osss.Eet.consume hw_times.Profile.t_idwt;
-              Workload.stage_idwt w i;
-              ignore
-                (invoke rig.link_idwt hwsw filter_clients.(tag)
-                   ~name:"put_spatial" ~pad:rig.payload_words
-                   (fun _ j -> j)
-                   i));
+          monitored mon (fun () ->
+              Meter.measure meter (fun () ->
+                  (* Stream coefficients out of the HW/SW object, run
+                     the lifting passes over the local working memory,
+                     store the spatial result back. *)
+                  ignore
+                    (invoke rig.link_idwt hwsw filter_clients.(tag)
+                       ~name:"get_coefficients" ~pad:rig.payload_words
+                       (fun _ j -> j)
+                       i);
+                  Osss.Eet.consume (rig.coeff_buffer_pass ~words:rig.payload_words);
+                  Osss.Eet.consume hw_times.Profile.t_idwt;
+                  Workload.stage_idwt w i;
+                  ignore
+                    (invoke rig.link_idwt hwsw filter_clients.(tag)
+                       ~name:"put_spatial" ~pad:rig.payload_words
+                       (fun _ j -> j)
+                       i)));
           ignore
             (invoke rig.link_params params params_filters.(tag)
                ~name:"put_finished"
@@ -330,4 +382,5 @@ let run_pipeline ~version ~sw_tasks ?(rig = fun _ -> application_rig)
   spawn_filter 0;
   spawn_filter 1;
   Sim.Kernel.run kernel;
-  finish ~version ~kernel ~workload:w ~meter ()
+  finish ~version ~kernel ~workload:w ~meter ~monitor:(Some mon)
+    ~transports:rig.transports ()

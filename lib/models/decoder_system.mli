@@ -44,17 +44,23 @@ type rig = {
           Shared Object with that many clients; the Application Layer
           uses {!Profile.so_grant_overhead}, the VTA a small constant
           (arbitration is then part of the channel model) *)
+  transports : Osss.Channel.transport list;
+      (** every channel of the rig, for protection setup and
+          resilience-counter aggregation into {!Outcome.resilience}
+          (empty on the Application Layer) *)
 }
 
 val application_rig : rig
 (** All-direct rig: unmapped tasks, register memories, no payload. *)
 
-val run_sw_only : version:string -> Workload.t -> Outcome.t
+val run_sw_only :
+  version:string -> ?idwt_deadline:Sim.Sim_time.t -> Workload.t -> Outcome.t
 
 val run_coprocessor :
   version:string ->
   sw_tasks:int ->
   ?rig:(Sim.Kernel.t -> rig) ->
+  ?idwt_deadline:Sim.Sim_time.t ->
   Workload.t ->
   Outcome.t
 
@@ -63,7 +69,13 @@ val run_pipeline :
   sw_tasks:int ->
   ?rig:(Sim.Kernel.t -> rig) ->
   ?so_policy:Osss.Arbiter.policy ->
+  ?idwt_deadline:Sim.Sim_time.t ->
   Workload.t ->
   Outcome.t
 (** [so_policy] selects the HW/SW Shared Object's arbitration policy
-    (default FCFS) — the design-choice ablation of DESIGN.md. *)
+    (default FCFS) — the design-choice ablation of DESIGN.md.
+    Every run wraps each IDWT service interval in
+    [Osss.Eet.ret_check] against [idwt_deadline] (default
+    {!Profile.idwt_deadline}) and reports misses in
+    {!Outcome.resilience} — measurement only, no simulated time is
+    added. *)

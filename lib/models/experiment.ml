@@ -16,18 +16,31 @@ let version_name = function
 let version_of_name name =
   List.find_opt (fun v -> String.equal (version_name v) name) all_versions
 
-let run ?payload version mode =
-  let w = Workload.make ?payload mode in
+let run_workload ?protection ?idwt_deadline version w =
+  let tasks = App_models.sw_parallel_tasks in
   match version with
-  | V1 -> App_models.v1 w
-  | V2 -> App_models.v2 w
-  | V3 -> App_models.v3 w
-  | V4 -> App_models.v4 w
-  | V5 -> App_models.v5 w
-  | V6a -> Vta_models.v6a w
-  | V6b -> Vta_models.v6b w
-  | V7a -> Vta_models.v7a w
-  | V7b -> Vta_models.v7b w
+  | V1 -> Decoder_system.run_sw_only ~version:"1" ?idwt_deadline w
+  | V2 ->
+    Decoder_system.run_coprocessor ~version:"2" ~sw_tasks:1 ?idwt_deadline w
+  | V3 -> Decoder_system.run_pipeline ~version:"3" ~sw_tasks:1 ?idwt_deadline w
+  | V4 ->
+    Decoder_system.run_coprocessor ~version:"4" ~sw_tasks:tasks ?idwt_deadline w
+  | V5 ->
+    Decoder_system.run_pipeline ~version:"5" ~sw_tasks:tasks ?idwt_deadline w
+  | V6a ->
+    Vta_models.run_custom ?protection ?idwt_deadline ~version:"6a" ~sw_tasks:1
+      ~idwt_p2p:false w
+  | V6b ->
+    Vta_models.run_custom ?protection ?idwt_deadline ~version:"6b" ~sw_tasks:1
+      ~idwt_p2p:true w
+  | V7a ->
+    Vta_models.run_custom ?protection ?idwt_deadline ~version:"7a"
+      ~sw_tasks:tasks ~idwt_p2p:false w
+  | V7b ->
+    Vta_models.run_custom ?protection ?idwt_deadline ~version:"7b"
+      ~sw_tasks:tasks ~idwt_p2p:true w
+
+let run ?payload version mode = run_workload version (Workload.make ?payload mode)
 
 let run_all ?payload mode = List.map (fun v -> run ?payload v mode) all_versions
 

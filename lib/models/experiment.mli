@@ -7,6 +7,16 @@ val all_versions : version list
 val version_name : version -> string
 val version_of_name : string -> version option
 
+val run_workload :
+  ?protection:Osss.Channel.protection ->
+  ?idwt_deadline:Sim.Sim_time.t ->
+  version ->
+  Workload.t ->
+  Outcome.t
+(** Run one model version on an existing (possibly corrupted)
+    workload. [protection] hardens every VTA channel (ignored by the
+    Application-Layer versions, whose links are direct calls). *)
+
 val run : ?payload:bool -> version -> Profile.mode -> Outcome.t
 (** Runs the 16-tile, 3-component workload on the given model.
     [payload] (default true) carries the real image data through the

@@ -1,3 +1,26 @@
+type resilience = {
+  deadline_misses : int;
+  crc_errors : int;
+  retries : int;
+  giveups : int;
+  retry_ms : float;
+  concealed_blocks : int;
+  concealed_tiles : int;
+}
+
+let clean =
+  {
+    deadline_misses = 0;
+    crc_errors = 0;
+    retries = 0;
+    giveups = 0;
+    retry_ms = 0.0;
+    concealed_blocks = 0;
+    concealed_tiles = 0;
+  }
+
+let is_clean r = r = clean
+
 type t = {
   version : string;
   mode : Profile.mode;
@@ -5,10 +28,17 @@ type t = {
   idwt_ms : float;
   idwt_calls : int;
   functional_ok : bool option;
+  resilience : resilience;
 }
 
 let speedup_vs baseline r = baseline.decode_ms /. r.decode_ms
 let idwt_speedup_vs baseline r = baseline.idwt_ms /. r.idwt_ms
+
+let pp_resilience fmt r =
+  Format.fprintf fmt
+    "%d deadline misses, %d CRC errors, %d retries (%.2f ms), %d giveups, %d blocks / %d tiles concealed"
+    r.deadline_misses r.crc_errors r.retries r.retry_ms r.giveups
+    r.concealed_blocks r.concealed_tiles
 
 let pp fmt r =
   Format.fprintf fmt "v%s %a: decode %.1f ms, IDWT %.1f ms%s" r.version
@@ -16,4 +46,6 @@ let pp fmt r =
     (match r.functional_ok with
     | None -> ""
     | Some true -> " [functionally correct]"
-    | Some false -> " [FUNCTIONAL MISMATCH]")
+    | Some false -> " [FUNCTIONAL MISMATCH]");
+  if not (is_clean r.resilience) then
+    Format.fprintf fmt " [%a]" pp_resilience r.resilience

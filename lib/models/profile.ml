@@ -101,3 +101,9 @@ let nominal_tile_words = function
    not pay it. *)
 let so_grant_overhead ~clients =
   Sim.Sim_time.cycles ~hz:clock_hz (900 * clients * clients)
+
+(* Per-tile IDWT service deadline: twice the software IDWT time. The
+   slowest clean IDWT path of any model version (version 1's software
+   filter) meets it with 100 % margin, so a miss indicates genuine
+   distress — fault-induced retransmissions or stall jitter. *)
+let idwt_deadline mode = Osss.Eet.scaled 2.0 (sw mode).t_idwt

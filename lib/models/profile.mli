@@ -72,3 +72,9 @@ val so_grant_overhead : clients:int -> Sim.Sim_time.t
     makes version 5 slightly slower than version 4. After VTA
     refinement the arbitration is part of the physical channel model
     and this abstract annotation disappears. *)
+
+val idwt_deadline : mode -> Sim.Sim_time.t
+(** Per-tile deadline on the IDWT service interval checked with
+    {!Osss.Eet.ret_check} in every model: twice the software IDWT
+    time, so every clean run holds it with 100 % margin and misses
+    only appear under fault injection. *)

@@ -131,6 +131,14 @@ let table1 ?payload () =
              (Outcome.idwt_speedup_vs (get lossless "1") (get lossless "6b")))
           (Osss.Report.fmt_factor
              (Outcome.idwt_speedup_vs (get lossy "1") (get lossy "6b"))) );
+      ( "IDWT deadline misses, all versions (lossless/lossy)",
+        let misses rs =
+          List.fold_left
+            (fun acc (r : Outcome.t) ->
+              acc + r.Outcome.resilience.Outcome.deadline_misses)
+            0 rs
+        in
+        Printf.sprintf "%d / %d" (misses lossless) (misses lossy) );
     ];
   Buffer.contents buf
 

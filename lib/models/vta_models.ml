@@ -4,7 +4,8 @@ let default_bus_max_burst = 32
    become a 32-bit-data, 16-bit-address block RAM (the paper's
    xilinx_block_ram<osss_array<...>, 32, 16>). One streaming pass of
    the IDWT working set over that memory costs its burst time. *)
-let make_rig kernel ~sw_tasks ~idwt_p2p ~bus_max_burst ~mode =
+let make_rig kernel ~sw_tasks ~idwt_p2p ~bus_max_burst ~mode
+    ?(protection = Osss.Channel.Unprotected) () =
   let bus =
     Osss.Bus.create kernel ~name:"opb" ~clock_hz:Profile.clock_hz
       ~max_burst_words:bus_max_burst ()
@@ -19,23 +20,30 @@ let make_rig kernel ~sw_tasks ~idwt_p2p ~bus_max_burst ~mode =
           ~name:(Printf.sprintf "microblaze%d" i)
           ~clock_hz:Profile.clock_hz ())
   in
-  let sw_links =
+  let sw_transports =
     Array.init sw_tasks (fun i ->
-        Decoder_system.Rmi
-          (Osss.Channel.bus_transport bus
-             (Osss.Bus.attach_master bus ~name:(Printf.sprintf "microblaze%d" i))))
+        Osss.Channel.bus_transport bus
+          (Osss.Bus.attach_master bus ~name:(Printf.sprintf "microblaze%d" i)))
   in
-  let idwt_link =
+  let idwt_transport =
     if idwt_p2p then
-      Decoder_system.Rmi (Osss.Channel.p2p kernel ~clock_hz:Profile.clock_hz ())
+      Osss.Channel.p2p kernel ~clock_hz:Profile.clock_hz ~name:"idwt_p2p" ()
     else
-      Decoder_system.Rmi
-        (Osss.Channel.bus_transport bus
-           (Osss.Bus.attach_master bus ~name:"idwt_blocks"))
+      Osss.Channel.bus_transport bus
+        (Osss.Bus.attach_master bus ~name:"idwt_blocks")
   in
-  let params_link =
-    Decoder_system.Rmi (Osss.Channel.p2p kernel ~clock_hz:Profile.clock_hz ())
+  let params_transport =
+    Osss.Channel.p2p kernel ~clock_hz:Profile.clock_hz ~name:"params_p2p" ()
   in
+  let transports =
+    Array.to_list sw_transports @ [ idwt_transport; params_transport ]
+  in
+  List.iter (fun tr -> Osss.Channel.set_protection tr protection) transports;
+  let sw_links =
+    Array.map (fun tr -> Decoder_system.Rmi tr) sw_transports
+  in
+  let idwt_link = Decoder_system.Rmi idwt_transport in
+  let params_link = Decoder_system.Rmi params_transport in
   {
     Decoder_system.link_sw = (fun i -> sw_links.(i));
     link_idwt = idwt_link;
@@ -48,14 +56,16 @@ let make_rig kernel ~sw_tasks ~idwt_p2p ~bus_max_burst ~mode =
        fixed request-setup cost. *)
     sw_grant_overhead =
       (fun ~clients:_ -> Sim.Sim_time.cycles ~hz:Profile.clock_hz 20);
+    transports;
   }
 
-let run_custom ?(bus_max_burst = default_bus_max_burst) ?so_policy ~version
-    ~sw_tasks ~idwt_p2p w =
+let run_custom ?(bus_max_burst = default_bus_max_burst) ?so_policy ?protection
+    ?idwt_deadline ~version ~sw_tasks ~idwt_p2p w =
   Decoder_system.run_pipeline ~version ~sw_tasks
     ~rig:(fun kernel ->
-      make_rig kernel ~sw_tasks ~idwt_p2p ~bus_max_burst ~mode:(Workload.mode w))
-    ?so_policy w
+      make_rig kernel ~sw_tasks ~idwt_p2p ~bus_max_burst ~mode:(Workload.mode w)
+        ?protection ())
+    ?so_policy ?idwt_deadline w
 
 let run version ~sw_tasks ~idwt_p2p w = run_custom ~version ~sw_tasks ~idwt_p2p w
 

@@ -15,13 +15,18 @@
 val run_custom :
   ?bus_max_burst:int ->
   ?so_policy:Osss.Arbiter.policy ->
+  ?protection:Osss.Channel.protection ->
+  ?idwt_deadline:Sim.Sim_time.t ->
   version:string ->
   sw_tasks:int ->
   idwt_p2p:bool ->
   Workload.t ->
   Outcome.t
 (** Parameterised VTA run for architecture exploration (the
-    [bus_contention] example sweeps the OPB burst length with it). *)
+    [bus_contention] example sweeps the OPB burst length with it).
+    [protection] (default [Unprotected]) is applied to every channel
+    of the rig — the hardened-RMI mode of the fault campaigns;
+    [idwt_deadline] overrides the per-tile IDWT deadline monitor. *)
 
 val v6a : Workload.t -> Outcome.t
 val v6b : Workload.t -> Outcome.t

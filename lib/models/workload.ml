@@ -10,12 +10,76 @@ type payload = {
   header : Jpeg2000.Codestream.header;
   segments : Jpeg2000.Codestream.tile_segment array;
   reference : Jpeg2000.Image.t;
+      (* what the staged decode must reproduce bit-exactly: the clean
+         decode, or — under corruption — the robust decode with the
+         same concealment the stages perform *)
+  clean_reference : Jpeg2000.Image.t;
+  robust : bool;
+  concealed_blocks : int;
+  concealed_tiles : int;
   slots : slot array;
 }
 
 type t = { w_mode : Profile.mode; w_tiles : int; payload : payload option }
 
-let make_payload mode =
+(* -- deterministic stream corruption -------------------------------- *)
+
+(* Bit flips confined to the entropy-coded segments: the framing
+   stays parseable (whole-stream corruption is the fuzz tests'
+   domain), the MQ payload and the per-block headers degrade —
+   exactly the damage per-block containment is built for. Pass-byte
+   flips give silently wrong coefficients (PSNR loss); a flip in a
+   block's bit-plane count (probability [rate] per block, hitting a
+   high bit) is structural damage the robust decoder detects and
+   conceals. *)
+let corrupt_segments rng ~rate segments =
+  let corrupt_pass s =
+    let b = Bytes.of_string s in
+    for i = 0 to Bytes.length b - 1 do
+      if Faults.Rng.float rng < rate then
+        Bytes.set b i
+          (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Faults.Rng.int rng 8)))
+    done;
+    Bytes.to_string b
+  in
+  let corrupt_block (blk : Jpeg2000.Codestream.block_segment) =
+    let blk_planes =
+      if Faults.Rng.float rng < rate then
+        blk.Jpeg2000.Codestream.blk_planes lxor (1 lsl (5 + Faults.Rng.int rng 3))
+      else blk.Jpeg2000.Codestream.blk_planes
+    in
+    { Jpeg2000.Codestream.blk_planes;
+      blk_passes = List.map corrupt_pass blk.Jpeg2000.Codestream.blk_passes }
+  in
+  let corrupt_band (band : Jpeg2000.Codestream.band_segment) =
+    { band with Jpeg2000.Codestream.seg_blocks = List.map corrupt_block band.Jpeg2000.Codestream.seg_blocks }
+  in
+  Array.map
+    (fun (seg : Jpeg2000.Codestream.tile_segment) ->
+      { seg with Jpeg2000.Codestream.comps = Array.map (List.map corrupt_band) seg.Jpeg2000.Codestream.comps })
+    segments
+
+(* Decode one (possibly damaged) tile the way the staged models do:
+   robust entropy decode with per-block containment, whole-tile
+   concealment on structural damage. Returns the tile image plus
+   concealment counts. *)
+let robust_tile header seg =
+  match Jpeg2000.Decoder.entropy_decode_tile_robust header seg with
+  | Some (ed, concealed) ->
+    ( Jpeg2000.Decoder.dequantise header ed
+      |> Jpeg2000.Decoder.inverse_wavelet header
+      |> Jpeg2000.Decoder.inverse_colour_and_shift header seg,
+      concealed,
+      0 )
+  | None ->
+    ( Jpeg2000.Decoder.concealed_entropy_decoded header seg
+      |> Jpeg2000.Decoder.dequantise header
+      |> Jpeg2000.Decoder.inverse_wavelet header
+      |> Jpeg2000.Decoder.inverse_colour_and_shift header seg,
+      0,
+      1 )
+
+let make_payload ?corrupt mode =
   let image =
     Jpeg2000.Image.smooth ~width:128 ~height:128 ~components:Profile.components
       ~seed:2008
@@ -32,8 +96,36 @@ let make_payload mode =
   in
   let data = Jpeg2000.Encoder.encode config image in
   let stream = Jpeg2000.Codestream.parse data in
-  let reference = Jpeg2000.Decoder.decode data in
-  let segments = Array.of_list stream.Jpeg2000.Codestream.tiles in
+  let clean_reference = Jpeg2000.Decoder.decode data in
+  let header = stream.Jpeg2000.Codestream.header in
+  let clean_segments = Array.of_list stream.Jpeg2000.Codestream.tiles in
+  let segments, reference, robust, concealed_blocks, concealed_tiles =
+    match corrupt with
+    | None -> (clean_segments, clean_reference, false, 0, 0)
+    | Some (seed, rate) ->
+      if rate < 0.0 || rate > 1.0 then
+        invalid_arg "Workload.make: corruption rate out of [0,1]";
+      let rng = Faults.Rng.create seed in
+      let segments = corrupt_segments rng ~rate clean_segments in
+      let blocks = ref 0 and tiles = ref 0 in
+      let decoded =
+        Array.map
+          (fun seg ->
+            let tile, b, t = robust_tile header seg in
+            blocks := !blocks + b;
+            tiles := !tiles + t;
+            tile)
+          segments
+      in
+      let reference =
+        Jpeg2000.Tile.assemble
+          ~width:(Jpeg2000.Image.width clean_reference)
+          ~height:(Jpeg2000.Image.height clean_reference)
+          ~components:(Jpeg2000.Image.components clean_reference)
+          (Array.to_list decoded)
+      in
+      (segments, reference, true, !blocks, !tiles)
+  in
   let slots =
     Array.map
       (fun _ ->
@@ -46,18 +138,42 @@ let make_payload mode =
         })
       segments
   in
-  { header = stream.Jpeg2000.Codestream.header; segments; reference; slots }
+  {
+    header;
+    segments;
+    reference;
+    clean_reference;
+    robust;
+    concealed_blocks;
+    concealed_tiles;
+    slots;
+  }
 
-let make ?(payload = true) mode =
+let make ?(payload = true) ?corrupt mode =
+  if corrupt <> None && not payload then
+    invalid_arg "Workload.make: corruption requires a payload";
   {
     w_mode = mode;
     w_tiles = Profile.tiles;
-    payload = (if payload then Some (make_payload mode) else None);
+    payload = (if payload then Some (make_payload ?corrupt mode) else None);
   }
 
 let mode t = t.w_mode
 let tile_count t = t.w_tiles
 let has_payload t = t.payload <> None
+let corrupted t =
+  match t.payload with Some p -> p.robust | None -> false
+
+let concealed_blocks t =
+  match t.payload with Some p -> p.concealed_blocks | None -> 0
+
+let concealed_tiles t =
+  match t.payload with Some p -> p.concealed_tiles | None -> 0
+
+let psnr_db t =
+  match t.payload with
+  | Some p when p.robust -> Jpeg2000.Image.psnr p.clean_reference p.reference
+  | _ -> Float.infinity
 
 let expect_stage p i expected =
   let slot = p.slots.(i) in
@@ -73,7 +189,16 @@ let stage_decode t i =
   | Some p ->
     expect_stage p i 0;
     p.slots.(i).decoded <-
-      Some (Jpeg2000.Decoder.entropy_decode_tile p.header p.segments.(i))
+      Some
+        (if p.robust then
+           match
+             Jpeg2000.Decoder.entropy_decode_tile_robust p.header
+               p.segments.(i)
+           with
+           | Some (ed, _) -> ed
+           | None ->
+             Jpeg2000.Decoder.concealed_entropy_decoded p.header p.segments.(i)
+         else Jpeg2000.Decoder.entropy_decode_tile p.header p.segments.(i))
 
 let stage_iq t i =
   match t.payload with

@@ -12,12 +12,31 @@
 
 type t
 
-val make : ?payload:bool -> Profile.mode -> t
-(** 16 tiles, 3 components. [payload] defaults to [true]. *)
+val make : ?payload:bool -> ?corrupt:int * float -> Profile.mode -> t
+(** 16 tiles, 3 components. [payload] defaults to [true].
+    [corrupt (seed, rate)] flips, deterministically from [seed], each
+    entropy-coded payload byte's bit with probability [rate] before
+    the run; the staged decode then uses the robust (per-code-block
+    containment) entropy decoder, and the functional check compares
+    against the robust reference decode of the same damaged stream —
+    a model is still verified bit-exactly, concealment included. *)
 
 val mode : t -> Profile.mode
 val tile_count : t -> int
 val has_payload : t -> bool
+
+val corrupted : t -> bool
+(** Whether this workload carries a corrupted payload. *)
+
+val concealed_blocks : t -> int
+(** Code blocks the robust reference decode concealed. *)
+
+val concealed_tiles : t -> int
+(** Tiles the robust reference decode concealed whole. *)
+
+val psnr_db : t -> float
+(** PSNR of the (concealment-degraded) reference against the clean
+    decode; [infinity] for an uncorrupted workload. *)
 
 (** {1 Stage bodies}
 

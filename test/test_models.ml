@@ -278,12 +278,28 @@ let test_version_names () =
 let test_outcome_helpers () =
   let base =
     { Models.Outcome.version = "1"; mode = lossless; decode_ms = 100.0;
-      idwt_ms = 20.0; idwt_calls = 16; functional_ok = None }
+      idwt_ms = 20.0; idwt_calls = 16; functional_ok = None;
+      resilience = Models.Outcome.clean }
   in
   let faster = { base with Models.Outcome.version = "2"; decode_ms = 50.0; idwt_ms = 5.0 } in
   Alcotest.(check (float 1e-9)) "speedup" 2.0 (Models.Outcome.speedup_vs base faster);
   Alcotest.(check (float 1e-9)) "idwt speedup" 4.0
     (Models.Outcome.idwt_speedup_vs base faster)
+
+let test_resilience_clean_and_misses () =
+  let run ?idwt_deadline () =
+    Models.Experiment.run_workload ?idwt_deadline Models.Experiment.V1
+      (Models.Workload.make ~payload:false lossless)
+  in
+  let o = run () in
+  Alcotest.(check bool) "clean run has clean resilience" true
+    (Models.Outcome.is_clean o.Models.Outcome.resilience);
+  let strict = run ~idwt_deadline:(Sim.Sim_time.us 1) () in
+  Alcotest.(check bool) "impossible IDWT deadline counted" true
+    (strict.Models.Outcome.resilience.Models.Outcome.deadline_misses > 0);
+  (* ret_check observes; it must not perturb the timed behaviour. *)
+  Alcotest.(check (float 1e-9)) "deadline monitoring is timing-neutral"
+    o.Models.Outcome.decode_ms strict.Models.Outcome.decode_ms
 
 let test_table_text_contains_rows () =
   let t1 = Models.Tables.table1 ~payload:false () in
@@ -349,6 +365,8 @@ let () =
         [
           Alcotest.test_case "version names" `Quick test_version_names;
           Alcotest.test_case "outcome helpers" `Quick test_outcome_helpers;
+          Alcotest.test_case "resilience clean + deadline misses" `Quick
+            test_resilience_clean_and_misses;
           Alcotest.test_case "table text rows" `Quick test_table_text_contains_rows;
           Alcotest.test_case "report formatting" `Quick test_report_formatting;
         ] );
