@@ -8,10 +8,15 @@
 
    After the measurements the harness prints the regenerated
    artefacts themselves, so `dune exec bench/main.exe` both times the
-   reproduction and emits the paper's rows. *)
+   reproduction and emits the paper's rows. It also writes
+   BENCH_results.json (per-benchmark ns/run plus the Table 1 rows) for
+   machine consumption; `--quick` shrinks the measurement budget and
+   skips the ablations so CI can afford a smoke run. *)
 
 open Bechamel
 open Toolkit
+
+let quick = Array.exists (String.equal "--quick") Sys.argv
 
 let lossless = Jpeg2000.Codestream.Lossless
 let lossy = Jpeg2000.Codestream.Lossy
@@ -46,6 +51,12 @@ let kernel_ping_pong () =
         ignore (Sim.Mailbox.get mb)
       done);
   Sim.Kernel.run k
+
+let kernel_ping_pong_traced () =
+  (* Same workload with a telemetry sink installed: the difference to
+     kernel_ping_pong_1k is the per-hook cost of enabled telemetry. *)
+  let _sink, () = Telemetry.Sink.with_sink kernel_ping_pong in
+  ()
 
 let mq_payload =
   let state = ref 12345 in
@@ -102,61 +113,109 @@ let ablation_burst words () =
     (Models.Vta_models.run_custom ~bus_max_burst:words ~version:"7a" ~sw_tasks:4
        ~idwt_p2p:false w)
 
+let artefact_tests =
+  [
+    Test.make ~name:"fig1_profile" (Staged.stage run_fig1);
+    Test.make ~name:"table1_app_lossless" (Staged.stage (run_app_models lossless));
+    Test.make ~name:"table1_app_lossy" (Staged.stage (run_app_models lossy));
+    Test.make ~name:"table1_vta_lossless" (Staged.stage (run_vta_models lossless));
+    Test.make ~name:"table1_vta_lossy" (Staged.stage (run_vta_models lossy));
+    Test.make ~name:"table2_synthesis" (Staged.stage run_table2);
+  ]
+
+let substrate_tests =
+  [
+    Test.make ~name:"kernel_ping_pong_1k" (Staged.stage kernel_ping_pong);
+    Test.make ~name:"kernel_ping_pong_1k_traced"
+      (Staged.stage kernel_ping_pong_traced);
+    Test.make ~name:"mq_roundtrip_20kbit" (Staged.stage mq_roundtrip);
+    Test.make ~name:"dwt53_128x128_l3" (Staged.stage dwt53_roundtrip);
+    Test.make ~name:"t1_block_32x32" (Staged.stage t1_roundtrip);
+  ]
+
+let ablation_tests =
+  [
+    Test.make ~name:"ablate_policy_fcfs"
+      (Staged.stage (ablation_policy Osss.Arbiter.Fcfs));
+    Test.make ~name:"ablate_policy_round_robin"
+      (Staged.stage (ablation_policy Osss.Arbiter.Round_robin));
+    Test.make ~name:"ablate_policy_priority"
+      (Staged.stage (ablation_policy Osss.Arbiter.Static_priority));
+    Test.make ~name:"ablate_burst_8" (Staged.stage (ablation_burst 8));
+    Test.make ~name:"ablate_burst_64" (Staged.stage (ablation_burst 64));
+  ]
+
 let tests =
   Test.make_grouped ~name:"repro"
-    [
-      (* Paper artefacts. *)
-      Test.make ~name:"fig1_profile" (Staged.stage run_fig1);
-      Test.make ~name:"table1_app_lossless" (Staged.stage (run_app_models lossless));
-      Test.make ~name:"table1_app_lossy" (Staged.stage (run_app_models lossy));
-      Test.make ~name:"table1_vta_lossless" (Staged.stage (run_vta_models lossless));
-      Test.make ~name:"table1_vta_lossy" (Staged.stage (run_vta_models lossy));
-      Test.make ~name:"table2_synthesis" (Staged.stage run_table2);
-      (* Substrate micro-benchmarks. *)
-      Test.make ~name:"kernel_ping_pong_1k" (Staged.stage kernel_ping_pong);
-      Test.make ~name:"mq_roundtrip_20kbit" (Staged.stage mq_roundtrip);
-      Test.make ~name:"dwt53_128x128_l3" (Staged.stage dwt53_roundtrip);
-      Test.make ~name:"t1_block_32x32" (Staged.stage t1_roundtrip);
-      (* DESIGN.md ablations. *)
-      Test.make ~name:"ablate_policy_fcfs"
-        (Staged.stage (ablation_policy Osss.Arbiter.Fcfs));
-      Test.make ~name:"ablate_policy_round_robin"
-        (Staged.stage (ablation_policy Osss.Arbiter.Round_robin));
-      Test.make ~name:"ablate_policy_priority"
-        (Staged.stage (ablation_policy Osss.Arbiter.Static_priority));
-      Test.make ~name:"ablate_burst_8" (Staged.stage (ablation_burst 8));
-      Test.make ~name:"ablate_burst_64" (Staged.stage (ablation_burst 64));
-    ]
+    (if quick then substrate_tests
+     else artefact_tests @ substrate_tests @ ablation_tests)
 
 let benchmark () =
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:None () in
+  let quota = if quick then Time.second 0.1 else Time.second 1.0 in
+  let cfg =
+    Benchmark.cfg ~limit:(if quick then 10 else 50) ~quota ~kde:None ()
+  in
   let instances = Instance.[ monotonic_clock ] in
   let raw = Benchmark.all cfg instances tests in
   List.map (fun instance -> Analyze.all ols instance raw) instances
 
-let print_bench_results results =
+(* (benchmark name, ns per run) rows behind both the text table and
+   the JSON artefact. *)
+let bench_rows results =
+  List.concat_map
+    (fun tbl ->
+      Hashtbl.fold
+        (fun name result acc ->
+          let value =
+            match Analyze.OLS.estimates result with
+            | Some [ est ] -> est
+            | Some _ | None -> Float.nan
+          in
+          (name, value) :: acc)
+        tbl []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+    results
+
+let print_bench_results rows =
   Printf.printf "Benchmark (wall-clock per regeneration, OLS estimate):\n";
   List.iter
-    (fun tbl ->
-      let rows =
-        Hashtbl.fold
-          (fun name result acc ->
-            let value =
-              match Analyze.OLS.estimates result with
-              | Some [ est ] -> est
-              | Some _ | None -> Float.nan
-            in
-            (name, value) :: acc)
-          tbl []
-        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-      in
-      List.iter
-        (fun (name, ns) -> Printf.printf "  %-42s %12.3f ms\n" name (ns /. 1e6))
-        rows)
-    results
+    (fun (name, ns) -> Printf.printf "  %-42s %12.3f ms\n" name (ns /. 1e6))
+    rows
+
+let write_results_json path rows =
+  let open Telemetry.Json in
+  let bench_json =
+    List.map
+      (fun (name, ns) ->
+        Obj
+          [
+            ("name", Str name);
+            ("ns_per_run", if Float.is_nan ns then Null else Float ns);
+          ])
+      rows
+  in
+  let lossless_rows, lossy_rows =
+    Models.Tables.table1_results ~payload:false ()
+  in
+  let table1_json rows =
+    List.map (fun o -> Models.Outcome.to_json o) rows
+  in
+  save path
+    (Obj
+       [
+         ("quick", Bool quick);
+         ("benchmarks", List bench_json);
+         ( "table1",
+           Obj
+             [
+               ("lossless", List (table1_json lossless_rows));
+               ("lossy", List (table1_json lossy_rows));
+             ] );
+       ]);
+  Printf.printf "\nwrote %s\n" path
 
 (* -- ablation result tables (values, not just timings) ---------------- *)
 
@@ -214,11 +273,15 @@ let print_ablations () =
 
 let () =
   let results = benchmark () in
-  print_bench_results results;
-  print_newline ();
-  print_string (Models.Tables.figure1 ~payload:false ());
-  print_string (Models.Tables.table1 ~payload:false ());
-  print_newline ();
-  print_string (Models.Tables.table2 ());
-  print_string (Models.Tables.relations_report ~payload:false ());
-  print_ablations ()
+  let rows = bench_rows results in
+  print_bench_results rows;
+  write_results_json "BENCH_results.json" rows;
+  if not quick then begin
+    print_newline ();
+    print_string (Models.Tables.figure1 ~payload:false ());
+    print_string (Models.Tables.table1 ~payload:false ());
+    print_newline ();
+    print_string (Models.Tables.table2 ());
+    print_string (Models.Tables.relations_report ~payload:false ());
+    print_ablations ()
+  end

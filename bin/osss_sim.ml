@@ -18,16 +18,30 @@ let payload_arg =
           "Skip the functional payload (timing-only simulation; faster, no \
            bit-exactness check).")
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the result as JSON instead of text.")
+
+let mode_arg =
+  Arg.(value & opt mode_conv Jpeg2000.Codestream.Lossless
+       & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"lossless or lossy.")
+
+let parse_version name =
+  match Models.Experiment.version_of_name name with
+  | Some v -> v
+  | None ->
+    Printf.eprintf "unknown version %S (use 1..5, 6a, 6b, 7a, 7b)\n" name;
+    exit 1
+
 let run_cmd =
-  let run version_name mode no_payload =
-    match Models.Experiment.version_of_name version_name with
-    | None ->
-      Printf.eprintf "unknown version %S (use 1..5, 6a, 6b, 7a, 7b)\n" version_name;
-      exit 1
-    | Some version ->
-      let r = Models.Experiment.run ~payload:(not no_payload) version mode in
-      Format.printf "%a@." Models.Outcome.pp r;
-      if r.Models.Outcome.functional_ok = Some false then exit 1
+  let run version_name mode no_payload json =
+    let version = parse_version version_name in
+    let r = Models.Experiment.run ~payload:(not no_payload) version mode in
+    if json then
+      print_endline (Telemetry.Json.to_string (Models.Outcome.to_json r))
+    else Format.printf "%a@." Models.Outcome.pp r;
+    if r.Models.Outcome.functional_ok = Some false then exit 1
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one model version.")
@@ -35,9 +49,140 @@ let run_cmd =
       const run
       $ Arg.(
           required & pos 0 (some string) None & info [] ~docv:"VERSION" ~doc:"Model version.")
-      $ Arg.(value & opt mode_conv Jpeg2000.Codestream.Lossless
-             & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"lossless or lossy.")
-      $ payload_arg)
+      $ mode_arg
+      $ payload_arg
+      $ json_arg)
+
+let trace_cmd =
+  let run version_name mode no_payload trace_path metrics_path vcd_path
+      capacity =
+    let version = parse_version version_name in
+    let sink, r =
+      Telemetry.Sink.with_sink ?capacity (fun () ->
+          Models.Experiment.run ~payload:(not no_payload) version mode)
+    in
+    let events = Telemetry.Sink.events sink in
+    Telemetry.Chrome.save trace_path events;
+    (match metrics_path with
+    | None -> ()
+    | Some path -> Telemetry.Json.save path (Models.Outcome.to_json r));
+    (match vcd_path with
+    | None -> ()
+    | Some path -> Telemetry.Vcd_export.save path events);
+    Format.printf "%a@." Models.Outcome.pp r;
+    let decode_ps =
+      int_of_float (r.Models.Outcome.decode_ms *. 1e9 +. 0.5)
+    in
+    let coverage =
+      if decode_ps = 0 then 0.0
+      else
+        100.0
+        *. float_of_int (Telemetry.Event.union_ps events)
+        /. float_of_int decode_ps
+    in
+    Format.printf "trace: %d events on %d tracks -> %s (%.1f%% of decode time covered)@."
+      (List.length events)
+      (List.length (Telemetry.Event.tracks events))
+      trace_path coverage;
+    if Telemetry.Sink.dropped sink > 0 then
+      Format.printf "trace: %d events dropped by --capacity ring@."
+        (Telemetry.Sink.dropped sink);
+    (match metrics_path with
+    | None -> ()
+    | Some path -> Format.printf "metrics: %s@." path);
+    (match vcd_path with
+    | None -> ()
+    | Some path -> Format.printf "vcd: %s@." path);
+    if r.Models.Outcome.functional_ok = Some false then exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one model version with telemetry enabled and export a \
+          Chrome-trace JSON (open in ui.perfetto.dev or chrome://tracing).")
+    Term.(
+      const run
+      $ Arg.(
+          required
+          & opt (some string) None
+          & info [ "version" ] ~docv:"VERSION" ~doc:"Model version to trace.")
+      $ mode_arg
+      $ payload_arg
+      $ Arg.(
+          value & opt string "trace.json"
+          & info [ "trace" ] ~docv:"FILE" ~doc:"Chrome-trace output path.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "metrics" ] ~docv:"FILE"
+              ~doc:"Also write the outcome (with metrics) as JSON.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "vcd" ] ~docv:"FILE"
+              ~doc:"Also write per-track span depth as a VCD dump.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "capacity" ] ~docv:"N"
+              ~doc:"Keep only the most recent N events (ring buffer)."))
+
+let compare_cmd =
+  let run version_names mode no_payload json =
+    let versions =
+      match version_names with
+      | [] -> Models.Experiment.all_versions
+      | names -> List.map parse_version names
+    in
+    let results =
+      List.map
+        (fun v -> Models.Experiment.run ~payload:(not no_payload) v mode)
+        versions
+    in
+    (if json then
+       print_endline
+         (Telemetry.Json.to_string
+            (Telemetry.Json.List (List.map Models.Outcome.to_json results)))
+     else
+       let baseline = List.hd results in
+       let header =
+         [ "version"; "decode [ms]"; "IDWT [ms]"; "speedup"; "functional" ]
+       in
+       let rows =
+         List.map
+           (fun (r : Models.Outcome.t) ->
+             [
+               r.Models.Outcome.version;
+               Osss.Report.fmt_ms r.Models.Outcome.decode_ms;
+               Osss.Report.fmt_ms r.Models.Outcome.idwt_ms;
+               Osss.Report.fmt_factor (Models.Outcome.speedup_vs baseline r);
+               (match r.Models.Outcome.functional_ok with
+               | Some true -> "ok"
+               | Some false -> "MISMATCH"
+               | None -> "-");
+             ])
+           results
+       in
+       print_string (Osss.Report.render ~header rows));
+    if
+      List.exists
+        (fun r -> r.Models.Outcome.functional_ok = Some false)
+        results
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Run several model versions on the same workload and tabulate \
+          decode times and speedups (first version is the baseline).")
+    Term.(
+      const run
+      $ Arg.(
+          value & pos_all string []
+          & info [] ~docv:"VERSION" ~doc:"Versions to compare (default: all nine).")
+      $ mode_arg
+      $ payload_arg
+      $ json_arg)
 
 let table1_cmd =
   let run no_payload = print_string (Models.Tables.table1 ~payload:(not no_payload) ()) in
@@ -58,7 +203,7 @@ let relations_cmd =
     Term.(const run $ payload_arg)
 
 let campaign_cmd =
-  let run seed rates mode versions unprotected =
+  let run seed rates mode versions unprotected json =
     let versions =
       match versions with
       | [] -> Models.Experiment.all_versions
@@ -80,7 +225,10 @@ let campaign_cmd =
       Models.Campaign.default ~seed ?rates ~mode ~versions ?protection ()
     in
     let rows = Models.Campaign.run config in
-    print_string (Models.Campaign.render config rows);
+    if json then
+      print_endline
+        (Telemetry.Json.to_string (Models.Campaign.to_json config rows))
+    else print_string (Models.Campaign.render config rows);
     let aborted =
       List.exists (fun r -> Result.is_error r.Models.Campaign.row_result) rows
     in
@@ -118,7 +266,8 @@ let campaign_cmd =
       $ Arg.(
           value & flag
           & info [ "unprotected" ]
-              ~doc:"Disable the CRC/retry channel hardening."))
+              ~doc:"Disable the CRC/retry channel hardening.")
+      $ json_arg)
 
 let mapping_cmd =
   let run sw_tasks idwt_p2p =
@@ -137,4 +286,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "osss_sim" ~doc)
-          [ run_cmd; table1_cmd; fig1_cmd; relations_cmd; campaign_cmd; mapping_cmd ]))
+          [ run_cmd; trace_cmd; compare_cmd; table1_cmd; fig1_cmd;
+            relations_cmd; campaign_cmd; mapping_cmd ]))

@@ -59,6 +59,10 @@ let transfer t master ~words =
   if words > 0 then begin
     t.transactions <- t.transactions + 1;
     t.words <- t.words + words;
+    if Telemetry.Sink.enabled () then begin
+      Telemetry.Sink.incr ("bus." ^ name t ^ ".transactions");
+      Telemetry.Sink.incr ~by:words ("bus." ^ name t ^ ".words")
+    end;
     let remaining = ref words in
     while !remaining > 0 do
       let burst = Stdlib.min !remaining t.max_burst_words in

@@ -50,6 +50,13 @@ let p2p kernel ?(clock_hz = 100_000_000) ?(cycles_per_word = 1)
 
 let transport_name t = t.link_name
 
+let kernel_of t =
+  match t.kind with
+  | Bus_link (bus, _) -> Bus.kernel bus
+  | P2p { kernel; _ } -> kernel
+
+let now_ps t = Sim.Sim_time.to_ps (Sim.Kernel.now (kernel_of t))
+
 let crc_retry ?(max_retries = 8) ?(timeout_cycles = 64)
     ?(backoff_base_cycles = 16) () =
   if max_retries < 0 then invalid_arg "Channel.crc_retry: max_retries";
@@ -77,6 +84,8 @@ let clock_hz t =
 
 let transfer t ~words =
   if words < 0 then invalid_arg "Channel.transfer: negative word count";
+  if words > 0 then
+    Telemetry.Sink.incr ~by:words ("channel." ^ t.link_name ^ ".words");
   match t.kind with
   | Bus_link (bus, master) -> Bus.transfer bus master ~words
   | P2p { clock_hz; cycles_per_word; setup_cycles; _ } ->
@@ -112,6 +121,7 @@ let with_retries t ~what ~max_retries ~timeout_cycles ~backoff_base_cycles
   in
   let rec go n =
     t.stats.frames <- t.stats.frames + 1;
+    Telemetry.Sink.incr ("channel." ^ t.link_name ^ ".frames");
     match attempt n with
     | Some v ->
       (match started with
@@ -123,12 +133,23 @@ let with_retries t ~what ~max_retries ~timeout_cycles ~backoff_base_cycles
       v
     | None ->
       t.stats.crc_errors <- t.stats.crc_errors + 1;
+      if Telemetry.Sink.enabled () then begin
+        Telemetry.Sink.incr ("channel." ^ t.link_name ^ ".crc_errors");
+        Telemetry.Span.instant ~ts_ps:(now_ps t) ~cat:"fault"
+          ~args:
+            [ ("link", Telemetry.Event.Str t.link_name);
+              ("what", Telemetry.Event.Str what);
+              ("attempt", Telemetry.Event.Int (n + 1)) ]
+          "crc_error"
+      end;
       Eet.consume (Sim.Sim_time.cycles ~hz timeout_cycles);
       if n >= max_retries then begin
         t.stats.giveups <- t.stats.giveups + 1;
+        Telemetry.Sink.incr ("channel." ^ t.link_name ^ ".giveups");
         raise (Transfer_failed { link = t.link_name; what; attempts = n + 1 })
       end;
       t.stats.retries <- t.stats.retries + 1;
+      Telemetry.Sink.incr ("channel." ^ t.link_name ^ ".retries");
       Eet.consume (Sim.Sim_time.cycles ~hz (backoff_base_cycles * (1 lsl Stdlib.min n 16)));
       go (n + 1)
   in
@@ -152,6 +173,7 @@ let send_words t ~what payload =
   match t.protection with
   | Unprotected ->
     t.stats.frames <- t.stats.frames + 1;
+    Telemetry.Sink.incr ("channel." ^ t.link_name ^ ".frames");
     transfer t ~words:(Array.length payload + protocol_words);
     corrupt payload
   | Crc_retry { max_retries; timeout_cycles; backoff_base_cycles } ->
@@ -166,21 +188,28 @@ let send_words t ~what payload =
 let payload_transfer t ~words =
   if words < 0 then invalid_arg "Channel.payload_transfer: negative word count";
   if words > 0 then begin
+    let span_start = if Telemetry.Sink.enabled () then now_ps t else 0 in
     let fate () =
       match Fault_hooks.frame () with
       | None -> false
       | Some f -> f ~link:t.link_name ~words
     in
-    match t.protection with
+    (match t.protection with
     | Unprotected ->
       t.stats.frames <- t.stats.frames + 1;
+      Telemetry.Sink.incr ("channel." ^ t.link_name ^ ".frames");
       transfer t ~words;
       ignore (fate ())
     | Crc_retry { max_retries; timeout_cycles; backoff_base_cycles } ->
       with_retries t ~what:"payload" ~max_retries ~timeout_cycles
         ~backoff_base_cycles (fun _n ->
           transfer t ~words:(words + 1) (* + CRC word *);
-          if fate () then None else Some ())
+          if fate () then None else Some ()));
+    if Telemetry.Sink.enabled () then
+      Telemetry.Span.complete ~ts_ps:span_start
+        ~dur_ps:(now_ps t - span_start) ~cat:"comm"
+        ~args:[ ("words", Telemetry.Event.Int words) ]
+        ("payload:" ^ t.link_name)
   end
 
 (* -- remote method invocation --------------------------------------- *)
@@ -204,6 +233,9 @@ let rmi_method ~name ~args ~ret
   }
 
 let rmi_transaction transport so client m args ~call =
+  let span_start =
+    if Telemetry.Sink.enabled () then now_ps transport else 0
+  in
   let encoded_args = Serialisation.encode m.args_codec args in
   let arrived = send_words transport ~what:(m.method_name ^ ":args") encoded_args in
   let received_args = Serialisation.decode m.args_codec arrived in
@@ -211,6 +243,11 @@ let rmi_transaction transport so client m args ~call =
   let result = call so client ~eet (fun state -> m.body state received_args) in
   let encoded_ret = Serialisation.encode m.ret_codec result in
   let returned = send_words transport ~what:(m.method_name ^ ":ret") encoded_ret in
+  if Telemetry.Sink.enabled () then
+    Telemetry.Span.complete ~ts_ps:span_start
+      ~dur_ps:(now_ps transport - span_start) ~cat:"rmi"
+      ~args:[ ("link", Telemetry.Event.Str transport.link_name) ]
+      ("rmi:" ^ m.method_name);
   Serialisation.decode m.ret_codec returned
 
 let rmi_call transport so client m args =

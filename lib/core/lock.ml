@@ -64,9 +64,23 @@ let acquire t holder =
       remove_pending t holder.id;
       Arbiter.note_grant t.arbiter holder.id;
       t.grants <- t.grants + 1;
-      t.total_wait <-
-        Sim.Sim_time.add t.total_wait
-          (Sim.Sim_time.sub (Sim.Kernel.now t.kernel) started);
+      let waited =
+        Sim.Sim_time.sub (Sim.Kernel.now t.kernel) started
+      in
+      t.total_wait <- Sim.Sim_time.add t.total_wait waited;
+      if Telemetry.Sink.enabled () then begin
+        let wait_ps = Sim.Sim_time.to_ps waited in
+        Telemetry.Sink.incr
+          (Printf.sprintf "lock.%s.grants.%s" t.name holder.hname);
+        Telemetry.Sink.observe ("lock." ^ t.name ^ ".wait_ps") wait_ps;
+        if wait_ps > 0 then
+          (* Arbitration wait on the requester's own track: the span
+             covers request-to-grant, so contention shows up next to
+             the stage that suffered it. *)
+          Telemetry.Span.complete
+            ~ts_ps:(Sim.Sim_time.to_ps started)
+            ~dur_ps:wait_ps ~cat:"arbitration" ("wait:" ^ t.name)
+      end;
       let overhead = Sim.Sim_time.add t.grant_overhead holder.overhead in
       if not (Sim.Sim_time.is_zero overhead) then Sim.Kernel.wait_for overhead;
       t.held_since <- Sim.Kernel.now t.kernel
@@ -82,9 +96,19 @@ let release t holder =
   if t.owner <> Some holder.id then
     invalid_arg (Printf.sprintf "Lock.release: %s does not own %s" holder.hname t.name);
   t.owner <- None;
-  t.total_held <-
-    Sim.Sim_time.add t.total_held
-      (Sim.Sim_time.sub (Sim.Kernel.now t.kernel) t.held_since);
+  let held = Sim.Sim_time.sub (Sim.Kernel.now t.kernel) t.held_since in
+  t.total_held <- Sim.Sim_time.add t.total_held held;
+  if Telemetry.Sink.enabled () then begin
+    let held_ps = Sim.Sim_time.to_ps held in
+    Telemetry.Sink.observe ("lock." ^ t.name ^ ".held_ps") held_ps;
+    (* Busy span on the resource's own track. Grants are mutually
+       exclusive, so these spans tile the track without overlap; the
+       holder name labels who occupied the resource. *)
+    if held_ps > 0 then
+      Telemetry.Span.complete
+        ~ts_ps:(Sim.Sim_time.to_ps t.held_since)
+        ~dur_ps:held_ps ~track:t.name ~cat:"busy" holder.hname
+  end;
   Sim.Event.notify t.released
 
 let with_lock t holder f =

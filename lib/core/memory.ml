@@ -77,12 +77,14 @@ let faulted_write t addr v =
 let read t addr =
   check_addr t addr;
   t.reads <- t.reads + 1;
+  Telemetry.Sink.incr ("memory." ^ t.name ^ ".reads");
   Eet.consume (single_access_time t);
   faulted_read t addr t.storage.(addr)
 
 let write t addr v =
   check_addr t addr;
   t.writes <- t.writes + 1;
+  Telemetry.Sink.incr ("memory." ^ t.name ^ ".writes");
   (match t.timing with
   | Combinational -> ()
   | Clocked { clock_hz; _ } -> Eet.consume (Sim.Sim_time.cycles ~hz:clock_hz 1));
@@ -95,7 +97,21 @@ let read_burst t ~addr ~len =
     check_addr t (addr + len - 1)
   end;
   t.reads <- t.reads + len;
+  let span_start =
+    if Telemetry.Sink.enabled () && len > 0 then begin
+      Telemetry.Sink.incr ~by:len ("memory." ^ t.name ^ ".reads");
+      Some (Sim.Sim_time.to_ps (Sim.Kernel.now t.kernel))
+    end
+    else None
+  in
   Eet.consume (access_time t ~words:len);
+  (match span_start with
+  | None -> ()
+  | Some ts_ps ->
+    let now = Sim.Sim_time.to_ps (Sim.Kernel.now t.kernel) in
+    Telemetry.Span.complete ~ts_ps ~dur_ps:(now - ts_ps) ~cat:"memory"
+      ~args:[ ("words", Telemetry.Event.Int len) ]
+      ("read:" ^ t.name));
   let data = Array.sub t.storage addr len in
   (match Fault_hooks.memory_read () with
   | None -> ()
@@ -110,7 +126,21 @@ let write_burst t ~addr data =
     check_addr t (addr + len - 1)
   end;
   t.writes <- t.writes + len;
+  let span_start =
+    if Telemetry.Sink.enabled () && len > 0 then begin
+      Telemetry.Sink.incr ~by:len ("memory." ^ t.name ^ ".writes");
+      Some (Sim.Sim_time.to_ps (Sim.Kernel.now t.kernel))
+    end
+    else None
+  in
   Eet.consume (access_time t ~words:len);
+  (match span_start with
+  | None -> ()
+  | Some ts_ps ->
+    let now = Sim.Sim_time.to_ps (Sim.Kernel.now t.kernel) in
+    Telemetry.Span.complete ~ts_ps ~dur_ps:(now - ts_ps) ~cat:"memory"
+      ~args:[ ("words", Telemetry.Event.Int len) ]
+      ("write:" ^ t.name));
   match Fault_hooks.memory_write () with
   | None -> Array.blit data 0 t.storage addr len
   | Some f ->

@@ -32,8 +32,10 @@ let task_count t = t.tasks
 let execute t binding duration =
   Lock.with_lock t.lock binding (fun () ->
       let id = Lock.holder_id binding in
-      if t.last_ran <> Some id && t.last_ran <> None then
-        Eet.consume t.context_switch;
+      if t.last_ran <> Some id && t.last_ran <> None then begin
+        Telemetry.Sink.incr ("processor." ^ name t ^ ".context_switches");
+        Eet.consume t.context_switch
+      end;
       t.last_ran <- Some id;
       Eet.consume duration;
       (* Stall jitter fault model: extra pipeline-stall cycles charged

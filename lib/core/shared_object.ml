@@ -27,6 +27,7 @@ let run_method t ?eet f =
   (match eet with Some d -> Eet.consume d | None -> ());
   let result = f t.state in
   t.calls <- t.calls + 1;
+  Telemetry.Sink.incr ("so." ^ name t ^ ".calls");
   Sim.Event.notify t.completed;
   result
 
@@ -34,9 +35,18 @@ let call t client ?eet f =
   Lock.with_lock t.lock client (fun () -> run_method t ?eet f)
 
 let call_guarded t client ~guard ?eet f =
+  let blocked_since = ref None in
   let rec attempt () =
     Lock.acquire t.lock client;
     if guard t.state then begin
+      (match !blocked_since with
+      | None -> ()
+      | Some since ->
+        (* The whole closed-guard episode, first rejection to the
+           grant where the guard finally held. *)
+        let now_ps = Sim.Sim_time.to_ps (Sim.Kernel.now (kernel t)) in
+        Telemetry.Span.complete ~ts_ps:since ~dur_ps:(now_ps - since)
+          ~cat:"guard" ("blocked:" ^ name t));
       match run_method t ?eet f with
       | result ->
         Lock.release t.lock client;
@@ -46,6 +56,12 @@ let call_guarded t client ~guard ?eet f =
         raise exn
     end
     else begin
+      if Telemetry.Sink.enabled () then begin
+        Telemetry.Sink.incr ("so." ^ name t ^ ".guard_blocks");
+        if !blocked_since = None then
+          blocked_since :=
+            Some (Sim.Sim_time.to_ps (Sim.Kernel.now (kernel t)))
+      end;
       (* OSSS guard semantics: free the object so other clients can
          make the guard true, then retry after any completion. *)
       Lock.release t.lock client;

@@ -100,6 +100,36 @@ let run config =
            config.rates)
        config.versions)
 
+let float_or_null f =
+  if Float.is_nan f then Telemetry.Json.Null
+  else if f = Float.infinity then Telemetry.Json.Str "inf"
+  else Telemetry.Json.Float f
+
+let row_to_json r =
+  Telemetry.Json.Obj
+    [
+      ("version", Telemetry.Json.Str r.row_version);
+      ("rate", Telemetry.Json.Float r.row_rate);
+      ( "result",
+        match r.row_result with
+        | Ok o -> Outcome.to_json o
+        | Error msg ->
+          Telemetry.Json.Obj [ ("error", Telemetry.Json.Str msg) ] );
+      ("inflation", float_or_null r.row_inflation);
+      ("psnr_db", float_or_null r.row_psnr_db);
+    ]
+
+let to_json config rows =
+  Telemetry.Json.Obj
+    [
+      ("seed", Telemetry.Json.Int config.seed);
+      ("mode", Telemetry.Json.Str (Outcome.mode_string config.mode));
+      ( "rates",
+        Telemetry.Json.List
+          (List.map (fun r -> Telemetry.Json.Float r) config.rates) );
+      ("rows", Telemetry.Json.List (List.map row_to_json rows));
+    ]
+
 let fmt_psnr p =
   if Float.is_nan p then "-"
   else if p = Float.infinity then "inf"

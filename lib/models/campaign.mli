@@ -50,3 +50,9 @@ val run : config -> row list
 
 val render : config -> row list -> string
 (** The resilience table. *)
+
+val row_to_json : row -> Telemetry.Json.t
+
+val to_json : config -> row list -> Telemetry.Json.t
+(** The whole campaign as one JSON document (non-finite inflation and
+    PSNR values become [null] / ["inf"]). *)

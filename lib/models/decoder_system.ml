@@ -72,6 +72,20 @@ let monitored mon f =
   if not held then mon.misses <- mon.misses + 1;
   v
 
+(* Decoder-stage span on the running process's track. The "idwt" span
+   deliberately wraps the same region as [monitored]/[Meter.measure],
+   so the union of "idwt" spans in a trace equals the outcome's
+   [idwt_ms] — the telemetry tests assert on this. *)
+let stage kernel name f =
+  if not (Telemetry.Sink.enabled ()) then f ()
+  else begin
+    let ts_ps = Sim.Sim_time.to_ps (Sim.Kernel.now kernel) in
+    let result = f () in
+    let now_ps = Sim.Sim_time.to_ps (Sim.Kernel.now kernel) in
+    Telemetry.Span.complete ~ts_ps ~dur_ps:(now_ps - ts_ps) ~cat:"stage" name;
+    result
+  end
+
 let finish ~version ~kernel ~workload ~meter ?(monitor = None)
     ?(transports = []) () =
   let crc_errors = ref 0 and retries = ref 0 and giveups = ref 0 in
@@ -84,6 +98,16 @@ let finish ~version ~kernel ~workload ~meter ?(monitor = None)
       giveups := !giveups + s.Osss.Channel.giveups;
       retry_time := Sim.Sim_time.add !retry_time s.Osss.Channel.retry_time)
     transports;
+  let telemetry =
+    match Telemetry.Sink.active () with
+    | None -> Telemetry.Report.empty
+    | Some sink ->
+      Telemetry.Sink.set_gauge "kernel.delta_cycles"
+        (Sim.Kernel.delta_count kernel);
+      Telemetry.Sink.set_gauge "kernel.time_advances"
+        (Sim.Kernel.time_advances kernel);
+      Telemetry.Sink.report sink
+  in
   {
     Outcome.version;
     mode = Workload.mode workload;
@@ -102,6 +126,7 @@ let finish ~version ~kernel ~workload ~meter ?(monitor = None)
         concealed_blocks = Workload.concealed_blocks workload;
         concealed_tiles = Workload.concealed_tiles workload;
       };
+    telemetry;
   }
 
 let partition ~sw_tasks ~tiles task =
@@ -124,17 +149,23 @@ let run_sw_only ~version ?idwt_deadline w =
   let _task =
     Osss.Sw_task.create kernel ~name:"decoder" (fun task ->
         for i = 0 to Workload.tile_count w - 1 do
-          Osss.Sw_task.eet task
-            (Profile.sw_decode_time (Workload.mode w) ~tile:i) (fun () ->
-              Workload.stage_decode w i);
-          Osss.Sw_task.eet task times.Profile.t_iq (fun () -> Workload.stage_iq w i);
-          monitored mon (fun () ->
-              Meter.measure meter (fun () ->
-                  Osss.Sw_task.eet task times.Profile.t_idwt (fun () ->
-                      Workload.stage_idwt w i)));
-          Osss.Sw_task.eet task times.Profile.t_ict (fun () ->
-              Workload.stage_ict_dc w i);
-          Osss.Sw_task.consume task times.Profile.t_dc_shift
+          stage kernel "decode" (fun () ->
+              Osss.Sw_task.eet task
+                (Profile.sw_decode_time (Workload.mode w) ~tile:i) (fun () ->
+                  Workload.stage_decode w i));
+          stage kernel "iq" (fun () ->
+              Osss.Sw_task.eet task times.Profile.t_iq (fun () ->
+                  Workload.stage_iq w i));
+          stage kernel "idwt" (fun () ->
+              monitored mon (fun () ->
+                  Meter.measure meter (fun () ->
+                      Osss.Sw_task.eet task times.Profile.t_idwt (fun () ->
+                          Workload.stage_idwt w i))));
+          stage kernel "ict" (fun () ->
+              Osss.Sw_task.eet task times.Profile.t_ict (fun () ->
+                  Workload.stage_ict_dc w i));
+          stage kernel "dc_shift" (fun () ->
+              Osss.Sw_task.consume task times.Profile.t_dc_shift)
         done)
   in
   Sim.Kernel.run kernel;
@@ -169,28 +200,34 @@ let run_coprocessor ~version ~sw_tasks ?(rig = fun _ -> application_rig)
         (fun task ->
           List.iter
             (fun i ->
-              Osss.Sw_task.eet task
-                (Profile.sw_decode_time mode ~tile:i) (fun () ->
-                  Workload.stage_decode w i);
-              ignore
-                (invoke comm so client ~eet:hw_times.Profile.t_iq ~name:"iq"
-                   ~pad:rig.payload_words
-                   (fun () j ->
-                     Workload.stage_iq w j;
-                     j)
-                   i);
-              monitored mon (fun () ->
-                  Meter.measure meter (fun () ->
-                      ignore
-                        (invoke comm so client ~eet:hw_times.Profile.t_idwt
-                           ~name:"idwt" ~pad:rig.payload_words
-                           (fun () j ->
-                             Workload.stage_idwt w j;
-                             j)
-                           i)));
-              Osss.Sw_task.eet task sw_times.Profile.t_ict (fun () ->
-                  Workload.stage_ict_dc w i);
-              Osss.Sw_task.consume task sw_times.Profile.t_dc_shift)
+              stage kernel "decode" (fun () ->
+                  Osss.Sw_task.eet task
+                    (Profile.sw_decode_time mode ~tile:i) (fun () ->
+                      Workload.stage_decode w i));
+              stage kernel "iq" (fun () ->
+                  ignore
+                    (invoke comm so client ~eet:hw_times.Profile.t_iq
+                       ~name:"iq" ~pad:rig.payload_words
+                       (fun () j ->
+                         Workload.stage_iq w j;
+                         j)
+                       i));
+              stage kernel "idwt" (fun () ->
+                  monitored mon (fun () ->
+                      Meter.measure meter (fun () ->
+                          ignore
+                            (invoke comm so client
+                               ~eet:hw_times.Profile.t_idwt ~name:"idwt"
+                               ~pad:rig.payload_words
+                               (fun () j ->
+                                 Workload.stage_idwt w j;
+                                 j)
+                               i))));
+              stage kernel "ict" (fun () ->
+                  Osss.Sw_task.eet task sw_times.Profile.t_ict (fun () ->
+                      Workload.stage_ict_dc w i));
+              stage kernel "dc_shift" (fun () ->
+                  Osss.Sw_task.consume task sw_times.Profile.t_dc_shift))
             tiles)
     in
     rig.map_task t task
@@ -255,9 +292,10 @@ let run_pipeline ~version ~sw_tasks ?(rig = fun _ -> application_rig)
           (* Phase 1: decode tiles, feeding the hardware pipeline. *)
           List.iter
             (fun i ->
-              Osss.Sw_task.eet task
-                (Profile.sw_decode_time mode ~tile:i) (fun () ->
-                  Workload.stage_decode w i);
+              stage kernel "decode" (fun () ->
+                  Osss.Sw_task.eet task
+                    (Profile.sw_decode_time mode ~tile:i) (fun () ->
+                      Workload.stage_decode w i));
               ignore
                 (invoke comm hwsw client ~name:"put_pending"
                    ~pad:rig.payload_words
@@ -276,9 +314,11 @@ let run_pipeline ~version ~sw_tasks ?(rig = fun _ -> application_rig)
                   (fun st _ -> Queue.pop st.ready)
                   0
               in
-              Osss.Sw_task.eet task sw_times.Profile.t_ict (fun () ->
-                  Workload.stage_ict_dc w j);
-              Osss.Sw_task.consume task sw_times.Profile.t_dc_shift)
+              stage kernel "ict" (fun () ->
+                  Osss.Sw_task.eet task sw_times.Profile.t_ict (fun () ->
+                      Workload.stage_ict_dc w j));
+              stage kernel "dc_shift" (fun () ->
+                  Osss.Sw_task.consume task sw_times.Profile.t_dc_shift))
             tiles)
     in
     rig.map_task t task
@@ -308,14 +348,15 @@ let run_pipeline ~version ~sw_tasks ?(rig = fun _ -> application_rig)
         (* Take a decoded tile; the IQ algorithm runs inside the
            Shared Object. *)
         let i =
-          invoke rig.link_idwt hwsw idwt2d_client ~name:"take_pending"
-            ~guard:(fun st -> not (Queue.is_empty st.pending))
-            ~eet:hw_times.Profile.t_iq
-            (fun st _ ->
-              let j = Queue.pop st.pending in
-              Workload.stage_iq w j;
-              j)
-            0
+          stage kernel "iq" (fun () ->
+              invoke rig.link_idwt hwsw idwt2d_client ~name:"take_pending"
+                ~guard:(fun st -> not (Queue.is_empty st.pending))
+                ~eet:hw_times.Profile.t_iq
+                (fun st _ ->
+                  let j = Queue.pop st.pending in
+                  Workload.stage_iq w j;
+                  j)
+                0)
         in
         (* Hand the tile to the mode's filter bank via the params SO. *)
         ignore
@@ -352,24 +393,26 @@ let run_pipeline ~version ~sw_tasks ?(rig = fun _ -> application_rig)
                 j)
               0
           in
-          monitored mon (fun () ->
-              Meter.measure meter (fun () ->
-                  (* Stream coefficients out of the HW/SW object, run
-                     the lifting passes over the local working memory,
-                     store the spatial result back. *)
-                  ignore
-                    (invoke rig.link_idwt hwsw filter_clients.(tag)
-                       ~name:"get_coefficients" ~pad:rig.payload_words
-                       (fun _ j -> j)
-                       i);
-                  Osss.Eet.consume (rig.coeff_buffer_pass ~words:rig.payload_words);
-                  Osss.Eet.consume hw_times.Profile.t_idwt;
-                  Workload.stage_idwt w i;
-                  ignore
-                    (invoke rig.link_idwt hwsw filter_clients.(tag)
-                       ~name:"put_spatial" ~pad:rig.payload_words
-                       (fun _ j -> j)
-                       i)));
+          stage kernel "idwt" (fun () ->
+              monitored mon (fun () ->
+                  Meter.measure meter (fun () ->
+                      (* Stream coefficients out of the HW/SW object,
+                         run the lifting passes over the local working
+                         memory, store the spatial result back. *)
+                      ignore
+                        (invoke rig.link_idwt hwsw filter_clients.(tag)
+                           ~name:"get_coefficients" ~pad:rig.payload_words
+                           (fun _ j -> j)
+                           i);
+                      Osss.Eet.consume
+                        (rig.coeff_buffer_pass ~words:rig.payload_words);
+                      Osss.Eet.consume hw_times.Profile.t_idwt;
+                      Workload.stage_idwt w i;
+                      ignore
+                        (invoke rig.link_idwt hwsw filter_clients.(tag)
+                           ~name:"put_spatial" ~pad:rig.payload_words
+                           (fun _ j -> j)
+                           i))));
           ignore
             (invoke rig.link_params params params_filters.(tag)
                ~name:"put_finished"

@@ -29,10 +29,42 @@ type t = {
   idwt_calls : int;
   functional_ok : bool option;
   resilience : resilience;
+  telemetry : Telemetry.Report.t;
 }
 
 let speedup_vs baseline r = baseline.decode_ms /. r.decode_ms
 let idwt_speedup_vs baseline r = baseline.idwt_ms /. r.idwt_ms
+
+let mode_string mode =
+  Format.asprintf "%a" Jpeg2000.Codestream.pp_mode mode
+
+let resilience_to_json r =
+  Telemetry.Json.Obj
+    [
+      ("deadline_misses", Telemetry.Json.Int r.deadline_misses);
+      ("crc_errors", Telemetry.Json.Int r.crc_errors);
+      ("retries", Telemetry.Json.Int r.retries);
+      ("giveups", Telemetry.Json.Int r.giveups);
+      ("retry_ms", Telemetry.Json.Float r.retry_ms);
+      ("concealed_blocks", Telemetry.Json.Int r.concealed_blocks);
+      ("concealed_tiles", Telemetry.Json.Int r.concealed_tiles);
+    ]
+
+let to_json r =
+  Telemetry.Json.Obj
+    [
+      ("version", Telemetry.Json.Str r.version);
+      ("mode", Telemetry.Json.Str (mode_string r.mode));
+      ("decode_ms", Telemetry.Json.Float r.decode_ms);
+      ("idwt_ms", Telemetry.Json.Float r.idwt_ms);
+      ("idwt_calls", Telemetry.Json.Int r.idwt_calls);
+      ( "functional_ok",
+        match r.functional_ok with
+        | None -> Telemetry.Json.Null
+        | Some ok -> Telemetry.Json.Bool ok );
+      ("resilience", resilience_to_json r.resilience);
+      ("telemetry", Telemetry.Report.to_json r.telemetry);
+    ]
 
 let pp_resilience fmt r =
   Format.fprintf fmt

@@ -28,12 +28,19 @@ type t = {
       (** [Some true] when the payload decoded bit-identically to the
           reference decoder; [None] for timing-only runs *)
   resilience : resilience;
+  telemetry : Telemetry.Report.t;
+      (** Resource metrics collected during the run —
+          {!Telemetry.Report.empty} when no sink was installed. *)
 }
 
 val speedup_vs : t -> t -> float
 (** [speedup_vs baseline r]: how much faster [r] decodes. *)
 
 val idwt_speedup_vs : t -> t -> float
+
+val mode_string : Profile.mode -> string
+val resilience_to_json : resilience -> Telemetry.Json.t
+val to_json : t -> Telemetry.Json.t
 
 val pp_resilience : Format.formatter -> resilience -> unit
 val pp : Format.formatter -> t -> unit

@@ -17,6 +17,7 @@ type t = {
   next_delta : (unit -> unit) Queue.t;
   updates : (unit -> unit) Queue.t;
   mutable deltas : int;
+  mutable advances : int;
   mutable live : int;
   unfinished : (int, string) Hashtbl.t;
   mutable next_pid : int;
@@ -38,6 +39,7 @@ let create () =
     next_delta = Queue.create ();
     updates = Queue.create ();
     deltas = 0;
+    advances = 0;
     live = 0;
     unfinished = Hashtbl.create 16;
     next_pid = 0;
@@ -50,6 +52,7 @@ let create () =
 
 let now t = t.now
 let delta_count t = t.deltas
+let time_advances t = t.advances
 let live_processes t = t.live
 let schedule_now t f = Queue.push f t.current
 let schedule_delta t f = Queue.push f t.next_delta
@@ -89,11 +92,22 @@ let spawn t ?name body =
   Hashtbl.replace t.unfinished pid label;
   (* Every slice of this process runs with its label as the kernel's
      current label, so primitive channels can attribute writes to a
-     driver (the delta-race detector keys on this). *)
+     driver (the delta-race detector keys on this). The telemetry
+     sink's context mirrors the label so spans emitted from library
+     code land on the running process's track. *)
   let with_label f () =
     let prev = t.current_label in
     t.current_label <- Some label;
-    Fun.protect ~finally:(fun () -> t.current_label <- prev) f
+    if Telemetry.Sink.enabled () then begin
+      Telemetry.Sink.set_current_context (Some label);
+      Telemetry.Sink.incr ("process." ^ label ^ ".wakeups")
+    end;
+    Fun.protect
+      ~finally:(fun () ->
+        t.current_label <- prev;
+        if Telemetry.Sink.enabled () then
+          Telemetry.Sink.set_current_context prev)
+      f
   in
   let finished () =
     t.live <- t.live - 1;
@@ -155,6 +169,7 @@ let run ?until t =
         continue := false
       | Some key ->
         t.now <- Sim_time.of_ps key;
+        t.advances <- t.advances + 1;
         let rec drain () =
           match Pqueue.pop_le t.calendar ~key with
           | None -> ()

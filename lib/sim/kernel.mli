@@ -51,6 +51,9 @@ val now : t -> Sim_time.t
 val delta_count : t -> int
 (** Total number of delta cycles executed so far. *)
 
+val time_advances : t -> int
+(** Number of times simulated time moved forward during {!run}. *)
+
 val spawn : t -> ?name:string -> (unit -> unit) -> unit
 (** [spawn t body] registers a new process. It starts in the current
     evaluation phase (or at time zero if the simulation has not

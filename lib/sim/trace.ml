@@ -1,23 +1,37 @@
 type t = {
   kernel : Kernel.t;
   mutable enabled : bool;
-  mutable entries : (Sim_time.t * string) list; (* newest first *)
+  entries : (Sim_time.t * string) Queue.t; (* oldest first *)
+  capacity : int option;
+  mutable dropped : int;
 }
 
-let create kernel ?(enabled = true) () = { kernel; enabled; entries = [] }
+let create kernel ?capacity ?(enabled = true) () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Trace.create: capacity <= 0"
+  | _ -> ());
+  { kernel; enabled; entries = Queue.create (); capacity; dropped = 0 }
+
 let enabled t = t.enabled
 let set_enabled t flag = t.enabled <- flag
+let dropped t = t.dropped
 
-let record t msg =
-  if t.enabled then t.entries <- (Kernel.now t.kernel, msg) :: t.entries
+let push t entry =
+  (match t.capacity with
+  | Some cap when Queue.length t.entries >= cap ->
+    ignore (Queue.pop t.entries);
+    t.dropped <- t.dropped + 1
+  | _ -> ());
+  Queue.push entry t.entries
+
+let record t msg = if t.enabled then push t (Kernel.now t.kernel, msg)
 
 let recordf t fmt =
   Format.kasprintf
-    (fun msg ->
-      if t.enabled then t.entries <- (Kernel.now t.kernel, msg) :: t.entries)
+    (fun msg -> if t.enabled then push t (Kernel.now t.kernel, msg))
     fmt
 
-let records t = List.rev t.entries
+let records t = List.of_seq (Queue.to_seq t.entries)
 
 let find t msg =
   let rec scan = function

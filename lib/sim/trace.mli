@@ -2,11 +2,17 @@
 
     A trace collects timestamped text records during a run; tests and
     examples use it to assert on event ordering without re-running the
-    model. Disabled traces cost one branch per record. *)
+    model. Disabled traces cost one branch per record.
+
+    By default the trace grows without bound; pass [?capacity] to keep
+    only the most recent [capacity] records as a ring buffer, counting
+    evicted records in {!dropped}. *)
 
 type t
 
-val create : Kernel.t -> ?enabled:bool -> unit -> t
+val create : Kernel.t -> ?capacity:int -> ?enabled:bool -> unit -> t
+(** Raises [Invalid_argument] if [capacity <= 0]. *)
+
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 
@@ -18,9 +24,16 @@ val recordf : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
     when the trace is enabled. *)
 
 val records : t -> (Sim_time.t * string) list
-(** All records, oldest first. *)
+(** Retained records in the order they were recorded, oldest first.
+    With a [?capacity] ring this is the most recent [capacity]
+    records; earlier ones have been evicted (see {!dropped}). Records
+    made at the same simulated time keep their emission order. *)
+
+val dropped : t -> int
+(** Number of records evicted by the [?capacity] ring, 0 for an
+    unbounded trace. *)
 
 val find : t -> string -> Sim_time.t option
-(** Time of the first record with exactly the given text. *)
+(** Time of the first retained record with exactly the given text. *)
 
 val pp : Format.formatter -> t -> unit

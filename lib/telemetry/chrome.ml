@@ -1,0 +1,90 @@
+(* Chrome trace-event ("Trace Event Format") export, the JSON flavour
+   both chrome://tracing and Perfetto open directly. One pid for the
+   whole platform, one tid per track, named via "M" metadata events. *)
+
+let us_of_ps ps = float_of_int ps /. 1_000_000.
+
+let process_name = "osss-simulation"
+
+let tids_of events =
+  (* tid per track, numbered in order of first appearance in the
+     ts-sorted event list so the Perfetto track order follows the
+     timeline, not the alphabet. *)
+  let table = Hashtbl.create 16 in
+  let next = ref 1 in
+  List.iter
+    (fun (ev : Event.t) ->
+      if not (Hashtbl.mem table ev.Event.track) then begin
+        Hashtbl.replace table ev.Event.track !next;
+        incr next
+      end)
+    events;
+  table
+
+let args_json args =
+  Json.Obj (List.map (fun (k, a) -> (k, Event.arg_to_json a)) args)
+
+let event_json tids (ev : Event.t) =
+  let tid = Hashtbl.find tids ev.Event.track in
+  let common =
+    [
+      ("name", Json.Str ev.Event.name);
+      ("cat", Json.Str ev.Event.cat);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int tid);
+      ("ts", Json.Float (us_of_ps ev.Event.ts_ps));
+    ]
+  in
+  let phase =
+    match ev.Event.phase with
+    | Event.Complete dur ->
+      [ ("ph", Json.Str "X"); ("dur", Json.Float (us_of_ps dur)) ]
+    | Event.Instant -> [ ("ph", Json.Str "i"); ("s", Json.Str "t") ]
+  in
+  let args =
+    match ev.Event.args with
+    | [] -> []
+    | args -> [ ("args", args_json args) ]
+  in
+  Json.Obj (common @ phase @ args)
+
+let metadata tids =
+  let threads =
+    Hashtbl.fold (fun track tid acc -> (tid, track) :: acc) tids []
+    |> List.sort compare
+    |> List.map (fun (tid, track) ->
+           Json.Obj
+             [
+               ("name", Json.Str "thread_name");
+               ("ph", Json.Str "M");
+               ("pid", Json.Int 1);
+               ("tid", Json.Int tid);
+               ("args", Json.Obj [ ("name", Json.Str track) ]);
+             ])
+  in
+  Json.Obj
+    [
+      ("name", Json.Str "process_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj [ ("name", Json.Str process_name) ]);
+    ]
+  :: threads
+
+let to_json events =
+  let sorted =
+    List.stable_sort
+      (fun (a : Event.t) (b : Event.t) -> compare a.Event.ts_ps b.Event.ts_ps)
+      events
+  in
+  let tids = tids_of sorted in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List (metadata tids @ List.map (event_json tids) sorted) );
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let to_string events = Json.to_string (to_json events)
+let save path events = Json.save path (to_json events)

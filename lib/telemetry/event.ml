@@ -1,0 +1,65 @@
+type arg =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Str of string
+
+type phase =
+  | Complete of int
+  | Instant
+
+type t = {
+  ts_ps : int;
+  track : string;
+  name : string;
+  cat : string;
+  phase : phase;
+  args : (string * arg) list;
+}
+
+let duration_ps e = match e.phase with Complete d -> d | Instant -> 0
+
+let is_span e = match e.phase with Complete _ -> true | Instant -> false
+
+let tracks events =
+  List.sort_uniq String.compare (List.map (fun e -> e.track) events)
+
+let spans ?track ?name ?cat events =
+  List.filter
+    (fun e ->
+      is_span e
+      && (match track with None -> true | Some t -> String.equal e.track t)
+      && (match name with None -> true | Some n -> String.equal e.name n)
+      && match cat with None -> true | Some c -> String.equal e.cat c)
+    events
+
+(* Union length of the time intervals covered by Complete events —
+   the same interval-union the models' Meter computes, so span-based
+   and meter-based stage times can be compared exactly. *)
+let union_ps events =
+  let intervals =
+    List.filter_map
+      (fun e ->
+        match e.phase with
+        | Complete d when d > 0 -> Some (e.ts_ps, e.ts_ps + d)
+        | Complete _ | Instant -> None)
+      events
+  in
+  let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) intervals in
+  let total, last =
+    List.fold_left
+      (fun (total, current) (start, stop) ->
+        match current with
+        | None -> (total, Some (start, stop))
+        | Some (s, e) ->
+          if start <= e then (total, Some (s, Stdlib.max e stop))
+          else (total + (e - s), Some (start, stop)))
+      (0, None) sorted
+  in
+  match last with None -> total | Some (s, e) -> total + (e - s)
+
+let arg_to_json = function
+  | Int n -> Json.Int n
+  | Float f -> Json.Float f
+  | Bool b -> Json.Bool b
+  | Str s -> Json.Str s

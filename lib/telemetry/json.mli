@@ -1,0 +1,22 @@
+(** Minimal JSON document builder (emit-only).
+
+    The repository has no JSON dependency; this covers what the
+    telemetry exporters, the [--json] CLI outputs and the bench
+    harness need: construct a value, print it. Strings are escaped
+    per RFC 8259; non-finite floats become [null] (JSON has no NaN or
+    infinity literals). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+
+val save : string -> t -> unit
+(** [save path v] writes [v] followed by a newline to [path]. *)

@@ -1,0 +1,42 @@
+(** Per-run resource metrics: counters, gauges, and log2 histograms.
+
+    Keys are dotted strings naming the resource and the quantity
+    ("lock.opb.grants.microblaze0", "channel.opb.words", ...). The
+    instrumented layers pick the keys; {!Report} snapshots the result
+    at the end of a run. *)
+
+type dist = {
+  mutable d_count : int;
+  mutable d_sum : int;
+  mutable d_min : int;
+  mutable d_max : int;
+  d_buckets : int array;
+}
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val incr : t -> ?by:int -> string -> unit
+(** Bumps a monotonic counter (created at 0 on first use). *)
+
+val set : t -> string -> int -> unit
+(** Sets a gauge (last write wins). *)
+
+val observe : t -> string -> int -> unit
+(** Adds one sample to a histogram: count/sum/min/max plus a log2
+    bucket (bucket [i] holds values in [[2^(i-1), 2^i)]). *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by key. *)
+
+val gauges : t -> (string * int) list
+val dists : t -> (string * dist) list
+
+val counter : t -> string -> int
+(** Current value of a counter, 0 if never incremented. *)
+
+val bucket_index : int -> int
+val bucket_bounds : int -> int * int
+(** [bucket_bounds i] is the half-open value range of bucket [i]. *)

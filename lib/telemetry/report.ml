@@ -1,0 +1,90 @@
+type dist = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  buckets : (int * int) list; (* bucket lower bound, sample count *)
+}
+
+type t = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  dists : (string * dist) list;
+}
+
+let empty = { counters = []; gauges = []; dists = [] }
+let is_empty t = t.counters = [] && t.gauges = [] && t.dists = []
+
+let of_metrics m =
+  let dist_of (d : Metrics.dist) =
+    let buckets = ref [] in
+    Array.iteri
+      (fun i n ->
+        if n > 0 then buckets := (fst (Metrics.bucket_bounds i), n) :: !buckets)
+      d.Metrics.d_buckets;
+    {
+      count = d.Metrics.d_count;
+      sum = d.Metrics.d_sum;
+      min = (if d.Metrics.d_count = 0 then 0 else d.Metrics.d_min);
+      max = (if d.Metrics.d_count = 0 then 0 else d.Metrics.d_max);
+      buckets = List.rev !buckets;
+    }
+  in
+  {
+    counters = Metrics.counters m;
+    gauges = Metrics.gauges m;
+    dists = List.map (fun (k, d) -> (k, dist_of d)) (Metrics.dists m);
+  }
+
+let counter t key =
+  match List.assoc_opt key t.counters with Some v -> v | None -> 0
+
+let gauge t key = List.assoc_opt key t.gauges
+let dist t key = List.assoc_opt key t.dists
+
+let counter_sum t ~prefix =
+  List.fold_left
+    (fun acc (key, v) ->
+      if String.starts_with ~prefix key then acc + v else acc)
+    0 t.counters
+
+let dist_sum t key = match dist t key with Some d -> d.sum | None -> 0
+
+let dist_to_json d =
+  Json.Obj
+    [
+      ("count", Json.Int d.count);
+      ("sum", Json.Int d.sum);
+      ("min", Json.Int d.min);
+      ("max", Json.Int d.max);
+      ( "mean",
+        if d.count = 0 then Json.Null
+        else Json.Float (float_of_int d.sum /. float_of_int d.count) );
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (lo, n) -> Json.List [ Json.Int lo; Json.Int n ])
+             d.buckets) );
+    ]
+
+let to_json t =
+  let fields f xs = Json.Obj (List.map (fun (k, v) -> (k, f v)) xs) in
+  Json.Obj
+    [
+      ("counters", fields (fun v -> Json.Int v) t.counters);
+      ("gauges", fields (fun v -> Json.Int v) t.gauges);
+      ("dists", fields dist_to_json t.dists);
+    ]
+
+let pp fmt t =
+  let line k v = Format.fprintf fmt "  %-48s %d@." k v in
+  if is_empty t then Format.fprintf fmt "  (no telemetry)@."
+  else begin
+    List.iter (fun (k, v) -> line k v) t.counters;
+    List.iter (fun (k, v) -> line (k ^ " (gauge)") v) t.gauges;
+    List.iter
+      (fun (k, d) ->
+        Format.fprintf fmt "  %-48s n=%d sum=%d min=%d max=%d@." k d.count
+          d.sum d.min d.max)
+      t.dists
+  end

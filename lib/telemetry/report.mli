@@ -1,0 +1,40 @@
+(** Immutable snapshot of a run's {!Metrics}, carried by
+    [Models.Outcome] next to the resilience counters and exported as
+    JSON by the CLI. *)
+
+type dist = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  buckets : (int * int) list;
+      (** (bucket lower bound, sample count), non-empty buckets only *)
+}
+
+type t = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  dists : (string * dist) list;
+}
+
+val empty : t
+(** What a run without an installed sink reports. *)
+
+val is_empty : t -> bool
+val of_metrics : Metrics.t -> t
+
+val counter : t -> string -> int
+(** 0 when absent. *)
+
+val gauge : t -> string -> int option
+val dist : t -> string -> dist option
+
+val counter_sum : t -> prefix:string -> int
+(** Sum of every counter whose key starts with [prefix] — e.g. the
+    total grant count over all masters of one lock. *)
+
+val dist_sum : t -> string -> int
+(** Sum of a histogram's samples, 0 when absent. *)
+
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit

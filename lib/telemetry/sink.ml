@@ -1,0 +1,121 @@
+type open_span = {
+  os_ts : int;
+  os_name : string;
+  os_cat : string;
+  os_args : (string * Event.arg) list;
+}
+
+type t = {
+  events : Event.t Queue.t;
+  capacity : int option;
+  mutable dropped : int;
+  metrics : Metrics.t;
+  stacks : (string, open_span list ref) Hashtbl.t;
+  mutable context : string option;
+}
+
+let create ?capacity () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Telemetry.Sink.create: capacity <= 0"
+  | _ -> ());
+  {
+    events = Queue.create ();
+    capacity;
+    dropped = 0;
+    metrics = Metrics.create ();
+    stacks = Hashtbl.create 16;
+    context = None;
+  }
+
+(* The single global sink. Everything below the [enabled] check is the
+   cold path: when no sink is installed every hook in the stack costs
+   one load and one branch. *)
+let current : t option ref = ref None
+
+let install t = current := Some t
+let uninstall () = current := None
+let active () = !current
+let enabled () = !current <> None
+
+let events t = List.of_seq (Queue.to_seq t.events)
+let event_count t = Queue.length t.events
+let dropped t = t.dropped
+let metrics t = t.metrics
+let report t = Report.of_metrics t.metrics
+
+let context t = t.context
+let set_context t label = t.context <- label
+
+let default_track t =
+  match t.context with Some label -> label | None -> "main"
+
+let push t (ev : Event.t) =
+  (match t.capacity with
+  | Some cap when Queue.length t.events >= cap ->
+    ignore (Queue.pop t.events);
+    t.dropped <- t.dropped + 1
+  | _ -> ());
+  Queue.push ev t.events
+
+let stack t track =
+  match Hashtbl.find_opt t.stacks track with
+  | Some s -> s
+  | None ->
+    let s = ref [] in
+    Hashtbl.replace t.stacks track s;
+    s
+
+let open_span t ~ts_ps ~track ~name ~cat ~args =
+  let s = stack t track in
+  s := { os_ts = ts_ps; os_name = name; os_cat = cat; os_args = args } :: !s
+
+let close_span t ~ts_ps ~track ~args =
+  let s = stack t track in
+  match !s with
+  | [] ->
+    invalid_arg
+      (Printf.sprintf "Telemetry.Sink: end of unopened span on track %S" track)
+  | frame :: rest ->
+    s := rest;
+    if ts_ps < frame.os_ts then
+      invalid_arg
+        (Printf.sprintf "Telemetry.Sink: span %S ends before it starts"
+           frame.os_name);
+    push t
+      {
+        Event.ts_ps = frame.os_ts;
+        track;
+        name = frame.os_name;
+        cat = frame.os_cat;
+        phase = Event.Complete (ts_ps - frame.os_ts);
+        args = frame.os_args @ args;
+      }
+
+let open_depth t track =
+  match Hashtbl.find_opt t.stacks track with
+  | Some s -> List.length !s
+  | None -> 0
+
+let with_sink ?capacity f =
+  let t = create ?capacity () in
+  let saved = !current in
+  current := Some t;
+  Fun.protect ~finally:(fun () -> current := saved) (fun () ->
+      let result = f () in
+      (t, result))
+
+(* Convenience hooks for instrumented code: one branch when disabled. *)
+
+let emit ev = match !current with None -> () | Some t -> push t ev
+
+let incr ?by key =
+  match !current with None -> () | Some t -> Metrics.incr t.metrics ?by key
+
+let observe key v =
+  match !current with None -> () | Some t -> Metrics.observe t.metrics key v
+
+let set_gauge key v =
+  match !current with None -> () | Some t -> Metrics.set t.metrics key v
+
+let set_current_context label =
+  match !current with None -> () | Some t -> t.context <- label

@@ -1,0 +1,80 @@
+(** The telemetry sink: a process-global collector for {!Event}s and
+    {!Metrics}.
+
+    Instrumented code throughout the stack calls the convenience hooks
+    ({!emit}, {!incr}, {!observe}, {!set_gauge}, {!Span}'s
+    constructors); each hook first checks whether a sink is installed,
+    so a disabled sink costs exactly one load and branch per hook and
+    simulations stay bit-identical with and without telemetry —
+    instrumentation never consumes simulated time.
+
+    The event buffer is unbounded by default; pass [?capacity] to keep
+    the most recent [capacity] events as a ring, counting the rest in
+    {!dropped}. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val install : t -> unit
+(** Makes [t] the global sink; replaces any previous one. *)
+
+val uninstall : unit -> unit
+val active : unit -> t option
+val enabled : unit -> bool
+
+val with_sink : ?capacity:int -> (unit -> 'a) -> t * 'a
+(** Runs [f] with a fresh sink installed, restoring the previous
+    global sink afterwards (also on exceptions). *)
+
+val events : t -> Event.t list
+(** Collected events, oldest first. Spans appear in order of their
+    {e end} time (a span is recorded when it closes), instants in
+    order of emission. *)
+
+val event_count : t -> int
+
+val dropped : t -> int
+(** Events discarded because of [?capacity]. *)
+
+val metrics : t -> Metrics.t
+val report : t -> Report.t
+
+val context : t -> string option
+(** The current default track, mirrored from the running simulation
+    process by the kernel. *)
+
+val set_context : t -> string option -> unit
+
+val default_track : t -> string
+(** [context t], or ["main"] when outside any labelled process. *)
+
+val open_span :
+  t ->
+  ts_ps:int ->
+  track:string ->
+  name:string ->
+  cat:string ->
+  args:(string * Event.arg) list ->
+  unit
+
+val close_span :
+  t -> ts_ps:int -> track:string -> args:(string * Event.arg) list -> unit
+(** Pops the innermost open span of [track] and records one
+    [Complete] event. Extra [args] are appended to the opening args.
+    Raises [Invalid_argument] if the track has no open span or time
+    runs backwards. *)
+
+val open_depth : t -> string -> int
+(** Number of currently open spans on a track. *)
+
+(** {2 Global hooks for instrumented code}
+
+    All are no-ops (one branch) when no sink is installed. *)
+
+val emit : Event.t -> unit
+val incr : ?by:int -> string -> unit
+val observe : string -> int -> unit
+val set_gauge : string -> int -> unit
+val set_current_context : string option -> unit

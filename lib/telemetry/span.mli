@@ -1,0 +1,44 @@
+(** Span constructors used at instrumentation sites.
+
+    Every function is a no-op when no {!Sink} is installed. The track
+    defaults to the sink's current context — the label of the running
+    simulation process, mirrored by the kernel — so instrumented
+    library code rarely names a track explicitly; resource "busy"
+    spans are the exception and pass [?track] with the resource name.
+
+    [begin_]/[end_] pair per track, innermost-first, and record one
+    [Complete] event when the span closes; they therefore guarantee
+    proper nesting on each track by construction. Mismatched [end_]
+    raises [Invalid_argument]. *)
+
+val complete :
+  ts_ps:int ->
+  dur_ps:int ->
+  ?track:string ->
+  ?cat:string ->
+  ?args:(string * Event.arg) list ->
+  string ->
+  unit
+(** One self-contained span, for sites that know the duration at
+    emission time (e.g. a lock released after a known hold). *)
+
+val instant :
+  ts_ps:int ->
+  ?track:string ->
+  ?cat:string ->
+  ?args:(string * Event.arg) list ->
+  string ->
+  unit
+
+val begin_ :
+  ts_ps:int ->
+  ?track:string ->
+  ?cat:string ->
+  ?args:(string * Event.arg) list ->
+  string ->
+  unit
+
+val end_ :
+  ts_ps:int -> ?track:string -> ?args:(string * Event.arg) list -> unit -> unit
+(** Closes the innermost open span of the track; extra [args] are
+    appended to the opening args. *)

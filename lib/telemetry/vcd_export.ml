@@ -1,0 +1,105 @@
+(* Render a collected event list as a VCD dump: one wire per track
+   carrying that track's span depth over simulated time, so a trace
+   can be eyeballed next to the RTL waveforms in the same viewer. *)
+
+let depth_width = 8
+
+(* VCD identifier codes: printable ASCII 33..126, multi-char beyond
+   (same scheme as the kernel's signal-level VCD writer). *)
+let id_of_index index =
+  let base = 94 in
+  let rec build i acc =
+    let c = Char.chr (33 + (i mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if i < base then acc else build ((i / base) - 1) acc
+  in
+  build index ""
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' -> c
+      | _ -> '_')
+    name
+
+let binary_of_value ~width v =
+  let bits = Bytes.make width '0' in
+  for i = 0 to width - 1 do
+    if (v lsr i) land 1 = 1 then Bytes.set bits (width - 1 - i) '1'
+  done;
+  Bytes.to_string bits
+
+(* Per-track depth deltas: +1 at span start, -1 at span end. Instants
+   don't change depth. *)
+let deltas_of events =
+  List.concat_map
+    (fun (ev : Event.t) ->
+      match ev.Event.phase with
+      | Event.Instant -> []
+      | Event.Complete dur ->
+        [
+          (ev.Event.ts_ps, ev.Event.track, 1);
+          (ev.Event.ts_ps + dur, ev.Event.track, -1);
+        ])
+    events
+  (* Ends sort before starts at the same instant so back-to-back spans
+     render as depth 1 -> 1, not 1 -> 2 -> 1. *)
+  |> List.sort (fun (ta, _, da) (tb, _, db) ->
+         if ta <> tb then compare ta tb else compare da db)
+
+let render events =
+  let tracks = Event.tracks events in
+  let ids = Hashtbl.create 16 in
+  List.iteri (fun i track -> Hashtbl.replace ids track (id_of_index i)) tracks;
+  let buf = Buffer.create 1024 in
+  let line fmt =
+    Format.kasprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt
+  in
+  line "$date";
+  line "  (simulation)";
+  line "$end";
+  line "$version";
+  line "  osss-jpeg2000 telemetry span depth";
+  line "$end";
+  line "$timescale 1ps $end";
+  line "$scope module telemetry $end";
+  List.iter
+    (fun track ->
+      line "$var wire %d %s %s $end" depth_width (Hashtbl.find ids track)
+        (sanitize track))
+    tracks;
+  line "$upscope $end";
+  line "$enddefinitions $end";
+  line "$dumpvars";
+  List.iter
+    (fun track ->
+      line "b%s %s"
+        (binary_of_value ~width:depth_width 0)
+        (Hashtbl.find ids track))
+    tracks;
+  line "$end";
+  let depths = Hashtbl.create 16 in
+  let depth track =
+    match Hashtbl.find_opt depths track with Some d -> d | None -> 0
+  in
+  let last_time = ref None in
+  List.iter
+    (fun (ts, track, delta) ->
+      let d = Stdlib.max 0 (depth track + delta) in
+      Hashtbl.replace depths track d;
+      (match !last_time with
+      | Some prev when prev = ts -> ()
+      | Some _ | None ->
+        line "#%d" ts;
+        last_time := Some ts);
+      line "b%s %s"
+        (binary_of_value ~width:depth_width (Stdlib.min d 255))
+        (Hashtbl.find ids track))
+    (deltas_of events);
+  Buffer.contents buf
+
+let save path events =
+  let oc = open_out path in
+  output_string oc (render events);
+  close_out oc

@@ -90,6 +90,44 @@ let test_meter_union () =
     (Sim.Sim_time.to_float_ms (Models.Meter.sum m));
   Alcotest.(check int) "count" 3 (Models.Meter.count m)
 
+let test_meter_nested_and_adjacent () =
+  let k = Sim.Kernel.create () in
+  let m = Models.Meter.create k in
+  Sim.Kernel.spawn k (fun () ->
+      (* Nested: [0,6] containing [2,3]. *)
+      Models.Meter.measure m (fun () ->
+          Sim.Kernel.wait_for (Sim.Sim_time.ms 2);
+          Models.Meter.measure m (fun () ->
+              Sim.Kernel.wait_for (Sim.Sim_time.ms 1));
+          Sim.Kernel.wait_for (Sim.Sim_time.ms 3)));
+  Sim.Kernel.spawn k (fun () ->
+      (* Adjacent: [6,8] then [8,9] — touching intervals merge. *)
+      Sim.Kernel.wait_for (Sim.Sim_time.ms 6);
+      Models.Meter.measure m (fun () -> Sim.Kernel.wait_for (Sim.Sim_time.ms 2));
+      Models.Meter.measure m (fun () -> Sim.Kernel.wait_for (Sim.Sim_time.ms 1)));
+  Sim.Kernel.run k;
+  (* [0,6] U [2,3] U [6,8] U [8,9] = [0,9]: nesting adds nothing,
+     adjacency leaves no gap. *)
+  Alcotest.(check (float 1e-6)) "union" 9.0 (Models.Meter.busy_ms m);
+  Alcotest.(check (float 1e-6)) "sum counts nesting twice" 10.0
+    (Sim.Sim_time.to_float_ms (Models.Meter.sum m));
+  Alcotest.(check int) "count" 4 (Models.Meter.count m)
+
+let test_meter_zero_width () =
+  let k = Sim.Kernel.create () in
+  let m = Models.Meter.create k in
+  Sim.Kernel.spawn k (fun () ->
+      (* An interval of zero simulated width contributes count but no
+         busy time. *)
+      Models.Meter.measure m (fun () -> ());
+      Sim.Kernel.wait_for (Sim.Sim_time.ms 1);
+      Models.Meter.measure m (fun () -> Sim.Kernel.wait_for (Sim.Sim_time.ms 2)));
+  Sim.Kernel.run k;
+  Alcotest.(check (float 1e-6)) "union ignores empty interval" 2.0
+    (Models.Meter.busy_ms m);
+  Alcotest.(check int) "count includes empty interval" 2
+    (Models.Meter.count m)
+
 (* -- functional correctness of every version ------------------------- *)
 
 let test_all_versions_decode_correctly () =
@@ -279,7 +317,8 @@ let test_outcome_helpers () =
   let base =
     { Models.Outcome.version = "1"; mode = lossless; decode_ms = 100.0;
       idwt_ms = 20.0; idwt_calls = 16; functional_ok = None;
-      resilience = Models.Outcome.clean }
+      resilience = Models.Outcome.clean;
+      telemetry = Telemetry.Report.empty }
   in
   let faster = { base with Models.Outcome.version = "2"; decode_ms = 50.0; idwt_ms = 5.0 } in
   Alcotest.(check (float 1e-9)) "speedup" 2.0 (Models.Outcome.speedup_vs base faster);
@@ -330,7 +369,14 @@ let () =
           Alcotest.test_case "decode mean 180 ms" `Quick
             test_profile_decode_mean_is_180ms;
         ] );
-      ("meter", [ Alcotest.test_case "interval union" `Quick test_meter_union ]);
+      ( "meter",
+        [
+          Alcotest.test_case "interval union" `Quick test_meter_union;
+          Alcotest.test_case "nested and adjacent intervals" `Quick
+            test_meter_nested_and_adjacent;
+          Alcotest.test_case "zero-width intervals" `Quick
+            test_meter_zero_width;
+        ] );
       ( "functional",
         [
           Alcotest.test_case "all versions decode correctly" `Slow

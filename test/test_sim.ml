@@ -377,6 +377,30 @@ let test_trace () =
     (Sim.Trace.find tr "tick 1");
   Alcotest.(check int) "two records" 2 (List.length (Sim.Trace.records tr))
 
+let test_trace_capacity () =
+  let k = Sim.Kernel.create () in
+  let tr = Sim.Trace.create k ~capacity:2 () in
+  Sim.Kernel.spawn k (fun () ->
+      Sim.Trace.record tr "a";
+      Sim.Kernel.wait_for (ms 1);
+      Sim.Trace.record tr "b";
+      Sim.Kernel.wait_for (ms 1);
+      Sim.Trace.record tr "c");
+  Sim.Kernel.run k;
+  Alcotest.(check (list string))
+    "ring keeps the newest records, oldest first" [ "b"; "c" ]
+    (List.map snd (Sim.Trace.records tr));
+  Alcotest.(check int) "one eviction counted" 1 (Sim.Trace.dropped tr);
+  Alcotest.(check (option time)) "evicted record unfindable" None
+    (Sim.Trace.find tr "a");
+  Alcotest.(check (option time)) "retained record findable" (Some (ms 2))
+    (Sim.Trace.find tr "c");
+  Alcotest.(check bool) "capacity 0 rejected" true
+    (try
+       ignore (Sim.Trace.create k ~capacity:0 ());
+       false
+     with Invalid_argument _ -> true)
+
 (* -- Clock ---------------------------------------------------------- *)
 
 let test_clock_edges () =
@@ -459,6 +483,45 @@ let test_vcd_rejects_duplicates () =
   Alcotest.(check bool) "duplicate rejected" true
     (try
        Sim.Vcd.probe_int v ~name:"x" ~width:4 s;
+       false
+     with Invalid_argument _ -> true)
+
+let test_vcd_zero_change_render () =
+  let k = Sim.Kernel.create () in
+  let v = Sim.Vcd.create k () in
+  let s = Sim.Signal.create k 5 in
+  Sim.Vcd.probe_int v ~name:"quiet" ~width:4 s;
+  Sim.Kernel.run k;
+  Alcotest.(check int) "no changes recorded" 0 (Sim.Vcd.change_count v);
+  let text = Sim.Vcd.render v in
+  (* Headers and the initial $dumpvars snapshot still render. *)
+  List.iter
+    (fun fragment ->
+      if not (Str_util.contains text fragment) then
+        Alcotest.failf "VCD missing %S" fragment)
+    [ "$enddefinitions $end"; "$dumpvars"; "b0101 !" ];
+  Alcotest.(check bool) "no time markers after the initial dump" false
+    (Str_util.contains text "\n#")
+
+let test_vcd_probe_projection_width () =
+  let k = Sim.Kernel.create () in
+  let v = Sim.Vcd.create k () in
+  let s = Sim.Signal.create k (0, 0) in
+  (* Custom projection: dump only the second tuple component, truncated
+     to the declared 4-bit width. *)
+  Sim.Vcd.probe v ~name:"snd" ~width:4 snd s;
+  Sim.Kernel.spawn k (fun () ->
+      Sim.Kernel.wait_for (ms 1);
+      Sim.Signal.write s (7, 0x1f));
+  Sim.Kernel.run k;
+  let text = Sim.Vcd.render v in
+  Alcotest.(check bool) "declared width in header" true
+    (Str_util.contains text "$var wire 4 ! snd $end");
+  Alcotest.(check bool) "value truncated to width" true
+    (Str_util.contains text "b1111 !");
+  Alcotest.(check bool) "non-positive width rejected" true
+    (try
+       Sim.Vcd.probe v ~name:"bad" ~width:0 snd s;
        false
      with Invalid_argument _ -> true)
 
@@ -550,7 +613,11 @@ let () =
           Alcotest.test_case "blocks when full" `Quick
             test_mailbox_blocks_when_full;
         ] );
-      ("trace", [ Alcotest.test_case "records" `Quick test_trace ]);
+      ( "trace",
+        [
+          Alcotest.test_case "records" `Quick test_trace;
+          Alcotest.test_case "capacity ring" `Quick test_trace_capacity;
+        ] );
       ( "clock",
         [
           Alcotest.test_case "edge count" `Quick test_clock_edges;
@@ -563,6 +630,10 @@ let () =
           Alcotest.test_case "records changes" `Quick test_vcd_records_changes;
           Alcotest.test_case "rejects duplicates" `Quick
             test_vcd_rejects_duplicates;
+          Alcotest.test_case "zero-change render" `Quick
+            test_vcd_zero_change_render;
+          Alcotest.test_case "probe projection width" `Quick
+            test_vcd_probe_projection_width;
           Alcotest.test_case "negative values" `Quick test_vcd_negative_values;
         ] );
     ]

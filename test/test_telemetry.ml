@@ -1,0 +1,378 @@
+(* Telemetry layer: JSON emitter, metrics, sink semantics, span
+   nesting, exporters, and the end-to-end contracts against the
+   decoder models (coverage, idwt span union = idwt_ms, disabled sink
+   leaves outcomes bit-identical). *)
+
+let lossless = Jpeg2000.Codestream.Lossless
+
+(* -- Json ----------------------------------------------------------- *)
+
+let test_json_scalars () =
+  let s v = Telemetry.Json.to_string v in
+  Alcotest.(check string) "null" "null" (s Telemetry.Json.Null);
+  Alcotest.(check string) "true" "true" (s (Telemetry.Json.Bool true));
+  Alcotest.(check string) "int" "-42" (s (Telemetry.Json.Int (-42)));
+  Alcotest.(check string) "float" "1.5" (s (Telemetry.Json.Float 1.5));
+  Alcotest.(check string) "nan is null" "null"
+    (s (Telemetry.Json.Float Float.nan));
+  Alcotest.(check string) "inf is null" "null"
+    (s (Telemetry.Json.Float Float.infinity))
+
+let test_json_strings () =
+  let s v = Telemetry.Json.to_string v in
+  Alcotest.(check string) "plain" {|"abc"|} (s (Telemetry.Json.Str "abc"));
+  Alcotest.(check string) "escapes" {|"a\"b\\c\nd"|}
+    (s (Telemetry.Json.Str "a\"b\\c\nd"))
+
+let test_json_nested () =
+  let v =
+    Telemetry.Json.Obj
+      [
+        ("xs", Telemetry.Json.List [ Telemetry.Json.Int 1; Telemetry.Json.Int 2 ]);
+        ("o", Telemetry.Json.Obj []);
+      ]
+  in
+  Alcotest.(check string) "nested" {|{"xs":[1,2],"o":{}}|}
+    (Telemetry.Json.to_string v)
+
+(* -- Metrics -------------------------------------------------------- *)
+
+let test_metrics_counters_gauges () =
+  let m = Telemetry.Metrics.create () in
+  Telemetry.Metrics.incr m "a";
+  Telemetry.Metrics.incr m ~by:4 "a";
+  Telemetry.Metrics.incr m "b";
+  Telemetry.Metrics.set m "g" 7;
+  Telemetry.Metrics.set m "g" 9;
+  Alcotest.(check int) "counter a" 5 (Telemetry.Metrics.counter m "a");
+  Alcotest.(check int) "counter absent" 0 (Telemetry.Metrics.counter m "zz");
+  Alcotest.(check (list (pair string int))) "counters sorted"
+    [ ("a", 5); ("b", 1) ]
+    (Telemetry.Metrics.counters m);
+  Alcotest.(check (list (pair string int))) "gauge last-write-wins"
+    [ ("g", 9) ]
+    (Telemetry.Metrics.gauges m)
+
+let test_metrics_dist () =
+  let m = Telemetry.Metrics.create () in
+  List.iter (Telemetry.Metrics.observe m "d") [ 0; 1; 3; 1000 ];
+  match Telemetry.Metrics.dists m with
+  | [ ("d", d) ] ->
+    Alcotest.(check int) "count" 4 d.Telemetry.Metrics.d_count;
+    Alcotest.(check int) "sum" 1004 d.Telemetry.Metrics.d_sum;
+    Alcotest.(check int) "min" 0 d.Telemetry.Metrics.d_min;
+    Alcotest.(check int) "max" 1000 d.Telemetry.Metrics.d_max
+  | other -> Alcotest.failf "unexpected dists (%d)" (List.length other)
+
+let test_metrics_buckets () =
+  Alcotest.(check int) "0" 0 (Telemetry.Metrics.bucket_index 0);
+  Alcotest.(check int) "1" 1 (Telemetry.Metrics.bucket_index 1);
+  Alcotest.(check int) "2" 2 (Telemetry.Metrics.bucket_index 2);
+  Alcotest.(check int) "3" 2 (Telemetry.Metrics.bucket_index 3);
+  Alcotest.(check int) "4" 3 (Telemetry.Metrics.bucket_index 4);
+  let lo, hi = Telemetry.Metrics.bucket_bounds 3 in
+  Alcotest.(check (pair int int)) "bounds 3" (4, 8) (lo, hi)
+
+(* -- Event ---------------------------------------------------------- *)
+
+let span ?(track = "t") ?(name = "s") ?(cat = "c") ts dur =
+  {
+    Telemetry.Event.ts_ps = ts;
+    track;
+    name;
+    cat;
+    phase = Telemetry.Event.Complete dur;
+    args = [];
+  }
+
+let test_event_union () =
+  Alcotest.(check int) "empty" 0 (Telemetry.Event.union_ps []);
+  Alcotest.(check int) "disjoint" 20
+    (Telemetry.Event.union_ps [ span 0 10; span 100 10 ]);
+  Alcotest.(check int) "overlap once" 15
+    (Telemetry.Event.union_ps [ span 0 10; span 5 10 ]);
+  Alcotest.(check int) "nested" 10
+    (Telemetry.Event.union_ps [ span 0 10; span 2 3 ]);
+  Alcotest.(check int) "adjacent" 20
+    (Telemetry.Event.union_ps [ span 0 10; span 10 10 ])
+
+(* -- Sink ----------------------------------------------------------- *)
+
+let test_sink_disabled_noops () =
+  Telemetry.Sink.uninstall ();
+  Alcotest.(check bool) "disabled" false (Telemetry.Sink.enabled ());
+  (* All hooks must be silent no-ops without a sink. *)
+  Telemetry.Sink.incr "x";
+  Telemetry.Sink.observe "y" 1;
+  Telemetry.Sink.set_gauge "z" 2;
+  Telemetry.Span.complete ~ts_ps:0 ~dur_ps:5 "s";
+  Telemetry.Span.instant ~ts_ps:0 "i";
+  Telemetry.Span.begin_ ~ts_ps:0 "b";
+  Telemetry.Span.end_ ~ts_ps:1 ()
+
+let test_sink_capacity () =
+  let sink, () =
+    Telemetry.Sink.with_sink ~capacity:3 (fun () ->
+        for i = 1 to 10 do
+          Telemetry.Span.instant ~ts_ps:i ~track:"t" "e"
+        done)
+  in
+  Alcotest.(check int) "kept" 3 (Telemetry.Sink.event_count sink);
+  Alcotest.(check int) "dropped" 7 (Telemetry.Sink.dropped sink);
+  Alcotest.(check (list int)) "most recent survive" [ 8; 9; 10 ]
+    (List.map
+       (fun e -> e.Telemetry.Event.ts_ps)
+       (Telemetry.Sink.events sink));
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Telemetry.Sink.create: capacity <= 0") (fun () ->
+      ignore (Telemetry.Sink.create ~capacity:0 ()))
+
+let test_sink_begin_end () =
+  let sink, () =
+    Telemetry.Sink.with_sink (fun () ->
+        Telemetry.Span.begin_ ~ts_ps:0 ~track:"t" ~cat:"stage" "outer";
+        Telemetry.Span.begin_ ~ts_ps:10 ~track:"t" "inner";
+        Telemetry.Span.end_ ~ts_ps:20 ~track:"t" ();
+        Telemetry.Span.end_ ~ts_ps:100 ~track:"t" ())
+  in
+  match Telemetry.Sink.events sink with
+  | [ inner; outer ] ->
+    (* Spans are recorded when they close: inner first. *)
+    Alcotest.(check string) "inner name" "inner" inner.Telemetry.Event.name;
+    Alcotest.(check int) "inner dur" 10 (Telemetry.Event.duration_ps inner);
+    Alcotest.(check string) "outer name" "outer" outer.Telemetry.Event.name;
+    Alcotest.(check int) "outer start" 0 outer.Telemetry.Event.ts_ps;
+    Alcotest.(check int) "outer dur" 100 (Telemetry.Event.duration_ps outer)
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let test_sink_unmatched_end () =
+  (match
+     Telemetry.Sink.with_sink (fun () ->
+         Telemetry.Span.end_ ~ts_ps:5 ~track:"t" ())
+   with
+  | _ -> Alcotest.fail "unmatched end_ accepted"
+  | exception Invalid_argument _ -> ());
+  (* The failed with_sink must not leave its sink installed. *)
+  Alcotest.(check bool) "sink restored" false (Telemetry.Sink.enabled ())
+
+let test_sink_context_default_track () =
+  let sink, () =
+    Telemetry.Sink.with_sink (fun () ->
+        Telemetry.Span.instant ~ts_ps:0 "no-context";
+        (match Telemetry.Sink.active () with
+        | Some s -> Telemetry.Sink.set_context s (Some "proc-a")
+        | None -> assert false);
+        Telemetry.Span.instant ~ts_ps:1 "with-context")
+  in
+  Alcotest.(check (list string)) "tracks" [ "main"; "proc-a" ]
+    (Telemetry.Event.tracks (Telemetry.Sink.events sink))
+
+(* -- exporters ------------------------------------------------------ *)
+
+let test_chrome_export () =
+  let events = [ span ~track:"a" 1_000_000 2_000_000; span ~track:"b" 0 500 ] in
+  let s = Telemetry.Chrome.to_string events in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) fragment true (Str_util.contains s fragment))
+    [
+      {|"traceEvents":[|};
+      {|"thread_name"|};
+      {|"process_name"|};
+      {|"ph":"X"|};
+      (* 1_000_000 ps = 1 us *)
+      {|"ts":1|};
+    ]
+
+let test_vcd_export () =
+  let events = [ span ~track:"a b" 0 10; span ~track:"a b" 2 3 ] in
+  let s = Telemetry.Vcd_export.render events in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) fragment true (Str_util.contains s fragment))
+    [ "$timescale 1ps $end"; "a_b"; "$dumpvars"; "#0"; "#2"; "#5"; "#10" ];
+  Alcotest.(check string) "sanitize" "x_y.z_2"
+    (Telemetry.Vcd_export.sanitize "x y.z-2")
+
+(* -- end-to-end against the decoder models -------------------------- *)
+
+let traced_v7b =
+  lazy
+    (Telemetry.Sink.with_sink (fun () ->
+         Models.Experiment.run ~payload:false Models.Experiment.V7b lossless))
+
+let ps_of_ms ms = int_of_float ((ms *. 1e9) +. 0.5)
+
+let test_trace_tracks () =
+  let sink, _ = Lazy.force traced_v7b in
+  let tracks = Telemetry.Event.tracks (Telemetry.Sink.events sink) in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) ("track " ^ expected) true
+        (List.mem expected tracks))
+    [ "opb"; "microblaze0"; "idwt53.filter"; "hwsw_so" ]
+
+let test_trace_coverage () =
+  let sink, outcome = Lazy.force traced_v7b in
+  let events = Telemetry.Sink.events sink in
+  let decode_ps = ps_of_ms outcome.Models.Outcome.decode_ms in
+  let union = Telemetry.Event.union_ps events in
+  Alcotest.(check bool)
+    (Printf.sprintf "spans cover >= 95%% of decode time (%d/%d)" union
+       decode_ps)
+    true
+    (float_of_int union >= 0.95 *. float_of_int decode_ps);
+  Alcotest.(check bool) "no span overruns the run" true
+    (List.for_all
+       (fun e ->
+         e.Telemetry.Event.ts_ps + Telemetry.Event.duration_ps e <= decode_ps)
+       events)
+
+(* Per-track spans must form properly nested intervals: sorted by
+   (start asc, duration desc), each span either nests inside the
+   innermost open one or starts after it ends. *)
+let check_nesting track spans =
+  let sorted =
+    List.sort
+      (fun a b ->
+        let sa = a.Telemetry.Event.ts_ps and sb = b.Telemetry.Event.ts_ps in
+        if sa <> sb then compare sa sb
+        else
+          compare
+            (Telemetry.Event.duration_ps b)
+            (Telemetry.Event.duration_ps a))
+      spans
+  in
+  let stack = ref [] in
+  List.iter
+    (fun s ->
+      let s_start = s.Telemetry.Event.ts_ps in
+      let s_end = s_start + Telemetry.Event.duration_ps s in
+      let rec pop () =
+        match !stack with
+        | top_end :: rest when top_end <= s_start ->
+          stack := rest;
+          pop ()
+        | _ -> ()
+      in
+      pop ();
+      (match !stack with
+      | top_end :: _ when s_end > top_end ->
+        Alcotest.failf
+          "track %s: span %s [%d,%d) partially overlaps an open span ending %d"
+          track s.Telemetry.Event.name s_start s_end top_end
+      | _ -> ());
+      stack := s_end :: !stack)
+    sorted
+
+let test_trace_nesting () =
+  let sink, _ = Lazy.force traced_v7b in
+  let events = Telemetry.Sink.events sink in
+  List.iter
+    (fun track -> check_nesting track (Telemetry.Event.spans ~track events))
+    (Telemetry.Event.tracks events)
+
+let test_trace_metrics_consistent () =
+  let sink, outcome = Lazy.force traced_v7b in
+  let report = outcome.Models.Outcome.telemetry in
+  let decode_ps = ps_of_ms outcome.Models.Outcome.decode_ms in
+  (* The bus can't be busy longer than the whole run. *)
+  let bus_busy = Telemetry.Report.dist_sum report "lock.opb.held_ps" in
+  Alcotest.(check bool) "bus exercised" true (bus_busy > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "bus busy (%d) <= decode (%d)" bus_busy decode_ps)
+    true (bus_busy <= decode_ps);
+  (* Union of "idwt" stage spans is the meter's idwt_ms, exactly. *)
+  let idwt_union =
+    Telemetry.Event.union_ps
+      (Telemetry.Event.spans ~name:"idwt" ~cat:"stage"
+         (Telemetry.Sink.events sink))
+  in
+  let idwt_ps = ps_of_ms outcome.Models.Outcome.idwt_ms in
+  Alcotest.(check bool)
+    (Printf.sprintf "idwt span union (%d) = idwt_ms (%d)" idwt_union idwt_ps)
+    true
+    (abs (idwt_union - idwt_ps) <= 1000);
+  (* Kernel gauges were snapshotted into the report. *)
+  Alcotest.(check bool) "delta cycles gauge" true
+    (match Telemetry.Report.gauge report "kernel.delta_cycles" with
+    | Some n -> n > 0
+    | None -> false);
+  (* Grant counters exist for the bus masters. *)
+  Alcotest.(check bool) "opb grants counted" true
+    (Telemetry.Report.counter_sum report ~prefix:"lock.opb.grants." > 0)
+
+let test_sink_does_not_perturb_models () =
+  Telemetry.Sink.uninstall ();
+  List.iter
+    (fun version ->
+      let plain = Models.Experiment.run ~payload:false version lossless in
+      let _sink, traced =
+        Telemetry.Sink.with_sink (fun () ->
+            Models.Experiment.run ~payload:false version lossless)
+      in
+      Alcotest.(check bool)
+        (Models.Experiment.version_name version
+        ^ " outcome bit-identical modulo telemetry")
+        true
+        ({ traced with Models.Outcome.telemetry = Telemetry.Report.empty }
+        = plain))
+    Models.Experiment.all_versions
+
+let test_outcome_json () =
+  let _sink, outcome = Lazy.force traced_v7b in
+  let s = Telemetry.Json.to_string (Models.Outcome.to_json outcome) in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) fragment true (Str_util.contains s fragment))
+    [
+      {|"version":"7b"|};
+      {|"mode":"lossless"|};
+      {|"decode_ms":|};
+      {|"telemetry":{"counters":|};
+      {|"lock.opb.grants.|};
+    ]
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_json_scalars;
+          Alcotest.test_case "strings" `Quick test_json_strings;
+          Alcotest.test_case "nested" `Quick test_json_nested;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick
+            test_metrics_counters_gauges;
+          Alcotest.test_case "dist" `Quick test_metrics_dist;
+          Alcotest.test_case "buckets" `Quick test_metrics_buckets;
+        ] );
+      ("event", [ Alcotest.test_case "interval union" `Quick test_event_union ]);
+      ( "sink",
+        [
+          Alcotest.test_case "disabled no-ops" `Quick test_sink_disabled_noops;
+          Alcotest.test_case "capacity ring" `Quick test_sink_capacity;
+          Alcotest.test_case "begin/end pairing" `Quick test_sink_begin_end;
+          Alcotest.test_case "unmatched end" `Quick test_sink_unmatched_end;
+          Alcotest.test_case "context default track" `Quick
+            test_sink_context_default_track;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome" `Quick test_chrome_export;
+          Alcotest.test_case "vcd" `Quick test_vcd_export;
+        ] );
+      ( "models",
+        [
+          Alcotest.test_case "v7b trace tracks" `Quick test_trace_tracks;
+          Alcotest.test_case "v7b coverage >= 95%" `Quick test_trace_coverage;
+          Alcotest.test_case "per-track nesting" `Quick test_trace_nesting;
+          Alcotest.test_case "metrics consistent with outcome" `Quick
+            test_trace_metrics_consistent;
+          Alcotest.test_case "sink does not perturb outcomes" `Quick
+            test_sink_does_not_perturb_models;
+          Alcotest.test_case "outcome json" `Quick test_outcome_json;
+        ] );
+    ]
