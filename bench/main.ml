@@ -18,6 +18,22 @@ open Toolkit
 
 let quick = Array.exists (String.equal "--quick") Sys.argv
 
+(* [--jobs N] sets the domain count of the parallel-scaling rows
+   (default 4). Speedup needs real cores: on a single-CPU host the
+   jobsN rows mostly measure the multicore-GC overhead. *)
+let jobs =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then 4
+    else if String.equal Sys.argv.(i) "--jobs" then
+      match int_of_string_opt Sys.argv.(i + 1) with
+      | Some n when n >= 1 -> n
+      | _ -> 4
+    else find (i + 1)
+  in
+  find 1
+
+let par_pool = Par.Pool.of_jobs jobs
+
 let lossless = Jpeg2000.Codestream.Lossless
 let lossy = Jpeg2000.Codestream.Lossy
 
@@ -101,6 +117,42 @@ let t1_roundtrip () =
     (Jpeg2000.T1.decode_block ~orientation:Jpeg2000.Subband.HL ~w:32 ~h:32 ~planes
        data)
 
+(* The pre-LUT reference context formation: the packed hot path's
+   baseline — the delta between this row and t1_block_32x32 is the
+   per-block gain of the flag-packed coder. *)
+let t1_roundtrip_ref () =
+  let planes, data =
+    Jpeg2000.T1.encode_block ~lut:false ~orientation:Jpeg2000.Subband.HL ~w:32
+      ~h:32 t1_block
+  in
+  ignore
+    (Jpeg2000.T1.decode_block ~lut:false ~orientation:Jpeg2000.Subband.HL ~w:32
+       ~h:32 ~planes data)
+
+(* -- parallel scaling rows ------------------------------------------ *)
+
+let j2k_stream =
+  let image =
+    Jpeg2000.Image.smooth ~width:128 ~height:128 ~components:3 ~seed:2008
+  in
+  Jpeg2000.Encoder.encode
+    {
+      Jpeg2000.Encoder.tile_w = 32;
+      tile_h = 32;
+      levels = 3;
+      mode = lossless;
+      base_step = 2.0;
+      code_block = 16;
+    }
+    image
+
+let j2k_decode pool () = ignore (Jpeg2000.Decoder.decode ~pool j2k_stream)
+
+let sweep_9v pool () =
+  ignore
+    (Models.Experiment.run_many ~payload:false ~pool
+       Models.Experiment.all_versions lossless)
+
 let ablation_policy policy () =
   let w = Models.Workload.make ~payload:false lossy in
   ignore
@@ -131,6 +183,16 @@ let substrate_tests =
     Test.make ~name:"mq_roundtrip_20kbit" (Staged.stage mq_roundtrip);
     Test.make ~name:"dwt53_128x128_l3" (Staged.stage dwt53_roundtrip);
     Test.make ~name:"t1_block_32x32" (Staged.stage t1_roundtrip);
+    Test.make ~name:"t1_block_32x32_ref" (Staged.stage t1_roundtrip_ref);
+    Test.make ~name:"j2k_decode_jobs1"
+      (Staged.stage (j2k_decode Par.Pool.sequential));
+    Test.make
+      ~name:(Printf.sprintf "j2k_decode_jobs%d" jobs)
+      (Staged.stage (j2k_decode par_pool));
+    Test.make ~name:"sweep_9v_jobs1" (Staged.stage (sweep_9v Par.Pool.sequential));
+    Test.make
+      ~name:(Printf.sprintf "sweep_9v_jobs%d" jobs)
+      (Staged.stage (sweep_9v par_pool));
   ]
 
 let ablation_tests =
@@ -207,6 +269,7 @@ let write_results_json path rows =
     (Obj
        [
          ("quick", Bool quick);
+         ("jobs", Int jobs);
          ("benchmarks", List bench_json);
          ( "table1",
            Obj
@@ -284,4 +347,5 @@ let () =
     print_string (Models.Tables.table2 ());
     print_string (Models.Tables.relations_report ~payload:false ());
     print_ablations ()
-  end
+  end;
+  Par.Pool.shutdown par_pool

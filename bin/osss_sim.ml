@@ -27,6 +27,22 @@ let mode_arg =
   Arg.(value & opt mode_conv Jpeg2000.Codestream.Lossless
        & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"lossless or lossy.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel decode engine (default 1 = \
+           sequential). Results are bit-identical at any job count.")
+
+(* [with_jobs] validates the flag and guarantees pool shutdown. *)
+let with_jobs jobs f =
+  if jobs < 1 then begin
+    Printf.eprintf "--jobs must be >= 1\n";
+    exit 2
+  end;
+  Par.Pool.with_jobs jobs f
+
 let parse_version name =
   match Models.Experiment.version_of_name name with
   | Some v -> v
@@ -35,9 +51,12 @@ let parse_version name =
     exit 1
 
 let run_cmd =
-  let run version_name mode no_payload json =
+  let run version_name mode no_payload json jobs =
     let version = parse_version version_name in
-    let r = Models.Experiment.run ~payload:(not no_payload) version mode in
+    let r =
+      with_jobs jobs (fun pool ->
+          Models.Experiment.run ~payload:(not no_payload) ~pool version mode)
+    in
     if json then
       print_endline (Telemetry.Json.to_string (Models.Outcome.to_json r))
     else Format.printf "%a@." Models.Outcome.pp r;
@@ -51,7 +70,8 @@ let run_cmd =
           required & pos 0 (some string) None & info [] ~docv:"VERSION" ~doc:"Model version.")
       $ mode_arg
       $ payload_arg
-      $ json_arg)
+      $ json_arg
+      $ jobs_arg)
 
 let trace_cmd =
   let run version_name mode no_payload trace_path metrics_path vcd_path
@@ -128,16 +148,16 @@ let trace_cmd =
               ~doc:"Keep only the most recent N events (ring buffer)."))
 
 let compare_cmd =
-  let run version_names mode no_payload json =
+  let run version_names mode no_payload json jobs =
     let versions =
       match version_names with
       | [] -> Models.Experiment.all_versions
       | names -> List.map parse_version names
     in
     let results =
-      List.map
-        (fun v -> Models.Experiment.run ~payload:(not no_payload) v mode)
-        versions
+      with_jobs jobs (fun pool ->
+          Models.Experiment.run_many ~payload:(not no_payload) ~pool versions
+            mode)
     in
     (if json then
        print_endline
@@ -182,7 +202,8 @@ let compare_cmd =
           & info [] ~docv:"VERSION" ~doc:"Versions to compare (default: all nine).")
       $ mode_arg
       $ payload_arg
-      $ json_arg)
+      $ json_arg
+      $ jobs_arg)
 
 let table1_cmd =
   let run no_payload = print_string (Models.Tables.table1 ~payload:(not no_payload) ()) in
@@ -203,7 +224,7 @@ let relations_cmd =
     Term.(const run $ payload_arg)
 
 let campaign_cmd =
-  let run seed rates mode versions unprotected json =
+  let run seed rates mode versions unprotected json jobs =
     let versions =
       match versions with
       | [] -> Models.Experiment.all_versions
@@ -224,7 +245,7 @@ let campaign_cmd =
     let config =
       Models.Campaign.default ~seed ?rates ~mode ~versions ?protection ()
     in
-    let rows = Models.Campaign.run config in
+    let rows = with_jobs jobs (fun pool -> Models.Campaign.run ~pool config) in
     if json then
       print_endline
         (Telemetry.Json.to_string (Models.Campaign.to_json config rows))
@@ -267,7 +288,8 @@ let campaign_cmd =
           value & flag
           & info [ "unprotected" ]
               ~doc:"Disable the CRC/retry channel hardening.")
-      $ json_arg)
+      $ json_arg
+      $ jobs_arg)
 
 let mapping_cmd =
   let run sw_tasks idwt_p2p =

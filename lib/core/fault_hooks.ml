@@ -3,31 +3,43 @@ type frame_hook = link:string -> words:int -> bool
 type memory_hook = mem:string -> addr:int -> int32 -> int32
 type stall_hook = proc:string -> int
 
-let channel_hook : channel_hook option ref = ref None
-let frame_hook : frame_hook option ref = ref None
-let memory_read_hook : memory_hook option ref = ref None
-let memory_write_hook : memory_hook option ref = ref None
-let stall_hook : stall_hook option ref = ref None
+(* One DLS slot per carrier: hooks are domain-local so parallel fault
+   campaigns can install one engine per worker domain without racing,
+   and a domain with no engine keeps the zero-cost unfaulted path. *)
+let channel_hook : channel_hook option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
-let set_channel f = channel_hook := Some f
-let set_frame f = frame_hook := Some f
-let set_memory_read f = memory_read_hook := Some f
-let set_memory_write f = memory_write_hook := Some f
-let set_stall f = stall_hook := Some f
+let frame_hook : frame_hook option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
-let channel () = !channel_hook
-let frame () = !frame_hook
-let memory_read () = !memory_read_hook
-let memory_write () = !memory_write_hook
-let stall () = !stall_hook
+let memory_read_hook : memory_hook option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let memory_write_hook : memory_hook option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let stall_hook : stall_hook option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let set_channel f = Domain.DLS.set channel_hook (Some f)
+let set_frame f = Domain.DLS.set frame_hook (Some f)
+let set_memory_read f = Domain.DLS.set memory_read_hook (Some f)
+let set_memory_write f = Domain.DLS.set memory_write_hook (Some f)
+let set_stall f = Domain.DLS.set stall_hook (Some f)
+
+let channel () = Domain.DLS.get channel_hook
+let frame () = Domain.DLS.get frame_hook
+let memory_read () = Domain.DLS.get memory_read_hook
+let memory_write () = Domain.DLS.get memory_write_hook
+let stall () = Domain.DLS.get stall_hook
 
 let active () =
-  !channel_hook <> None || !frame_hook <> None || !memory_read_hook <> None
-  || !memory_write_hook <> None || !stall_hook <> None
+  channel () <> None || frame () <> None || memory_read () <> None
+  || memory_write () <> None || stall () <> None
 
 let clear () =
-  channel_hook := None;
-  frame_hook := None;
-  memory_read_hook := None;
-  memory_write_hook := None;
-  stall_hook := None
+  Domain.DLS.set channel_hook None;
+  Domain.DLS.set frame_hook None;
+  Domain.DLS.set memory_read_hook None;
+  Domain.DLS.set memory_write_hook None;
+  Domain.DLS.set stall_hook None

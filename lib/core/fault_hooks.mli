@@ -7,10 +7,13 @@
     without the unfaulted path paying anything: each carrier checks
     one [option ref] and proceeds untouched when it is [None].
 
-    Hooks are process-global, like {!Sim.Kernel} determinism they are
-    meant to be installed around a whole simulation run and removed
-    afterwards ([Faults.Engine.with_engine] does both). All hook
-    functions must be deterministic for reproducible campaigns. *)
+    Hooks are domain-local ([Domain.DLS]): they are meant to be
+    installed around a whole simulation run on one domain and removed
+    afterwards ([Faults.Engine.with_engine] does both), and a parallel
+    campaign that installs one engine per [Par.Pool] worker gets fully
+    isolated, race-free fault streams — each grid point owns its
+    {!Faults.Rng} state. All hook functions must be deterministic for
+    reproducible campaigns. *)
 
 type channel_hook = link:string -> int32 array -> int32 array
 (** Transforms the serialised words of one RMI frame transmission

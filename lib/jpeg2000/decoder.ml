@@ -15,54 +15,136 @@ type wavelet_domain =
 
 let parse = Codestream.parse
 
-let entropy_decode_tile ?max_passes header tile =
-  (* Band geometry is recomputed from the tile dimensions so that a
-     corrupted stream cannot make us write outside a plane. *)
+(* -- entropy decoding ------------------------------------------------
+
+   A tile is flattened up front into an array of independent per-code-
+   block jobs plus one coefficient slot per (component, band): every
+   job touches only its own rectangle of its own slot, so the jobs can
+   run on a [Par.Pool] in any schedule and the merged coefficients are
+   identical to the sequential decode. The flattening also de-lists
+   the hot path: segments, grids and blocks are walked as arrays, not
+   by [List.map2]/[List.length] per tile. *)
+
+type block_job = {
+  bj_slot : int; (* (component, band) slot index *)
+  bj_x0 : int;
+  bj_y0 : int;
+  bj_w : int;
+  bj_h : int;
+  bj_planes : int;
+  bj_passes : string list;
+}
+
+type band_slot = {
+  sl_band : Subband.band;
+  sl_coeffs : int array;
+  mutable sl_planes : int;
+}
+
+(* Band geometry is recomputed from the tile dimensions so that a
+   corrupted stream cannot make us write outside a plane. [fail] is
+   called (and must raise) on any inconsistency between the segment
+   structure and that geometry. *)
+let tile_jobs ~fail ?max_passes header tile =
   let bands =
-    Subband.decompose ~width:tile.Codestream.tile_w
-      ~height:tile.Codestream.tile_h ~levels:header.Codestream.levels
+    Array.of_list
+      (Subband.decompose ~width:tile.Codestream.tile_w
+         ~height:tile.Codestream.tile_h ~levels:header.Codestream.levels)
   in
-  let decode_comp segments =
-    if List.length segments <> List.length bands then
-      failwith "Decoder: band count mismatch";
-    List.map2
-      (fun band seg ->
-        if
-          band.Subband.w <> seg.Codestream.seg_w
-          || band.Subband.h <> seg.Codestream.seg_h
-          || band.Subband.orientation <> seg.Codestream.seg_orientation
-        then failwith "Decoder: band geometry mismatch";
-        let bw = band.Subband.w and bh = band.Subband.h in
-        let grid =
-          Codestream.block_grid ~code_block:header.Codestream.code_block ~w:bw
-            ~h:bh
-        in
-        if List.length grid <> List.length seg.Codestream.seg_blocks then
-          failwith "Decoder: code-block count mismatch";
-        let coeffs = Array.make (bw * bh) 0 in
-        let max_planes = ref 0 in
-        List.iter2
-          (fun (x0, y0, w, h) blk ->
-            max_planes := Stdlib.max !max_planes blk.Codestream.blk_planes;
-            let passes =
-              match max_passes with
-              | None -> blk.Codestream.blk_passes
-              | Some k -> List.filteri (fun i _ -> i < k) blk.Codestream.blk_passes
-            in
-            let block =
-              T1.decode_block_scalable ~orientation:band.Subband.orientation ~w
-                ~h ~planes:blk.Codestream.blk_planes passes
-            in
-            Array.iteri
-              (fun i v ->
-                let x = x0 + (i mod w) and y = y0 + (i / w) in
-                coeffs.((y * bw) + x) <- v)
-              block)
-          grid seg.Codestream.seg_blocks;
-        { bc_band = band; bc_planes = !max_planes; bc_coeffs = coeffs })
-      bands segments
+  let nbands = Array.length bands in
+  let grids =
+    Array.map
+      (fun (band : Subband.band) ->
+        Array.of_list
+          (Codestream.block_grid ~code_block:header.Codestream.code_block
+             ~w:band.Subband.w ~h:band.Subband.h))
+      bands
   in
-  { ed_tile = tile; ed_comps = Array.map decode_comp tile.Codestream.comps }
+  let ncomps = Array.length tile.Codestream.comps in
+  let slots =
+    Array.init (ncomps * nbands) (fun si ->
+        let band = bands.(si mod nbands) in
+        {
+          sl_band = band;
+          sl_coeffs =
+            Array.make (Stdlib.max 1 (band.Subband.w * band.Subband.h)) 0;
+          sl_planes = 0;
+        })
+  in
+  let jobs = ref [] in
+  Array.iteri
+    (fun ci segments ->
+      let segs = Array.of_list segments in
+      if Array.length segs <> nbands then fail "band count mismatch";
+      Array.iteri
+        (fun bi (seg : Codestream.band_segment) ->
+          let band = bands.(bi) in
+          if
+            band.Subband.w <> seg.Codestream.seg_w
+            || band.Subband.h <> seg.Codestream.seg_h
+            || band.Subband.orientation <> seg.Codestream.seg_orientation
+          then fail "band geometry mismatch";
+          let grid = grids.(bi) in
+          let blocks = Array.of_list seg.Codestream.seg_blocks in
+          if Array.length grid <> Array.length blocks then
+            fail "code-block count mismatch";
+          let slot = (ci * nbands) + bi in
+          Array.iteri
+            (fun k (x0, y0, w, h) ->
+              let blk = blocks.(k) in
+              let passes =
+                match max_passes with
+                | None -> blk.Codestream.blk_passes
+                | Some n ->
+                  List.filteri (fun i _ -> i < n) blk.Codestream.blk_passes
+              in
+              jobs :=
+                {
+                  bj_slot = slot;
+                  bj_x0 = x0;
+                  bj_y0 = y0;
+                  bj_w = w;
+                  bj_h = h;
+                  bj_planes = blk.Codestream.blk_planes;
+                  bj_passes = passes;
+                }
+                :: !jobs)
+            grid)
+        segs)
+    tile.Codestream.comps;
+  (nbands, slots, Array.of_list (List.rev !jobs))
+
+let decode_job slots j =
+  T1.decode_block_scalable
+    ~orientation:slots.(j.bj_slot).sl_band.Subband.orientation ~w:j.bj_w
+    ~h:j.bj_h ~planes:j.bj_planes j.bj_passes
+
+let place_block slots j block =
+  let slot = slots.(j.bj_slot) in
+  let bw = slot.sl_band.Subband.w in
+  slot.sl_planes <- Stdlib.max slot.sl_planes j.bj_planes;
+  Array.iteri
+    (fun i v ->
+      let x = j.bj_x0 + (i mod j.bj_w) and y = j.bj_y0 + (i / j.bj_w) in
+      slot.sl_coeffs.((y * bw) + x) <- v)
+    block
+
+let comps_of_slots ~ncomps ~nbands slots =
+  Array.init ncomps (fun ci ->
+      List.init nbands (fun bi ->
+          let s = slots.((ci * nbands) + bi) in
+          { bc_band = s.sl_band; bc_planes = s.sl_planes; bc_coeffs = s.sl_coeffs }))
+
+let entropy_decode_tile ?max_passes ?(pool = Par.Pool.sequential) header tile =
+  let fail msg = failwith ("Decoder: " ^ msg) in
+  let nbands, slots, jobs = tile_jobs ~fail ?max_passes header tile in
+  let blocks = Par.Pool.map pool jobs (decode_job slots) in
+  Array.iteri (fun i j -> place_block slots j blocks.(i)) jobs;
+  {
+    ed_tile = tile;
+    ed_comps =
+      comps_of_slots ~ncomps:(Array.length tile.Codestream.comps) ~nbands slots;
+  }
 
 let place_int_band plane bc =
   let band = bc.bc_band in
@@ -119,11 +201,12 @@ let dequantise header decoded =
            m)
          decoded.ed_comps)
 
-let inverse_wavelet header domain =
+let inverse_wavelet ?(pool = Par.Pool.sequential) header domain =
   let levels = header.Codestream.levels in
   (match domain with
-  | Ints planes -> Array.iter (fun p -> Dwt53.inverse_plane p ~levels) planes
-  | Floats ms -> Array.iter (fun m -> Dwt97.inverse m ~levels) ms);
+  | Ints planes ->
+    Par.Pool.iter pool planes (fun p -> Dwt53.inverse_plane p ~levels)
+  | Floats ms -> Par.Pool.iter pool ms (fun m -> Dwt97.inverse m ~levels));
   domain
 
 let inverse_colour_and_shift header tile domain =
@@ -151,13 +234,13 @@ let inverse_colour_and_shift header tile domain =
       Array.map (fun data -> { Image.width = w; height = h; data }) int_planes;
   }
 
-let decode_tile ?max_passes header tile =
-  entropy_decode_tile ?max_passes header tile
+let decode_tile ?max_passes ?(pool = Par.Pool.sequential) header tile =
+  entropy_decode_tile ?max_passes ~pool header tile
   |> dequantise header
-  |> inverse_wavelet header
+  |> inverse_wavelet ~pool header
   |> inverse_colour_and_shift header tile
 
-let decode_region ~x ~y ~w ~h data =
+let decode_region ?(pool = Par.Pool.sequential) ~x ~y ~w ~h data =
   let stream = parse data in
   let header = stream.Codestream.header in
   if w <= 0 || h <= 0 then invalid_arg "Decoder.decode_region: empty window";
@@ -172,12 +255,12 @@ let decode_region ~x ~y ~w ~h data =
     && tile.Codestream.tile_y0 < y + h
     && tile.Codestream.tile_y0 + tile.Codestream.tile_h > y
   in
-  let needed = List.filter intersects stream.Codestream.tiles in
+  let needed = Array.of_list (List.filter intersects stream.Codestream.tiles) in
   let region = Image.create ~width:w ~height:h ~components:header.Codestream.components
       ~bit_depth:header.Codestream.bit_depth () in
-  List.iter
-    (fun seg ->
-      let tile = decode_tile header seg in
+  let decoded = Par.Pool.map pool needed (fun seg -> decode_tile ~pool header seg) in
+  Array.iter
+    (fun tile ->
       Array.iteri
         (fun c sub ->
           let plane = region.Image.planes.(c) in
@@ -190,7 +273,7 @@ let decode_region ~x ~y ~w ~h data =
             done
           done)
         tile.Tile.planes)
-    needed;
+    decoded;
   region
 
 (* Reduced-resolution decode: keep only the bands with
@@ -200,7 +283,7 @@ let reduced_size n d =
   let rec shrink n k = if k = 0 then n else shrink (Subband.low_size n) (k - 1) in
   shrink n d
 
-let decode_tile_reduced header ~discard tile =
+let decode_tile_reduced ?(pool = Par.Pool.sequential) header ~discard tile =
   let bands =
     Subband.decompose ~width:tile.Codestream.tile_w
       ~height:tile.Codestream.tile_h ~levels:header.Codestream.levels
@@ -248,7 +331,7 @@ let decode_tile_reduced header ~discard tile =
     }
   in
   let domain =
-    entropy_decode_tile reduced_header reduced_tile
+    entropy_decode_tile ~pool reduced_header reduced_tile
     |> dequantise reduced_header
   in
   (* Each skipped inverse level would have multiplied the lows by K
@@ -261,10 +344,10 @@ let decode_tile_reduced header ~discard tile =
       (fun m ->
         Array.iteri (fun i v -> m.Dwt97.values.(i) <- v *. k2d) m.Dwt97.values)
       ms);
-  inverse_wavelet reduced_header domain
+  inverse_wavelet ~pool reduced_header domain
   |> inverse_colour_and_shift reduced_header reduced_tile
 
-let decode_reduced ~discard_levels data =
+let decode_reduced ?(pool = Par.Pool.sequential) ~discard_levels data =
   let stream = parse data in
   let header = stream.Codestream.header in
   if discard_levels < 0 || discard_levels > header.Codestream.levels then
@@ -274,7 +357,10 @@ let decode_reduced ~discard_levels data =
     || header.Codestream.tile_h mod (1 lsl discard_levels) <> 0
   then invalid_arg "Decoder.decode_reduced: tile grid not aligned";
   let tiles =
-    List.map (decode_tile_reduced header ~discard:discard_levels) stream.Codestream.tiles
+    Array.to_list
+      (Par.Pool.map pool
+         (Array.of_list stream.Codestream.tiles)
+         (decode_tile_reduced ~pool header ~discard:discard_levels))
   in
   Tile.assemble
     ~width:(reduced_size header.Codestream.width discard_levels)
@@ -282,19 +368,24 @@ let decode_reduced ~discard_levels data =
     ~components:header.Codestream.components
     ~bit_depth:header.Codestream.bit_depth tiles
 
-let decode_with ?max_passes data =
+let decode_with ?max_passes ?(pool = Par.Pool.sequential) data =
   let stream = parse data in
   let header = stream.Codestream.header in
-  let tiles = List.map (decode_tile ?max_passes header) stream.Codestream.tiles in
+  let tiles =
+    Array.to_list
+      (Par.Pool.map pool
+         (Array.of_list stream.Codestream.tiles)
+         (decode_tile ?max_passes ~pool header))
+  in
   Tile.assemble ~width:header.Codestream.width ~height:header.Codestream.height
     ~components:header.Codestream.components ~bit_depth:header.Codestream.bit_depth
     tiles
 
-let decode data = decode_with data
+let decode ?pool data = decode_with ?pool data
 
-let decode_progressive ~max_passes data =
+let decode_progressive ?pool ~max_passes data =
   if max_passes < 0 then invalid_arg "Decoder.decode_progressive: max_passes";
-  decode_with ~max_passes data
+  decode_with ~max_passes ?pool data
 
 (* -- graceful degradation ------------------------------------------- *)
 
@@ -321,62 +412,35 @@ let pp_report ppf r =
    header geometry and the whole tile must be concealed. *)
 let max_robust_planes = 30
 
-let entropy_decode_tile_robust header tile =
-  let concealed = ref 0 in
-  let bands =
-    Subband.decompose ~width:tile.Codestream.tile_w
-      ~height:tile.Codestream.tile_h ~levels:header.Codestream.levels
-  in
-  let decode_comp segments =
-    if List.length segments <> List.length bands then raise Exit;
-    List.map2
-      (fun band seg ->
-        if
-          band.Subband.w <> seg.Codestream.seg_w
-          || band.Subband.h <> seg.Codestream.seg_h
-          || band.Subband.orientation <> seg.Codestream.seg_orientation
-        then raise Exit;
-        let bw = band.Subband.w and bh = band.Subband.h in
-        let grid =
-          Codestream.block_grid ~code_block:header.Codestream.code_block ~w:bw
-            ~h:bh
-        in
-        if List.length grid <> List.length seg.Codestream.seg_blocks then
-          raise Exit;
-        let coeffs = Array.make (Stdlib.max 1 (bw * bh)) 0 in
-        let max_planes = ref 0 in
-        List.iter2
-          (fun (x0, y0, w, h) blk ->
-            let block =
-              if blk.Codestream.blk_planes > max_robust_planes then None
-              else
-                try
-                  Some
-                    (T1.decode_block_scalable
-                       ~orientation:band.Subband.orientation ~w ~h
-                       ~planes:blk.Codestream.blk_planes
-                       blk.Codestream.blk_passes)
-                with Failure _ | Invalid_argument _ | Exit | Not_found ->
-                  None
-            in
-            match block with
-            | Some block when Array.length block = w * h ->
-              max_planes := Stdlib.max !max_planes blk.Codestream.blk_planes;
-              Array.iteri
-                (fun i v ->
-                  let x = x0 + (i mod w) and y = y0 + (i / w) in
-                  coeffs.((y * bw) + x) <- v)
-                block
-            | _ ->
-              (* concealed: the block's coefficients stay zero *)
-              incr concealed)
-          grid seg.Codestream.seg_blocks;
-        { bc_band = band; bc_planes = !max_planes; bc_coeffs = coeffs })
-      bands segments
-  in
-  match Array.map decode_comp tile.Codestream.comps with
-  | comps -> Some ({ ed_tile = tile; ed_comps = comps }, !concealed)
+let entropy_decode_tile_robust ?(pool = Par.Pool.sequential) header tile =
+  match tile_jobs ~fail:(fun _ -> raise Exit) header tile with
   | exception Exit -> None
+  | nbands, slots, jobs ->
+    let results =
+      Par.Pool.map pool jobs (fun j ->
+          if j.bj_planes > max_robust_planes then None
+          else
+            try Some (decode_job slots j)
+            with Failure _ | Invalid_argument _ | Exit | Not_found -> None)
+    in
+    let concealed = ref 0 in
+    Array.iteri
+      (fun i j ->
+        match results.(i) with
+        | Some block when Array.length block = j.bj_w * j.bj_h ->
+          place_block slots j block
+        | _ ->
+          (* concealed: the block's coefficients stay zero *)
+          incr concealed)
+      jobs;
+    Some
+      ( {
+          ed_tile = tile;
+          ed_comps =
+            comps_of_slots ~ncomps:(Array.length tile.Codestream.comps) ~nbands
+              slots;
+        },
+        !concealed )
 
 (* A fully concealed tile: every coefficient zero, same pipeline, so
    it renders as mid-grey at the right place and size. *)
@@ -419,34 +483,41 @@ let tile_block_count header tile =
     0 bands
   * Array.length tile.Codestream.comps
 
-let decode_robust data =
+let decode_robust ?(pool = Par.Pool.sequential) data =
   match Codestream.parse_result data with
   | Error e -> Error e
   | Ok stream ->
     let header = stream.Codestream.header in
+    let decode_one tile =
+      (* (tile image, concealed blocks, concealed tiles, total blocks):
+         per-tile results stay pure so the fan-out over tiles cannot
+         race on the report counters. *)
+      let total = tile_block_count header tile in
+      match entropy_decode_tile_robust ~pool header tile with
+      | Some (ed, concealed) ->
+        (match
+           dequantise header ed |> inverse_wavelet header
+           |> inverse_colour_and_shift header tile
+         with
+        | t -> (t, concealed, 0, total)
+        | exception (Failure _ | Invalid_argument _) ->
+          (concealed_tile header tile, concealed, 1, total))
+      | None -> (concealed_tile header tile, 0, 1, total)
+    in
+    let results =
+      Par.Pool.map pool (Array.of_list stream.Codestream.tiles) decode_one
+    in
     let concealed_blocks = ref 0 and concealed_tiles = ref 0 in
     let total_blocks = ref 0 in
     let tiles =
-      List.map
-        (fun tile ->
-          total_blocks := !total_blocks + tile_block_count header tile;
-          let decoded =
-            match entropy_decode_tile_robust header tile with
-            | Some (ed, concealed) ->
-              concealed_blocks := !concealed_blocks + concealed;
-              (try
-                 Some
-                   (dequantise header ed |> inverse_wavelet header
-                   |> inverse_colour_and_shift header tile)
-               with Failure _ | Invalid_argument _ -> None)
-            | None -> None
-          in
-          match decoded with
-          | Some t -> t
-          | None ->
-            incr concealed_tiles;
-            concealed_tile header tile)
-        stream.Codestream.tiles
+      Array.to_list
+        (Array.map
+           (fun (tile, blocks, tiles, total) ->
+             concealed_blocks := !concealed_blocks + blocks;
+             concealed_tiles := !concealed_tiles + tiles;
+             total_blocks := !total_blocks + total;
+             tile)
+           results)
     in
     let image =
       Tile.assemble ~width:header.Codestream.width

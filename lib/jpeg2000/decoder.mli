@@ -10,7 +10,13 @@
     over Software Tasks and Shared Objects; each model invokes the
     same functions the monolithic {!decode} uses, so the functional
     behaviour of every hardware/software partitioning is identical by
-    construction. *)
+    construction.
+
+    Every stage that fans out over independent work units — code
+    blocks within a tile, planes in the IDWT, tiles in a full decode —
+    takes an optional [?pool] ({!Par.Pool.t}, default
+    {!Par.Pool.sequential}). Results are merged by index, so a decode
+    on any pool is bit-identical to the sequential one. *)
 
 type band_coeffs = {
   bc_band : Subband.band;
@@ -32,32 +38,45 @@ val parse : string -> Codestream.t
     arithmetic-decoder task). *)
 
 val entropy_decode_tile :
-  ?max_passes:int -> Codestream.header -> Codestream.tile_segment -> entropy_decoded
+  ?max_passes:int ->
+  ?pool:Par.Pool.t ->
+  Codestream.header ->
+  Codestream.tile_segment ->
+  entropy_decoded
 (** Stage 1: MQ/EBCOT decoding of every subband of a tile.
     [max_passes] truncates every code block to its first coding
-    passes (SNR scalability); default: all. *)
+    passes (SNR scalability); default: all. Code blocks are
+    independent MQ codewords and decode in parallel on [pool]. *)
 
 val dequantise : Codestream.header -> entropy_decoded -> wavelet_domain
 (** Stage 2 (IQ): rebuild the Mallat coefficient layout; inverse
     quantisation on the lossy path, plain placement on the lossless
     path. *)
 
-val inverse_wavelet : Codestream.header -> wavelet_domain -> wavelet_domain
-(** Stage 3 (IDWT): 5/3 or 9/7 multi-level inverse transform,
-    in place. *)
+val inverse_wavelet :
+  ?pool:Par.Pool.t -> Codestream.header -> wavelet_domain -> wavelet_domain
+(** Stage 3 (IDWT): 5/3 or 9/7 multi-level inverse transform, in
+    place; component planes transform in parallel on [pool]. *)
 
 val inverse_colour_and_shift :
   Codestream.header -> Codestream.tile_segment -> wavelet_domain -> Tile.t
 (** Stage 4 (ICT + DC shift): back to unsigned samples. *)
 
 val decode_tile :
-  ?max_passes:int -> Codestream.header -> Codestream.tile_segment -> Tile.t
+  ?max_passes:int ->
+  ?pool:Par.Pool.t ->
+  Codestream.header ->
+  Codestream.tile_segment ->
+  Tile.t
 (** All tile stages composed. *)
 
-val decode : string -> Image.t
-(** Full decode of a codestream. *)
+val decode : ?pool:Par.Pool.t -> string -> Image.t
+(** Full decode of a codestream. Tiles fan out over [pool]; inside a
+    worker the per-tile stages degrade to sequential (the pool is
+    re-entrancy-safe), so a single-tile stream still parallelises
+    over its code blocks when called from the main domain. *)
 
-val decode_progressive : max_passes:int -> string -> Image.t
+val decode_progressive : ?pool:Par.Pool.t -> max_passes:int -> string -> Image.t
 (** Quality-scalable decode: every code block contributes only its
     first [max_passes] coding passes, as if the stream had been
     truncated at that pass boundary — fidelity increases
@@ -65,14 +84,14 @@ val decode_progressive : max_passes:int -> string -> Image.t
     reconstruction once all passes are included. *)
 
 val decode_region :
-  x:int -> y:int -> w:int -> h:int -> string -> Image.t
+  ?pool:Par.Pool.t -> x:int -> y:int -> w:int -> h:int -> string -> Image.t
 (** Region-of-interest decode: entropy-decodes only the tiles that
     intersect the requested window and crops the result to it — the
     random-access capability tiling exists for. Raises
     [Invalid_argument] if the window is empty or falls outside the
     image. *)
 
-val decode_reduced : discard_levels:int -> string -> Image.t
+val decode_reduced : ?pool:Par.Pool.t -> discard_levels:int -> string -> Image.t
 (** Resolution-scalable decode: reconstructs the image at
     [1/2^discard_levels] of its dimensions by entropy-decoding only
     the coarser subbands and running fewer inverse-wavelet levels —
@@ -110,6 +129,7 @@ val concealed_entropy_decoded :
     shift). *)
 
 val entropy_decode_tile_robust :
+  ?pool:Par.Pool.t ->
   Codestream.header ->
   Codestream.tile_segment ->
   (entropy_decoded * int) option
@@ -118,11 +138,14 @@ val entropy_decode_tile_robust :
     tile structure itself contradicts the header geometry and the
     whole tile must be concealed. Never raises on any parsed tile. *)
 
-val decode_robust : string -> (Image.t * report, Codestream.error) result
+val decode_robust :
+  ?pool:Par.Pool.t -> string -> (Image.t * report, Codestream.error) result
 (** Total decode of arbitrary bytes: [Error] iff the codestream
     framing is invalid, otherwise a full-size image with damage
     confined and reported. [decode_robust (emit s)] of a well-formed
-    stream equals [Ok (decode s, r)] with [no_damage r]. *)
+    stream equals [Ok (decode s, r)] with [no_damage r]. Per-tile
+    damage counts are merged deterministically, so image and report
+    are identical on every [pool]. *)
 
 val psnr_impact : reference:Image.t -> Image.t * report -> float
 (** PSNR (dB) of a robust decode against the undamaged reference —

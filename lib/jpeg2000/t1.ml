@@ -12,55 +12,62 @@ let fresh_contexts () =
       else if i = ctx_uni then Mq.context ~index:46 ()
       else Mq.context ())
 
+(* -- packed coefficient state ----------------------------------------
+
+   One flags word per coefficient replaces the five per-coefficient
+   byte arrays (significant/sign/became/visited/refined) the coder
+   used to probe: the word carries the coefficient's own state plus
+   the significance of all eight neighbours and the sign of the four
+   horizontal/vertical ones, maintained incrementally when a
+   coefficient becomes significant. Context formation then reads one
+   word and one LUT entry instead of paying eight bounds-checked
+   probes per decision (the OpenJPEG flag layout idea). The array is
+   padded by one cell on every side so neighbour updates never branch
+   on block edges. *)
+
+let f_sig = 0x01 (* this coefficient is significant *)
+let f_visited = 0x02 (* coded by an earlier pass of this bit-plane *)
+let f_refined = 0x04 (* magnitude-refined at least once *)
+let f_became = 0x08 (* became significant in the current bit-plane *)
+let f_sign = 0x10 (* this coefficient is negative *)
+
+(* Neighbour significance, bits 5-12: W E N S NW NE SW SE. *)
+let nb_shift = 5
+let f_nb_w = 1 lsl 5
+let f_nb_e = 1 lsl 6
+let f_nb_n = 1 lsl 7
+let f_nb_s = 1 lsl 8
+let f_nb_nw = 1 lsl 9
+let f_nb_ne = 1 lsl 10
+let f_nb_sw = 1 lsl 11
+let f_nb_se = 1 lsl 12
+let nb_mask = 0xFF lsl nb_shift
+
+(* Sign of the significant horizontal/vertical neighbours, bits
+   13-16: W E N S (only ever set together with the matching
+   significance bit). *)
+let sg_shift = 13
+let f_sg_w = 1 lsl 13
+let f_sg_e = 1 lsl 14
+let f_sg_n = 1 lsl 15
+let f_sg_s = 1 lsl 16
+
 type blk = {
   w : int;
   h : int;
+  stride : int; (* w + 2: one padding column on each side *)
   orientation : Subband.orientation;
-  significant : Bytes.t;
-  sign : Bytes.t; (* 0 = non-negative, 1 = negative *)
-  became : Bytes.t; (* became significant in the current bit-plane *)
-  visited : Bytes.t; (* coded by an earlier pass of this bit-plane *)
-  refined : Bytes.t; (* has been magnitude-refined at least once *)
+  lut : bool; (* false: reference per-probe context formation *)
+  flags : int array; (* (w + 2) * (h + 2), padded *)
+  zc_lut : int array; (* the orientation's zero-coding table *)
   contexts : Mq.context array;
 }
 
-let make_blk ~orientation ~w ~h =
-  if w <= 0 || h <= 0 then invalid_arg "T1: block size";
-  let zeroed () = Bytes.make (w * h) '\000' in
-  {
-    w;
-    h;
-    orientation;
-    significant = zeroed ();
-    sign = zeroed ();
-    became = zeroed ();
-    visited = zeroed ();
-    refined = zeroed ();
-    contexts = fresh_contexts ();
-  }
+let pos b x y = ((y + 1) * b.stride) + (x + 1)
 
-let flag b x y = Bytes.get b.significant ((y * b.w) + x) <> '\000'
-
-let get bytes b x y = Bytes.get bytes ((y * b.w) + x) <> '\000'
-let set bytes b x y v =
-  Bytes.set bytes ((y * b.w) + x) (if v then '\001' else '\000')
-
-let in_block b x y = x >= 0 && x < b.w && y >= 0 && y < b.h
-let sig_at b x y = in_block b x y && flag b x y
-
-(* Neighbourhood significance counts: horizontal, vertical, diagonal. *)
-let neighbour_counts b x y =
-  let s dx dy = if sig_at b (x + dx) (y + dy) then 1 else 0 in
-  let h = s (-1) 0 + s 1 0 in
-  let v = s 0 (-1) + s 0 1 in
-  let d = s (-1) (-1) + s 1 (-1) + s (-1) 1 + s 1 1 in
-  (h, v, d)
-
-let neighbourhood_empty b x y =
-  let h, v, d = neighbour_counts b x y in
-  h + v + d = 0
-
-(* Zero-coding contexts, ISO Table D.1. *)
+(* Zero-coding contexts, ISO Table D.1 — the reference arithmetic,
+   kept both as the LUT generator and as the [~lut:false] slow path
+   that validates (and benchmarks against) the packed formulation. *)
 let zc_primary h v d =
   if h = 2 then 8
   else if h = 1 then (if v >= 1 then 7 else if d >= 1 then 6 else 5)
@@ -78,25 +85,9 @@ let zc_hh hv d =
   else if hv = 1 then 1
   else 0
 
-let zc_context b x y =
-  let h, v, d = neighbour_counts b x y in
-  match b.orientation with
-  | Subband.LL | Subband.LH -> zc_primary h v d
-  | Subband.HL -> zc_primary v h d
-  | Subband.HH -> zc_hh (h + v) d
-
-(* Sign-coding context and XOR bit, ISO Tables D.2/D.3. A significant
-   neighbour contributes +1 (positive) or -1 (negative); the sums are
-   clamped to [-1, 1]. *)
-let sign_contribution b x y =
-  if not (sig_at b x y) then 0
-  else if get b.sign b x y then -1
-  else 1
-
-let sc_context b x y =
-  let clamp s = Stdlib.max (-1) (Stdlib.min 1 s) in
-  let hc = clamp (sign_contribution b (x - 1) y + sign_contribution b (x + 1) y) in
-  let vc = clamp (sign_contribution b x (y - 1) + sign_contribution b x (y + 1)) in
+(* Sign-coding context and XOR bit, ISO Tables D.2/D.3, from the
+   clamped horizontal and vertical sign contributions. *)
+let sc_of_contrib hc vc =
   match (hc, vc) with
   | 1, 1 -> (13, 0)
   | 1, 0 -> (12, 0)
@@ -109,11 +100,126 @@ let sc_context b x y =
   | -1, -1 -> (13, 1)
   | _ -> assert false
 
+(* The three zero-coding LUTs, indexed by the 8 neighbour-significance
+   bits in flag order (W E N S NW NE SW SE). *)
+let build_zc f =
+  Array.init 256 (fun bits ->
+      let b i = (bits lsr i) land 1 in
+      let h = b 0 + b 1 in
+      let v = b 2 + b 3 in
+      let d = b 4 + b 5 + b 6 + b 7 in
+      f h v d)
+
+let lut_zc_primary = build_zc zc_primary
+let lut_zc_swapped = build_zc (fun h v d -> zc_primary v h d)
+let lut_zc_hh = build_zc (fun h v d -> zc_hh (h + v) d)
+
+(* Sign-coding LUT, indexed by [sig W E N S | sign W E N S] (8 bits);
+   each entry packs [(context lsl 1) lor xor]. *)
+let lut_sc =
+  Array.init 256 (fun idx ->
+      let significant i = (idx lsr i) land 1 = 1 in
+      let negative i = (idx lsr (4 + i)) land 1 = 1 in
+      let contrib i =
+        if not (significant i) then 0 else if negative i then -1 else 1
+      in
+      let clamp s = Stdlib.max (-1) (Stdlib.min 1 s) in
+      let hc = clamp (contrib 0 + contrib 1) in
+      let vc = clamp (contrib 2 + contrib 3) in
+      let ctx, xor = sc_of_contrib hc vc in
+      (ctx lsl 1) lor xor)
+
+let zc_lut_for = function
+  | Subband.LL | Subband.LH -> lut_zc_primary
+  | Subband.HL -> lut_zc_swapped
+  | Subband.HH -> lut_zc_hh
+
+let make_blk ?(lut = true) ~orientation ~w ~h () =
+  if w <= 0 || h <= 0 then invalid_arg "T1: block size";
+  {
+    w;
+    h;
+    stride = w + 2;
+    orientation;
+    lut;
+    flags = Array.make ((w + 2) * (h + 2)) 0;
+    zc_lut = zc_lut_for orientation;
+    contexts = fresh_contexts ();
+  }
+
+(* -- reference (per-probe) context formation ------------------------ *)
+
+let in_block b x y = x >= 0 && x < b.w && y >= 0 && y < b.h
+let sig_at b x y = in_block b x y && b.flags.(pos b x y) land f_sig <> 0
+
+(* Neighbourhood significance counts: horizontal, vertical, diagonal. *)
+let neighbour_counts b x y =
+  let s dx dy = if sig_at b (x + dx) (y + dy) then 1 else 0 in
+  let h = s (-1) 0 + s 1 0 in
+  let v = s 0 (-1) + s 0 1 in
+  let d = s (-1) (-1) + s 1 (-1) + s (-1) 1 + s 1 1 in
+  (h, v, d)
+
+let zc_context_ref b x y =
+  let h, v, d = neighbour_counts b x y in
+  match b.orientation with
+  | Subband.LL | Subband.LH -> zc_primary h v d
+  | Subband.HL -> zc_primary v h d
+  | Subband.HH -> zc_hh (h + v) d
+
+let sign_contribution b x y =
+  if not (sig_at b x y) then 0
+  else if b.flags.(pos b x y) land f_sign <> 0 then -1
+  else 1
+
+let sc_packed_ref b x y =
+  let clamp s = Stdlib.max (-1) (Stdlib.min 1 s) in
+  let hc = clamp (sign_contribution b (x - 1) y + sign_contribution b (x + 1) y) in
+  let vc = clamp (sign_contribution b x (y - 1) + sign_contribution b x (y + 1)) in
+  let ctx, xor = sc_of_contrib hc vc in
+  (ctx lsl 1) lor xor
+
+(* -- hot context accessors ------------------------------------------ *)
+
+let zc_context b p x y =
+  if b.lut then b.zc_lut.((b.flags.(p) lsr nb_shift) land 0xFF)
+  else zc_context_ref b x y
+
+(* [(context lsl 1) lor xor], avoiding a tuple in the hot path. *)
+let sc_packed b p x y =
+  if b.lut then
+    let f = b.flags.(p) in
+    lut_sc.(((f lsr nb_shift) land 0xF) lor (((f lsr sg_shift) land 0xF) lsl 4))
+  else sc_packed_ref b x y
+
 (* Magnitude-refinement contexts, ISO Table D.4. *)
-let mr_context b x y =
-  if get b.refined b x y then 16
-  else if neighbourhood_empty b x y then 14
+let mr_context b p x y =
+  let f = b.flags.(p) in
+  if f land f_refined <> 0 then 16
+  else if
+    (if b.lut then f land nb_mask = 0
+     else
+       let h, v, d = neighbour_counts b x y in
+       h + v + d = 0)
+  then 14
   else 15
+
+(* Mark (x, y) significant: its own state bits plus the incremental
+   neighbour significance/sign bits of the eight surrounding cells
+   (padding absorbs the out-of-block writes). *)
+let set_significant b ~x ~y ~neg =
+  let fl = b.flags in
+  let s = b.stride in
+  let p = pos b x y in
+  fl.(p) <- fl.(p) lor f_sig lor f_became lor (if neg then f_sign else 0);
+  fl.(p - 1) <- fl.(p - 1) lor f_nb_e lor (if neg then f_sg_e else 0);
+  fl.(p + 1) <- fl.(p + 1) lor f_nb_w lor (if neg then f_sg_w else 0);
+  fl.(p - s) <- fl.(p - s) lor f_nb_s lor (if neg then f_sg_s else 0);
+  fl.(p + s) <- fl.(p + s) lor f_nb_n lor (if neg then f_sg_n else 0);
+  fl.(p - s - 1) <- fl.(p - s - 1) lor f_nb_se;
+  fl.(p - s + 1) <- fl.(p - s + 1) lor f_nb_sw;
+  fl.(p + s - 1) <- fl.(p + s - 1) lor f_nb_ne;
+  fl.(p + s + 1) <- fl.(p + s + 1) lor f_nb_nw
 
 (* The bit-level interface that distinguishes encoder and decoder:
    every function codes (or decodes) through the shared MQ state and
@@ -134,28 +240,30 @@ type io = {
 }
 
 let make_significant b io ~x ~y ~plane =
-  let s = io.sign_bit ~x ~y ~ctx:(fst (sc_context b x y))
-            ~xor:(snd (sc_context b x y)) in
-  set b.sign b x y (s = 1);
-  set b.significant b x y true;
-  set b.became b x y true;
+  let sc = sc_packed b (pos b x y) x y in
+  let s = io.sign_bit ~x ~y ~ctx:(sc lsr 1) ~xor:(sc land 1) in
+  set_significant b ~x ~y ~neg:(s = 1);
   io.on_significant ~x ~y ~plane
 
 (* One coefficient of a cleanup or significance pass: zero-coding
    plus sign on a 1 bit. *)
-let code_zc b io ~x ~y ~plane =
-  let bit = io.coeff_bit ~x ~y ~plane ~ctx:(zc_context b x y) in
+let code_zc b io ~p ~x ~y ~plane =
+  let bit = io.coeff_bit ~x ~y ~plane ~ctx:(zc_context b p x y) in
   if bit = 1 then make_significant b io ~x ~y ~plane
 
+let stripe = 4
+
 let significance_pass b io ~plane =
-  let stripe = 4 in
+  let fl = b.flags in
   let k = ref 0 in
   while !k < b.h do
     for x = 0 to b.w - 1 do
       for y = !k to Stdlib.min (!k + stripe - 1) (b.h - 1) do
-        if (not (flag b x y)) && not (neighbourhood_empty b x y) then begin
-          code_zc b io ~x ~y ~plane;
-          set b.visited b x y true
+        let p = pos b x y in
+        let f = fl.(p) in
+        if f land f_sig = 0 && f land nb_mask <> 0 then begin
+          code_zc b io ~p ~x ~y ~plane;
+          fl.(p) <- fl.(p) lor f_visited
         end
       done
     done;
@@ -163,18 +271,18 @@ let significance_pass b io ~plane =
   done
 
 let refinement_pass b io ~plane =
-  let stripe = 4 in
+  let fl = b.flags in
   let k = ref 0 in
   while !k < b.h do
     for x = 0 to b.w - 1 do
       for y = !k to Stdlib.min (!k + stripe - 1) (b.h - 1) do
-        if flag b x y && (not (get b.became b x y)) && not (get b.visited b x y)
-        then begin
-          let ctx = mr_context b x y in
+        let p = pos b x y in
+        let f = fl.(p) in
+        if f land (f_sig lor f_became lor f_visited) = f_sig then begin
+          let ctx = mr_context b p x y in
           let bit = io.coeff_bit ~x ~y ~plane ~ctx in
           io.on_refine ~x ~y ~plane ~bit;
-          set b.refined b x y true;
-          set b.visited b x y true
+          fl.(p) <- fl.(p) lor f_refined lor f_visited
         end
       done
     done;
@@ -182,7 +290,7 @@ let refinement_pass b io ~plane =
   done
 
 let cleanup_pass b io ~plane =
-  let stripe = 4 in
+  let fl = b.flags in
   let k = ref 0 in
   while !k < b.h do
     let y0 = !k in
@@ -192,8 +300,13 @@ let cleanup_pass b io ~plane =
         full_column
         && (let clean = ref true in
             for y = y0 to y0 + stripe - 1 do
-              if flag b x y || get b.visited b x y
-                 || not (neighbourhood_empty b x y)
+              let f = fl.(pos b x y) in
+              if
+                f land (f_sig lor f_visited) <> 0
+                || (if b.lut then f land nb_mask <> 0
+                    else
+                      let h, v, d = neighbour_counts b x y in
+                      h + v + d > 0)
               then clean := false
             done;
             !clean)
@@ -205,17 +318,27 @@ let cleanup_pass b io ~plane =
              implicit; code its sign and continue below it. *)
           make_significant b io ~x ~y:(y0 + r) ~plane;
           for y = y0 + r + 1 to y0 + stripe - 1 do
-            code_zc b io ~x ~y ~plane
+            code_zc b io ~p:(pos b x y) ~x ~y ~plane
           done
         end
       end
       else
         for y = y0 to Stdlib.min (y0 + stripe - 1) (b.h - 1) do
-          if (not (get b.visited b x y)) && not (flag b x y) then
-            code_zc b io ~x ~y ~plane
+          let p = pos b x y in
+          if fl.(p) land (f_sig lor f_visited) = 0 then
+            code_zc b io ~p ~x ~y ~plane
         done
     done;
     k := !k + stripe
+  done
+
+(* End of a plane: every visited/became bit drops (padding cells
+   never carry them, so sweeping the whole array is safe). *)
+let clear_plane_flags b =
+  let fl = b.flags in
+  let keep = lnot (f_visited lor f_became) in
+  for i = 0 to Array.length fl - 1 do
+    fl.(i) <- fl.(i) land keep
   done
 
 let code_plane b io ~plane ~first =
@@ -224,8 +347,7 @@ let code_plane b io ~plane ~first =
     refinement_pass b io ~plane
   end;
   cleanup_pass b io ~plane;
-  Bytes.fill b.visited 0 (Bytes.length b.visited) '\000';
-  Bytes.fill b.became 0 (Bytes.length b.became) '\000'
+  clear_plane_flags b
 
 (* The same plane schedule expressed as the standard pass sequence:
    the top plane has only its cleanup pass, every lower plane runs
@@ -240,14 +362,12 @@ let pass_schedule ~planes =
          else [ (Significance, plane); (Refinement, plane); (Cleanup, plane) ]))
 
 let run_pass b io (kind, plane) =
-  (match kind with
+  match kind with
   | Significance -> significance_pass b io ~plane
   | Refinement -> refinement_pass b io ~plane
   | Cleanup ->
     cleanup_pass b io ~plane;
-    Bytes.fill b.visited 0 (Bytes.length b.visited) '\000';
-    Bytes.fill b.became 0 (Bytes.length b.became) '\000');
-  ()
+    clear_plane_flags b
 
 let total_passes ~planes = if planes = 0 then 0 else 1 + (3 * (planes - 1))
 
@@ -259,93 +379,7 @@ let num_planes coeffs =
 let check_dims ~w ~h len =
   if w <= 0 || h <= 0 || len <> w * h then invalid_arg "T1: dimensions"
 
-let encode_block ~orientation ~w ~h coeffs =
-  check_dims ~w ~h (Array.length coeffs);
-  let planes = num_planes coeffs in
-  if planes = 0 then (0, "")
-  else begin
-    let b = make_blk ~orientation ~w ~h in
-    let enc = Mq.encoder () in
-    let magnitude x y = abs coeffs.((y * w) + x) in
-    let bit_of x y plane = (magnitude x y lsr plane) land 1 in
-    let io =
-      {
-        coeff_bit =
-          (fun ~x ~y ~plane ~ctx ->
-            let bit = bit_of x y plane in
-            Mq.encode enc b.contexts.(ctx) bit;
-            bit);
-        sign_bit =
-          (fun ~x ~y ~ctx ~xor ->
-            let s = if coeffs.((y * w) + x) < 0 then 1 else 0 in
-            Mq.encode enc b.contexts.(ctx) (s lxor xor);
-            s);
-        rl_bit =
-          (fun ~x ~y0 ~plane ->
-            let any = ref 0 in
-            for y = y0 to y0 + 3 do
-              if bit_of x y plane = 1 then any := 1
-            done;
-            Mq.encode enc b.contexts.(ctx_rl) !any;
-            !any);
-        uni_pos =
-          (fun ~x ~y0 ~plane ->
-            let rec first r = if bit_of x (y0 + r) plane = 1 then r else first (r + 1) in
-            let r = first 0 in
-            Mq.encode enc b.contexts.(ctx_uni) ((r lsr 1) land 1);
-            Mq.encode enc b.contexts.(ctx_uni) (r land 1);
-            r);
-        on_significant = (fun ~x:_ ~y:_ ~plane:_ -> ());
-        on_refine = (fun ~x:_ ~y:_ ~plane:_ ~bit:_ -> ());
-      }
-    in
-    for plane = planes - 1 downto 0 do
-      code_plane b io ~plane ~first:(plane = planes - 1)
-    done;
-    (planes, Mq.flush enc)
-  end
-
-let decode_block ~orientation ~w ~h ~planes data =
-  check_dims ~w ~h (w * h);
-  if planes = 0 then Array.make (w * h) 0
-  else begin
-    let b = make_blk ~orientation ~w ~h in
-    let dec = Mq.decoder data in
-    let magnitudes = Array.make (w * h) 0 in
-    let set_bit x y plane = magnitudes.((y * w) + x) <- magnitudes.((y * w) + x) lor (1 lsl plane) in
-    let io =
-      {
-        coeff_bit =
-          (fun ~x:_ ~y:_ ~plane:_ ~ctx -> Mq.decode dec b.contexts.(ctx));
-        sign_bit =
-          (fun ~x:_ ~y:_ ~ctx ~xor -> Mq.decode dec b.contexts.(ctx) lxor xor);
-        rl_bit = (fun ~x:_ ~y0:_ ~plane:_ -> Mq.decode dec b.contexts.(ctx_rl));
-        uni_pos =
-          (fun ~x:_ ~y0:_ ~plane:_ ->
-            let hi = Mq.decode dec b.contexts.(ctx_uni) in
-            let lo = Mq.decode dec b.contexts.(ctx_uni) in
-            (hi lsl 1) lor lo);
-        on_significant = (fun ~x ~y ~plane -> set_bit x y plane);
-        on_refine =
-          (fun ~x ~y ~plane ~bit -> if bit = 1 then set_bit x y plane);
-      }
-    in
-    for plane = planes - 1 downto 0 do
-      code_plane b io ~plane ~first:(plane = planes - 1)
-    done;
-    Array.init (w * h) (fun i ->
-        let x = i mod w and y = i / w in
-        let m = magnitudes.(i) in
-        if get b.sign b x y then -m else m)
-  end
-
-
-(* -- SNR-scalable variant ---------------------------------------------
-
-   Every coding pass is terminated into its own MQ codeword (the
-   standard's RESTART/segmentation option, contexts carried across
-   passes), so a codestream can be truncated at any pass boundary and
-   still decode exactly up to that pass. *)
+let negative b x y = b.flags.(pos b x y) land f_sign <> 0
 
 let make_encoder_io b enc coeffs w =
   let magnitude x y = abs coeffs.((y * w) + x) in
@@ -380,24 +414,18 @@ let make_encoder_io b enc coeffs w =
     on_refine = (fun ~x:_ ~y:_ ~plane:_ ~bit:_ -> ());
   }
 
-let encode_block_scalable ~orientation ~w ~h coeffs =
+let encode_block ?lut ~orientation ~w ~h coeffs =
   check_dims ~w ~h (Array.length coeffs);
   let planes = num_planes coeffs in
-  if planes = 0 then (0, [])
+  if planes = 0 then (0, "")
   else begin
-    let b = make_blk ~orientation ~w ~h in
+    let b = make_blk ?lut ~orientation ~w ~h () in
     let enc = ref (Mq.encoder ()) in
     let io = make_encoder_io b enc coeffs w in
-    let segments =
-      List.map
-        (fun pass ->
-          run_pass b io pass;
-          let segment = Mq.flush !enc in
-          enc := Mq.encoder ();
-          segment)
-        (pass_schedule ~planes)
-    in
-    (planes, segments)
+    for plane = planes - 1 downto 0 do
+      code_plane b io ~plane ~first:(plane = planes - 1)
+    done;
+    (planes, Mq.flush !enc)
   end
 
 let make_decoder_io b dec magnitudes w =
@@ -417,11 +445,58 @@ let make_decoder_io b dec magnitudes w =
     on_refine = (fun ~x ~y ~plane ~bit -> if bit = 1 then set_bit x y plane);
   }
 
-let decode_block_scalable ~orientation ~w ~h ~planes segments =
+let signed_result b magnitudes =
+  Array.init (b.w * b.h) (fun i ->
+      let x = i mod b.w and y = i / b.w in
+      let m = magnitudes.(i) in
+      if negative b x y then -m else m)
+
+let decode_block ?lut ~orientation ~w ~h ~planes data =
   check_dims ~w ~h (w * h);
   if planes = 0 then Array.make (w * h) 0
   else begin
-    let b = make_blk ~orientation ~w ~h in
+    let b = make_blk ?lut ~orientation ~w ~h () in
+    let dec = ref (Mq.decoder data) in
+    let magnitudes = Array.make (w * h) 0 in
+    let io = make_decoder_io b dec magnitudes w in
+    for plane = planes - 1 downto 0 do
+      code_plane b io ~plane ~first:(plane = planes - 1)
+    done;
+    signed_result b magnitudes
+  end
+
+(* -- SNR-scalable variant ---------------------------------------------
+
+   Every coding pass is terminated into its own MQ codeword (the
+   standard's RESTART/segmentation option, contexts carried across
+   passes), so a codestream can be truncated at any pass boundary and
+   still decode exactly up to that pass. *)
+
+let encode_block_scalable ?lut ~orientation ~w ~h coeffs =
+  check_dims ~w ~h (Array.length coeffs);
+  let planes = num_planes coeffs in
+  if planes = 0 then (0, [])
+  else begin
+    let b = make_blk ?lut ~orientation ~w ~h () in
+    let enc = ref (Mq.encoder ()) in
+    let io = make_encoder_io b enc coeffs w in
+    let segments =
+      List.map
+        (fun pass ->
+          run_pass b io pass;
+          let segment = Mq.flush !enc in
+          enc := Mq.encoder ();
+          segment)
+        (pass_schedule ~planes)
+    in
+    (planes, segments)
+  end
+
+let decode_block_scalable ?lut ~orientation ~w ~h ~planes segments =
+  check_dims ~w ~h (w * h);
+  if planes = 0 then Array.make (w * h) 0
+  else begin
+    let b = make_blk ?lut ~orientation ~w ~h () in
     let dec = ref (Mq.decoder "") in
     let magnitudes = Array.make (w * h) 0 in
     let io = make_decoder_io b dec magnitudes w in
@@ -434,8 +509,5 @@ let decode_block_scalable ~orientation ~w ~h ~planes segments =
         decode_passes schedule segments
     in
     decode_passes (pass_schedule ~planes) segments;
-    Array.init (w * h) (fun i ->
-        let x = i mod w and y = i / w in
-        let m = magnitudes.(i) in
-        if get b.sign b x y then -m else m)
+    signed_result b magnitudes
   end

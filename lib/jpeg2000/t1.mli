@@ -13,19 +13,30 @@
     form a single MQ codeword segment — no pass boundaries, RESET/
     BYPASS modes or rate-distortion truncation. Decoding inverts
     encoding bit-exactly, which the property tests check on random
-    blocks. *)
+    blocks.
+
+    Per-coefficient state is one packed flags word (own significance/
+    sign/visited/refined plus incrementally maintained neighbour
+    significance and sign bits); zero-coding and sign-coding contexts
+    are precomputed LUTs indexed by that word. [?lut:false] selects
+    the reference per-probe context formation instead — bit-identical
+    by construction (the LUTs are generated from it), kept as the
+    cross-check and the benchmark baseline for the packed hot path. *)
 
 val num_planes : int array -> int
 (** Number of magnitude bit-planes needed for the given coefficients
     (0 if all are zero). *)
 
 val encode_block :
+  ?lut:bool ->
   orientation:Subband.orientation -> w:int -> h:int -> int array -> int * string
 (** [encode_block ~orientation ~w ~h coeffs] returns
     [(bit-planes, codeword)]. [coeffs] is row-major of length
-    [w * h]. An all-zero block yields [(0, "")]. *)
+    [w * h]. An all-zero block yields [(0, "")]. [lut] (default
+    [true]) selects the packed-LUT context formation. *)
 
 val decode_block :
+  ?lut:bool ->
   orientation:Subband.orientation -> w:int -> h:int -> planes:int -> string -> int array
 (** Inverse of {!encode_block}: reconstructs the exact coefficients. *)
 
@@ -41,6 +52,7 @@ val total_passes : planes:int -> int
     ([1 + 3*(planes-1)], 0 for an empty block). *)
 
 val encode_block_scalable :
+  ?lut:bool ->
   orientation:Subband.orientation ->
   w:int ->
   h:int ->
@@ -49,6 +61,7 @@ val encode_block_scalable :
 (** [(bit-planes, one codeword per pass)]. *)
 
 val decode_block_scalable :
+  ?lut:bool ->
   orientation:Subband.orientation ->
   w:int ->
   h:int ->

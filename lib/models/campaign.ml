@@ -56,49 +56,57 @@ let run_one config ~vi ~ri ~baseline version rate =
     (outcome, Workload.psnr_db w)
   end
 
-let run config =
-  List.concat
-    (List.mapi
-       (fun vi version ->
-         let name = Experiment.version_name version in
-         (* Baseline: the clean, unprotected run — no hooks, bare
-            channels, the seed configuration itself. Computed once per
-            version whether or not 0.0 is swept; a 0.0 row reports it
-            directly. *)
-         let baseline =
-           Experiment.run_workload version (Workload.make config.mode)
-         in
-         List.mapi
-           (fun ri rate ->
-             let result =
-               try
-                 let outcome, psnr =
-                   run_one config ~vi ~ri ~baseline version rate
-                 in
-                 Ok (outcome, psnr)
-               with
-               | Osss.Channel.Transfer_failed { link; what; attempts } ->
-                 Error
-                   (Printf.sprintf "aborted: %s gave up on %s after %d attempts"
-                      link what attempts)
-               | Failure msg -> Error ("aborted: " ^ msg)
-               | Invalid_argument msg -> Error ("aborted: " ^ msg)
-             in
-             let inflation =
-               match result with
-               | Ok (o, _) -> o.Outcome.decode_ms /. baseline.Outcome.decode_ms
-               | Error _ -> Float.nan
-             in
-             {
-               row_version = name;
-               row_rate = rate;
-               row_result = Result.map fst result;
-               row_inflation = inflation;
-               row_psnr_db =
-                 (match result with Ok (_, p) -> p | Error _ -> Float.nan);
-             })
-           config.rates)
-       config.versions)
+(* Every grid point's seed is a pure function of its (version, rate)
+   indices and every run's fault state is domain-local, so the grid
+   fans out over [pool] without reshuffling a single fault pattern:
+   the row list is identical on any pool. *)
+let run ?(pool = Par.Pool.sequential) config =
+  let versions = Array.of_list config.versions in
+  let rates = Array.of_list config.rates in
+  let nrates = Array.length rates in
+  (* Baseline: the clean, unprotected run — no hooks, bare channels,
+     the seed configuration itself. Computed once per version whether
+     or not 0.0 is swept; a 0.0 row reports it directly. *)
+  let baselines =
+    Par.Pool.map pool versions (fun version ->
+        Experiment.run_workload version (Workload.make config.mode))
+  in
+  let grid =
+    Array.init
+      (Array.length versions * nrates)
+      (fun i -> (i / nrates, i mod nrates))
+  in
+  let rows =
+    Par.Pool.map pool grid (fun (vi, ri) ->
+        let version = versions.(vi) and rate = rates.(ri) in
+        let baseline = baselines.(vi) in
+        let result =
+          try
+            let outcome, psnr = run_one config ~vi ~ri ~baseline version rate in
+            Ok (outcome, psnr)
+          with
+          | Osss.Channel.Transfer_failed { link; what; attempts } ->
+            Error
+              (Printf.sprintf "aborted: %s gave up on %s after %d attempts"
+                 link what attempts)
+          | Failure msg -> Error ("aborted: " ^ msg)
+          | Invalid_argument msg -> Error ("aborted: " ^ msg)
+        in
+        let inflation =
+          match result with
+          | Ok (o, _) -> o.Outcome.decode_ms /. baseline.Outcome.decode_ms
+          | Error _ -> Float.nan
+        in
+        {
+          row_version = Experiment.version_name version;
+          row_rate = rate;
+          row_result = Result.map fst result;
+          row_inflation = inflation;
+          row_psnr_db =
+            (match result with Ok (_, p) -> p | Error _ -> Float.nan);
+        })
+  in
+  Array.to_list rows
 
 let float_or_null f =
   if Float.is_nan f then Telemetry.Json.Null

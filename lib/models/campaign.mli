@@ -43,10 +43,13 @@ type row = {
   row_psnr_db : float;  (** concealment fidelity vs the clean decode *)
 }
 
-val run : config -> row list
+val run : ?pool:Par.Pool.t -> config -> row list
 (** One run per (version, rate), version-major order. The zero-rate
     run is the unfaulted, unprotected seed configuration — the
-    baseline for every inflation factor. *)
+    baseline for every inflation factor. Grid points fan out over
+    [pool]; per-run seeds are pure functions of the grid position and
+    fault/telemetry state is domain-local, so the rows are identical
+    on any pool. *)
 
 val render : config -> row list -> string
 (** The resilience table. *)

@@ -40,9 +40,19 @@ let run_workload ?protection ?idwt_deadline version w =
     Vta_models.run_custom ?protection ?idwt_deadline ~version:"7b"
       ~sw_tasks:tasks ~idwt_p2p:true w
 
-let run ?payload version mode = run_workload version (Workload.make ?payload mode)
+let run ?payload ?pool version mode =
+  run_workload version (Workload.make ?payload ?pool mode)
 
-let run_all ?payload mode = List.map (fun v -> run ?payload v mode) all_versions
+(* Each version is a fully independent simulation (instance-based DES
+   kernel, domain-local telemetry/fault state), so a version sweep
+   fans out over the pool; inside a worker the workload stays
+   sequential, keeping every outcome identical to a sequential
+   sweep. *)
+let run_many ?payload ?(pool = Par.Pool.sequential) versions mode =
+  Array.to_list
+    (Par.Pool.map pool (Array.of_list versions) (fun v -> run ?payload v mode))
+
+let run_all ?payload ?pool mode = run_many ?payload ?pool all_versions mode
 
 type relation_check = { relation : string; holds : bool; detail : string }
 

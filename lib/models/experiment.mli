@@ -17,12 +17,20 @@ val run_workload :
     workload. [protection] hardens every VTA channel (ignored by the
     Application-Layer versions, whose links are direct calls). *)
 
-val run : ?payload:bool -> version -> Profile.mode -> Outcome.t
+val run : ?payload:bool -> ?pool:Par.Pool.t -> version -> Profile.mode -> Outcome.t
 (** Runs the 16-tile, 3-component workload on the given model.
     [payload] (default true) carries the real image data through the
-    stages and verifies the decode bit-exactly. *)
+    stages and verifies the decode bit-exactly. [pool] parallelises
+    the payload decode inside the workload (bit-identical results). *)
 
-val run_all : ?payload:bool -> Profile.mode -> Outcome.t list
+val run_many :
+  ?payload:bool -> ?pool:Par.Pool.t -> version list -> Profile.mode -> Outcome.t list
+(** Runs each listed version on its own freshly made workload,
+    fanning the versions out over [pool] (simulations are independent;
+    telemetry and fault state are domain-local). Outcomes are in list
+    order and identical to running the versions sequentially. *)
+
+val run_all : ?payload:bool -> ?pool:Par.Pool.t -> Profile.mode -> Outcome.t list
 (** All nine versions, in Table 1 order. *)
 
 type relation_check = { relation : string; holds : bool; detail : string }

@@ -18,6 +18,9 @@ type payload = {
   concealed_blocks : int;
   concealed_tiles : int;
   slots : slot array;
+  pool : Par.Pool.t;
+      (* fans the per-tile stage bodies out over code blocks / planes;
+         [Par.Pool.sequential] unless the caller opted in *)
 }
 
 type t = { w_mode : Profile.mode; w_tiles : int; payload : payload option }
@@ -63,23 +66,23 @@ let corrupt_segments rng ~rate segments =
    robust entropy decode with per-block containment, whole-tile
    concealment on structural damage. Returns the tile image plus
    concealment counts. *)
-let robust_tile header seg =
-  match Jpeg2000.Decoder.entropy_decode_tile_robust header seg with
+let robust_tile ?(pool = Par.Pool.sequential) header seg =
+  match Jpeg2000.Decoder.entropy_decode_tile_robust ~pool header seg with
   | Some (ed, concealed) ->
     ( Jpeg2000.Decoder.dequantise header ed
-      |> Jpeg2000.Decoder.inverse_wavelet header
+      |> Jpeg2000.Decoder.inverse_wavelet ~pool header
       |> Jpeg2000.Decoder.inverse_colour_and_shift header seg,
       concealed,
       0 )
   | None ->
     ( Jpeg2000.Decoder.concealed_entropy_decoded header seg
       |> Jpeg2000.Decoder.dequantise header
-      |> Jpeg2000.Decoder.inverse_wavelet header
+      |> Jpeg2000.Decoder.inverse_wavelet ~pool header
       |> Jpeg2000.Decoder.inverse_colour_and_shift header seg,
       0,
       1 )
 
-let make_payload ?corrupt mode =
+let make_payload ?corrupt ~pool mode =
   let image =
     Jpeg2000.Image.smooth ~width:128 ~height:128 ~components:Profile.components
       ~seed:2008
@@ -96,7 +99,7 @@ let make_payload ?corrupt mode =
   in
   let data = Jpeg2000.Encoder.encode config image in
   let stream = Jpeg2000.Codestream.parse data in
-  let clean_reference = Jpeg2000.Decoder.decode data in
+  let clean_reference = Jpeg2000.Decoder.decode ~pool data in
   let header = stream.Jpeg2000.Codestream.header in
   let clean_segments = Array.of_list stream.Jpeg2000.Codestream.tiles in
   let segments, reference, robust, concealed_blocks, concealed_tiles =
@@ -111,7 +114,7 @@ let make_payload ?corrupt mode =
       let decoded =
         Array.map
           (fun seg ->
-            let tile, b, t = robust_tile header seg in
+            let tile, b, t = robust_tile ~pool header seg in
             blocks := !blocks + b;
             tiles := !tiles + t;
             tile)
@@ -147,15 +150,16 @@ let make_payload ?corrupt mode =
     concealed_blocks;
     concealed_tiles;
     slots;
+    pool;
   }
 
-let make ?(payload = true) ?corrupt mode =
+let make ?(payload = true) ?corrupt ?(pool = Par.Pool.sequential) mode =
   if corrupt <> None && not payload then
     invalid_arg "Workload.make: corruption requires a payload";
   {
     w_mode = mode;
     w_tiles = Profile.tiles;
-    payload = (if payload then Some (make_payload ?corrupt mode) else None);
+    payload = (if payload then Some (make_payload ?corrupt ~pool mode) else None);
   }
 
 let mode t = t.w_mode
@@ -192,13 +196,15 @@ let stage_decode t i =
       Some
         (if p.robust then
            match
-             Jpeg2000.Decoder.entropy_decode_tile_robust p.header
+             Jpeg2000.Decoder.entropy_decode_tile_robust ~pool:p.pool p.header
                p.segments.(i)
            with
            | Some (ed, _) -> ed
            | None ->
              Jpeg2000.Decoder.concealed_entropy_decoded p.header p.segments.(i)
-         else Jpeg2000.Decoder.entropy_decode_tile p.header p.segments.(i))
+         else
+           Jpeg2000.Decoder.entropy_decode_tile ~pool:p.pool p.header
+             p.segments.(i))
 
 let stage_iq t i =
   match t.payload with
@@ -216,7 +222,8 @@ let stage_idwt t i =
     expect_stage p i 2;
     (match p.slots.(i).wavelet with
     | Some wd ->
-      p.slots.(i).spatial <- Some (Jpeg2000.Decoder.inverse_wavelet p.header wd)
+      p.slots.(i).spatial <-
+        Some (Jpeg2000.Decoder.inverse_wavelet ~pool:p.pool p.header wd)
     | None -> failwith "Workload: IDWT before IQ")
 
 let stage_ict_dc t i =

@@ -12,8 +12,13 @@
 
 type t
 
-val make : ?payload:bool -> ?corrupt:int * float -> Profile.mode -> t
-(** 16 tiles, 3 components. [payload] defaults to [true].
+val make :
+  ?payload:bool -> ?corrupt:int * float -> ?pool:Par.Pool.t -> Profile.mode -> t
+(** 16 tiles, 3 components. [payload] defaults to [true]. [pool]
+    (default {!Par.Pool.sequential}) fans the payload decode — and
+    every staged decode the models perform — out over independent
+    code blocks and component planes; results are bit-identical on
+    any pool.
     [corrupt (seed, rate)] flips, deterministically from [seed], each
     entropy-coded payload byte's bit with probability [rate] before
     the run; the staged decode then uses the robust (per-code-block

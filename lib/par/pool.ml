@@ -1,0 +1,134 @@
+type pool = {
+  mutex : Mutex.t;
+  work : Condition.t; (* tasks were queued, or shutdown was requested *)
+  finished : Condition.t; (* a batch completed *)
+  tasks : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+type t = Sequential | Pool of pool
+
+let sequential = Sequential
+
+(* Set in every worker domain: a [map] issued from inside a task runs
+   sequentially on that worker instead of re-entering the queue, where
+   it could wait on chunks no free worker is left to run. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let worker_loop p () =
+  Domain.DLS.set in_worker true;
+  let rec loop () =
+    Mutex.lock p.mutex;
+    while Queue.is_empty p.tasks && not p.stop do
+      Condition.wait p.work p.mutex
+    done;
+    if Queue.is_empty p.tasks then Mutex.unlock p.mutex (* stop *)
+    else begin
+      let task = Queue.pop p.tasks in
+      Mutex.unlock p.mutex;
+      task ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Par.Pool.create: domains < 1";
+  let p =
+    {
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      tasks = Queue.create ();
+      stop = false;
+      workers = [||];
+    }
+  in
+  p.workers <- Array.init domains (fun _ -> Domain.spawn (worker_loop p));
+  Pool p
+
+(* The calling domain helps drain the queue during [map], so [n] jobs
+   need only [n - 1] spawned workers — one fewer domain for the
+   stop-the-world GC to synchronise. *)
+let of_jobs n = if n <= 1 then Sequential else create ~domains:(n - 1)
+
+let parallelism = function
+  | Sequential -> 1
+  | Pool p -> Array.length p.workers + 1
+
+let shutdown = function
+  | Sequential -> ()
+  | Pool p ->
+    let workers =
+      Mutex.lock p.mutex;
+      p.stop <- true;
+      Condition.broadcast p.work;
+      let w = p.workers in
+      p.workers <- [||];
+      Mutex.unlock p.mutex;
+      w
+    in
+    Array.iter Domain.join workers
+
+let map t arr f =
+  match t with
+  | Sequential -> Array.map f arr
+  | Pool _ when Domain.DLS.get in_worker -> Array.map f arr
+  | Pool p ->
+    let n = Array.length arr in
+    if n = 0 then [||]
+    else begin
+      if p.stop then invalid_arg "Par.Pool.map: pool is shut down";
+      let chunks = Stdlib.min n (Array.length p.workers + 1) in
+      let parts = Array.make chunks [||] in
+      let remaining = ref chunks in
+      let error = ref None in
+      let task c () =
+        let result =
+          try
+            let lo = c * n / chunks and hi = (c + 1) * n / chunks in
+            Ok (Array.init (hi - lo) (fun i -> f arr.(lo + i)))
+          with e -> Error e
+        in
+        Mutex.lock p.mutex;
+        (match result with
+        | Ok part -> parts.(c) <- part
+        | Error e -> if !error = None then error := Some e);
+        remaining := !remaining - 1;
+        if !remaining = 0 then Condition.broadcast p.finished;
+        Mutex.unlock p.mutex
+      in
+      Mutex.lock p.mutex;
+      for c = 0 to chunks - 1 do
+        Queue.push (task c) p.tasks
+      done;
+      Condition.broadcast p.work;
+      (* Help drain the queue instead of idling: the caller runs
+         queued tasks (flagged as a worker, so nested maps inside them
+         degrade to sequential) and only sleeps once the queue is
+         empty and some chunks are still running elsewhere. *)
+      while !remaining > 0 do
+        match Queue.pop p.tasks with
+        | t ->
+          Mutex.unlock p.mutex;
+          Domain.DLS.set in_worker true;
+          t ();
+          Domain.DLS.set in_worker false;
+          Mutex.lock p.mutex
+        | exception Queue.Empty -> Condition.wait p.finished p.mutex
+      done;
+      Mutex.unlock p.mutex;
+      (match !error with Some e -> raise e | None -> ());
+      if chunks = 1 then parts.(0) else Array.concat (Array.to_list parts)
+    end
+
+let iter t arr f = ignore (map t arr f : unit array)
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let with_jobs n f =
+  let t = of_jobs n in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,65 @@
+(** A fixed-size Domain pool with a deterministic data-parallel [map].
+
+    The pool exists to turn the {e modelled} concurrency of the decoder
+    — independent EBCOT code-blocks, per-component IDWT, independent
+    campaign grid points — into real OCaml 5 parallelism without
+    changing a single output bit: {!map} partitions its input into
+    contiguous index ranges, each worker writes results {e by index},
+    and the merged array is therefore identical to [Array.map]
+    regardless of how the runtime schedules the domains.
+
+    Every parallel entry point in the repository takes an optional
+    [?pool] defaulting to {!sequential}, a pool value that spawns
+    nothing and allocates nothing beyond the result array — the
+    single-threaded behaviour (and cost) of the code before this layer
+    existed.
+
+    Worker domains hold no simulation state: the cross-cutting layers
+    ({!Telemetry.Sink}, [Osss.Fault_hooks]) keep their mutable slots in
+    [Domain.DLS], so a sink or fault engine installed inside one task
+    is invisible to every other domain. *)
+
+type t
+
+val sequential : t
+(** Runs every {!map} as a plain [Array.map] on the calling domain.
+    No domains are spawned; {!shutdown} is a no-op. *)
+
+val create : domains:int -> t
+(** [create ~domains] spawns [domains] worker domains that block on a
+    Mutex/Condition work queue until {!shutdown}. Raises
+    [Invalid_argument] if [domains < 1]. Pools are not a measure of
+    available hardware: callers pick the size (e.g. from [--jobs]). *)
+
+val of_jobs : int -> t
+(** [of_jobs n] is {!sequential} for [n <= 1] and a pool of [n - 1]
+    workers otherwise — the calling domain drains the queue alongside
+    the workers during {!map}, so [--jobs n] occupies [n] domains
+    total. *)
+
+val parallelism : t -> int
+(** Number of domains that execute a {!map}: the workers plus the
+    calling domain, or [1] for {!sequential}. *)
+
+val map : t -> 'a array -> ('a -> 'b) -> 'b array
+(** [map pool arr f] = [Array.map f arr], computed by the pool's
+    workers and the calling domain in contiguous chunks. Deterministic
+    by construction: results are written by index, so the merge order
+    never depends on scheduling. If any [f] raises, one of the raised
+    exceptions is re-raised in the caller after all chunks finish.
+    Calls from inside a pool task (nested parallelism) degrade to
+    sequential [Array.map] rather than deadlock the queue. *)
+
+val iter : t -> 'a array -> ('a -> unit) -> unit
+(** [map] for effects (e.g. in-place per-component IDWT). The items
+    must be independent: no two may touch the same mutable state. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains. Idempotent; {!map} after [shutdown]
+    raises [Invalid_argument]. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [create], run, and [shutdown] (also on exceptions). *)
+
+val with_jobs : int -> (t -> 'a) -> 'a
+(** {!of_jobs} with the same lifetime guarantee. *)

@@ -6,6 +6,13 @@ type 'a t = {
   mutable next_seq : int;
 }
 
+(* A sentinel entry for vacated and never-used slots, so the heap
+   array never keeps popped entries (and their closure payloads)
+   alive. The value field is never read below [size], and the dummy
+   itself is immutable and shared, so the [Obj.magic] cannot escape. *)
+let dummy : Obj.t entry = { key = min_int; seq = min_int; value = Obj.repr () }
+let dummy_entry () : 'a entry = Obj.magic dummy
+
 let create () = { heap = [||]; size = 0; next_seq = 0 }
 
 let is_empty q = q.size = 0
@@ -18,8 +25,7 @@ let before a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 let grow q =
   let capacity = Array.length q.heap in
   if q.size = capacity then begin
-    let dummy = q.heap.(0) in
-    let bigger = Array.make (Stdlib.max 8 (2 * capacity)) dummy in
+    let bigger = Array.make (Stdlib.max 8 (2 * capacity)) (dummy_entry ()) in
     Array.blit q.heap 0 bigger 0 q.size;
     q.heap <- bigger
   end
@@ -52,7 +58,7 @@ let rec sift_down q i =
 let push q ~key value =
   let entry = { key; seq = q.next_seq; value } in
   q.next_seq <- q.next_seq + 1;
-  if Array.length q.heap = 0 then q.heap <- Array.make 8 entry;
+  if Array.length q.heap = 0 then q.heap <- Array.make 8 (dummy_entry ());
   grow q;
   q.heap.(q.size) <- entry;
   q.size <- q.size + 1;
@@ -69,6 +75,10 @@ let pop q =
       q.heap.(0) <- q.heap.(q.size);
       sift_down q 0
     end;
+    (* Clear the vacated slot: it would otherwise keep the moved (and
+       eventually popped) entry live until a future push overwrites
+       it. *)
+    q.heap.(q.size) <- dummy_entry ();
     Some (top.key, top.value)
   end
 

@@ -27,15 +27,19 @@ let create ?capacity () =
     context = None;
   }
 
-(* The single global sink. Everything below the [enabled] check is the
-   cold path: when no sink is installed every hook in the stack costs
-   one load and one branch. *)
-let current : t option ref = ref None
+(* The per-domain sink slot. Everything below the [enabled] check is
+   the cold path: when no sink is installed every hook in the stack
+   costs one DLS load and one branch. Domain-local (rather than
+   process-global) storage is what lets parallel campaigns run one
+   simulation per worker domain without interleaving metrics: a sink
+   installed inside a [Par.Pool] task is invisible to every other
+   domain, and fresh worker domains start with no sink. *)
+let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let install t = current := Some t
-let uninstall () = current := None
-let active () = !current
-let enabled () = !current <> None
+let install t = Domain.DLS.set current (Some t)
+let uninstall () = Domain.DLS.set current None
+let active () = Domain.DLS.get current
+let enabled () = Domain.DLS.get current <> None
 
 let events t = List.of_seq (Queue.to_seq t.events)
 let event_count t = Queue.length t.events
@@ -98,24 +102,35 @@ let open_depth t track =
 
 let with_sink ?capacity f =
   let t = create ?capacity () in
-  let saved = !current in
-  current := Some t;
-  Fun.protect ~finally:(fun () -> current := saved) (fun () ->
+  let saved = Domain.DLS.get current in
+  Domain.DLS.set current (Some t);
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set current saved)
+    (fun () ->
       let result = f () in
       (t, result))
 
 (* Convenience hooks for instrumented code: one branch when disabled. *)
 
-let emit ev = match !current with None -> () | Some t -> push t ev
+let emit ev =
+  match Domain.DLS.get current with None -> () | Some t -> push t ev
 
 let incr ?by key =
-  match !current with None -> () | Some t -> Metrics.incr t.metrics ?by key
+  match Domain.DLS.get current with
+  | None -> ()
+  | Some t -> Metrics.incr t.metrics ?by key
 
 let observe key v =
-  match !current with None -> () | Some t -> Metrics.observe t.metrics key v
+  match Domain.DLS.get current with
+  | None -> ()
+  | Some t -> Metrics.observe t.metrics key v
 
 let set_gauge key v =
-  match !current with None -> () | Some t -> Metrics.set t.metrics key v
+  match Domain.DLS.get current with
+  | None -> ()
+  | Some t -> Metrics.set t.metrics key v
 
 let set_current_context label =
-  match !current with None -> () | Some t -> t.context <- label
+  match Domain.DLS.get current with
+  | None -> ()
+  | Some t -> t.context <- label

@@ -1,4 +1,4 @@
-(** The telemetry sink: a process-global collector for {!Event}s and
+(** The telemetry sink: a domain-local collector for {!Event}s and
     {!Metrics}.
 
     Instrumented code throughout the stack calls the convenience hooks
@@ -10,7 +10,14 @@
 
     The event buffer is unbounded by default; pass [?capacity] to keep
     the most recent [capacity] events as a ring, counting the rest in
-    {!dropped}. *)
+    {!dropped}.
+
+    The installed-sink slot lives in [Domain.DLS]: {!install} and
+    {!with_sink} affect only the calling domain, and a fresh domain
+    (e.g. a [Par.Pool] worker) starts with no sink. Parallel
+    simulations therefore never race on — or interleave events into —
+    each other's sinks; a worker that wants telemetry installs its own
+    sink inside its task. *)
 
 type t
 
@@ -18,7 +25,7 @@ val create : ?capacity:int -> unit -> t
 (** Raises [Invalid_argument] if [capacity <= 0]. *)
 
 val install : t -> unit
-(** Makes [t] the global sink; replaces any previous one. *)
+(** Makes [t] the calling domain's sink; replaces any previous one. *)
 
 val uninstall : unit -> unit
 val active : unit -> t option

@@ -408,6 +408,48 @@ let t1_sparse_roundtrip_qcheck =
       Jpeg2000.T1.decode_block ~orientation:Jpeg2000.Subband.LH ~w ~h ~planes data
       = coeffs)
 
+let t1_lut_equals_reference_qcheck =
+  QCheck.Test.make
+    ~name:"T1 packed-LUT path emits the reference path's exact codewords"
+    ~count:100
+    QCheck.(
+      quad (int_range 1 20) (int_range 1 20) (int_bound 3) small_int)
+    (fun (w, h, band_code, seed) ->
+      let orientation = Jpeg2000.Subband.orientation_of_code band_code in
+      let state = ref (seed + 3) in
+      let next () =
+        state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+        !state
+      in
+      let coeffs =
+        Array.init (w * h) (fun _ ->
+            if next () mod 3 = 0 then (next () mod 1023) - 511 else 0)
+      in
+      let p_lut, d_lut =
+        Jpeg2000.T1.encode_block ~lut:true ~orientation ~w ~h coeffs
+      in
+      let p_ref, d_ref =
+        Jpeg2000.T1.encode_block ~lut:false ~orientation ~w ~h coeffs
+      in
+      let sp_lut, sd_lut =
+        Jpeg2000.T1.encode_block_scalable ~lut:true ~orientation ~w ~h coeffs
+      in
+      let sp_ref, sd_ref =
+        Jpeg2000.T1.encode_block_scalable ~lut:false ~orientation ~w ~h coeffs
+      in
+      (* Same bits out of both encoders, and each decoder inverts the
+         other encoder's stream. *)
+      p_lut = p_ref && d_lut = d_ref && sp_lut = sp_ref && sd_lut = sd_ref
+      && Jpeg2000.T1.decode_block ~lut:false ~orientation ~w ~h ~planes:p_lut
+           d_lut
+         = coeffs
+      && Jpeg2000.T1.decode_block ~lut:true ~orientation ~w ~h ~planes:p_ref
+           d_ref
+         = coeffs
+      && Jpeg2000.T1.decode_block_scalable ~lut:false ~orientation ~w ~h
+           ~planes:sp_lut sd_lut
+         = coeffs)
+
 let test_t1_compresses_structure () =
   (* A structured block must code smaller than raw size. *)
   let w = 32 and h = 32 in
@@ -876,6 +918,7 @@ let () =
             test_t1_compresses_structure;
           qc t1_roundtrip_all_bands_qcheck;
           qc t1_sparse_roundtrip_qcheck;
+          qc t1_lut_equals_reference_qcheck;
         ] );
       ( "misc",
         [

@@ -67,6 +67,30 @@ let test_pqueue_fifo_qcheck =
       in
       popped = sorted)
 
+(* Kept out of line so no stack slot of the test body itself pins the
+   pushed values. *)
+let[@inline never] pqueue_fill q weak =
+  let a = ref 1 and b = ref 2 in
+  Weak.set weak 0 (Some a);
+  Weak.set weak 1 (Some b);
+  Sim.Pqueue.push q ~key:1 a;
+  Sim.Pqueue.push q ~key:2 b
+
+let test_pqueue_pop_clears_slot () =
+  (* Regression: [pop] used to leave the moved last entry in the
+     vacated slot [heap.(size)], keeping the popped value (and any
+     closure it captures) live until a later push overwrote it. *)
+  let q = Sim.Pqueue.create () in
+  let weak = Weak.create 2 in
+  pqueue_fill q weak;
+  ignore (Sim.Pqueue.pop q);
+  ignore (Sim.Pqueue.pop q);
+  Gc.full_major ();
+  Alcotest.(check bool) "first popped value collected" false
+    (Weak.check weak 0);
+  Alcotest.(check bool) "second popped value collected" false
+    (Weak.check weak 1)
+
 let test_pqueue_pop_le () =
   let q = Sim.Pqueue.create () in
   List.iter (fun k -> Sim.Pqueue.push q ~key:k k) [ 5; 2; 9 ];
@@ -568,6 +592,8 @@ let () =
         [
           Alcotest.test_case "stable order" `Quick test_pqueue_order;
           qc test_pqueue_fifo_qcheck;
+          Alcotest.test_case "pop clears vacated slot" `Quick
+            test_pqueue_pop_clears_slot;
           Alcotest.test_case "pop_le" `Quick test_pqueue_pop_le;
         ] );
       ( "kernel",
