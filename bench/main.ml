@@ -22,12 +22,19 @@ let quick = Array.exists (String.equal "--quick") Sys.argv
    (default 4). Speedup needs real cores: on a single-CPU host the
    jobsN rows mostly measure the multicore-GC overhead. *)
 let jobs =
+  let invalid what =
+    Printf.eprintf "bench: --jobs must be an integer >= 1 (got %s)\n" what;
+    exit 2
+  in
   let rec find i =
-    if i + 1 >= Array.length Sys.argv then 4
+    if i >= Array.length Sys.argv then 4
     else if String.equal Sys.argv.(i) "--jobs" then
-      match int_of_string_opt Sys.argv.(i + 1) with
-      | Some n when n >= 1 -> n
-      | _ -> 4
+      if i + 1 >= Array.length Sys.argv then invalid "nothing"
+      else
+        match int_of_string_opt Sys.argv.(i + 1) with
+        | Some n when n >= 1 -> n
+        | Some n -> invalid (string_of_int n)
+        | None -> invalid (Printf.sprintf "%S" Sys.argv.(i + 1))
     else find (i + 1)
   in
   find 1
@@ -131,22 +138,28 @@ let t1_roundtrip_ref () =
 
 (* -- parallel scaling rows ------------------------------------------ *)
 
-let j2k_stream =
-  let image =
-    Jpeg2000.Image.smooth ~width:128 ~height:128 ~components:3 ~seed:2008
-  in
-  Jpeg2000.Encoder.encode
-    {
-      Jpeg2000.Encoder.tile_w = 32;
-      tile_h = 32;
-      levels = 3;
-      mode = lossless;
-      base_step = 2.0;
-      code_block = 16;
-    }
-    image
+let j2k_stream = Models.Workload.codestream lossless
 
 let j2k_decode pool () = ignore (Jpeg2000.Decoder.decode ~pool j2k_stream)
+
+(* -- decode service rows --------------------------------------------- *)
+
+let serve_spec =
+  match Serve.Request.parse_spec "open:n=32,rate=1000,seed=11" with
+  | Ok spec -> spec
+  | Error e -> failwith e
+
+(* Cold: cache disabled, every request pays the full decode. Warm:
+   one long-lived service whose cache stays populated across
+   iterations — the delta is the cache-hit path's real (wall-clock)
+   speedup, reported as cache_hit_speedup in BENCH_results.json. *)
+let serve_cold_service =
+  Serve.Service.create
+    ~config:{ Serve.Service.default_config with Serve.Service.cache_capacity = 0 }
+    [| j2k_stream |]
+
+let serve_warm_service = Serve.Service.create [| j2k_stream |]
+let serve_run service () = ignore (Serve.Service.run service serve_spec)
 
 let sweep_9v pool () =
   ignore
@@ -193,6 +206,8 @@ let substrate_tests =
     Test.make
       ~name:(Printf.sprintf "sweep_9v_jobs%d" jobs)
       (Staged.stage (sweep_9v par_pool));
+    Test.make ~name:"serve_cold_32req" (Staged.stage (serve_run serve_cold_service));
+    Test.make ~name:"serve_warm_32req" (Staged.stage (serve_run serve_warm_service));
   ]
 
 let ablation_tests =
@@ -265,12 +280,49 @@ let write_results_json path rows =
   let table1_json rows =
     List.map (fun o -> Models.Outcome.to_json o) rows
   in
+  (* Service-level rows: simulated throughput/p99 from one seeded run
+     (deterministic), plus the measured wall-clock ratio of the cold
+     and warm Bechamel rows above. *)
+  let serve_report =
+    Serve.Service.run (Serve.Service.create [| j2k_stream |]) serve_spec
+  in
+  let row_ns suffix =
+    List.find_map
+      (fun (name, ns) ->
+        if
+          String.length name >= String.length suffix
+          && String.sub name
+               (String.length name - String.length suffix)
+               (String.length suffix)
+             = suffix
+          && not (Float.is_nan ns)
+        then Some ns
+        else None)
+      rows
+  in
+  let cache_hit_speedup =
+    match (row_ns "serve_cold_32req", row_ns "serve_warm_32req") with
+    | Some cold, Some warm when warm > 0.0 -> Float (cold /. warm)
+    | _ -> Null
+  in
   save path
     (Obj
        [
          ("quick", Bool quick);
          ("jobs", Int jobs);
          ("benchmarks", List bench_json);
+         ( "serve",
+           Obj
+             [
+               ("workload", Str serve_report.Serve.Service.workload);
+               ( "serve_throughput_rps",
+                 Float serve_report.Serve.Service.throughput_rps );
+               ( "serve_p99_ms",
+                 Float serve_report.Serve.Service.latency.Serve.Service.p99_ms );
+               ( "cache_hit_rate",
+                 Float serve_report.Serve.Service.cache_hit_rate );
+               ("cache_hit_speedup", cache_hit_speedup);
+             ] );
          ( "table1",
            Obj
              [

@@ -38,7 +38,7 @@ let jobs_arg =
 (* [with_jobs] validates the flag and guarantees pool shutdown. *)
 let with_jobs jobs f =
   if jobs < 1 then begin
-    Printf.eprintf "--jobs must be >= 1\n";
+    Printf.eprintf "osss_sim: --jobs must be >= 1 (got %d)\n" jobs;
     exit 2
   end;
   Par.Pool.with_jobs jobs f
@@ -291,6 +291,102 @@ let campaign_cmd =
       $ json_arg
       $ jobs_arg)
 
+let serve_cmd =
+  let run workload streams mode queue policy cache batch trace_path json jobs =
+    let spec =
+      match Serve.Request.parse_spec workload with
+      | Ok spec -> spec
+      | Error msg ->
+        Printf.eprintf "osss_sim: bad --workload: %s\n" msg;
+        exit 2
+    in
+    let overload =
+      match Serve.Service.overload_of_string policy with
+      | Ok p -> p
+      | Error msg ->
+        Printf.eprintf "osss_sim: bad --policy: %s\n" msg;
+        exit 2
+    in
+    if streams < 1 then begin
+      Printf.eprintf "osss_sim: --streams must be >= 1 (got %d)\n" streams;
+      exit 2
+    end;
+    let config =
+      {
+        Serve.Service.queue_capacity = queue;
+        overload;
+        cache_capacity = cache;
+        max_batch = batch;
+      }
+    in
+    let corpus =
+      Array.init streams (fun i ->
+          Models.Workload.codestream ~seed:(2008 + i) mode)
+    in
+    let service =
+      try Serve.Service.create ~config corpus
+      with Invalid_argument msg ->
+        Printf.eprintf "osss_sim: %s\n" msg;
+        exit 2
+    in
+    let serve pool = Serve.Service.run ~pool service spec in
+    let report =
+      match trace_path with
+      | None -> with_jobs jobs serve
+      | Some path ->
+        let sink, report =
+          Telemetry.Sink.with_sink (fun () -> with_jobs jobs serve)
+        in
+        Telemetry.Chrome.save path (Telemetry.Sink.events sink);
+        report
+    in
+    if json then
+      print_endline
+        (Telemetry.Json.to_string (Serve.Service.report_to_json report))
+    else Format.printf "%a@." Serve.Service.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a seeded request workload through the deterministic decode \
+          service (admission control, EDF batching, tile cache). Equal seeds \
+          print equal reports at any --jobs.")
+    Term.(
+      const run
+      $ Arg.(
+          value & opt string "open:n=64,rate=400,seed=11"
+          & info [ "workload" ] ~docv:"SPEC"
+              ~doc:
+                "Workload spec: open:n=N,rate=RPS,seed=S[,deadline=MS]\
+                 [,region=F][,reduced=F] or \
+                 closed:n=N,clients=C,think=MS,seed=S[,...].")
+      $ Arg.(
+          value & opt int 3
+          & info [ "streams" ] ~docv:"N"
+              ~doc:"Distinct codestreams in the corpus.")
+      $ mode_arg
+      $ Arg.(
+          value & opt int Serve.Service.default_config.Serve.Service.queue_capacity
+          & info [ "queue" ] ~docv:"N" ~doc:"Request queue capacity.")
+      $ Arg.(
+          value & opt string "reject"
+          & info [ "policy" ] ~docv:"POLICY"
+              ~doc:"Overload policy: reject, drop-oldest or degrade.")
+      $ Arg.(
+          value & opt int Serve.Service.default_config.Serve.Service.cache_capacity
+          & info [ "cache" ] ~docv:"N"
+              ~doc:"Decoded-tile cache capacity (0 disables).")
+      $ Arg.(
+          value & opt int Serve.Service.default_config.Serve.Service.max_batch
+          & info [ "batch" ] ~docv:"N" ~doc:"Max requests coalesced per dispatch.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "trace" ] ~docv:"FILE"
+              ~doc:"Export the service timeline as Chrome-trace JSON.")
+      $ json_arg
+      $ jobs_arg)
+
 let mapping_cmd =
   let run sw_tasks idwt_p2p =
     let vta = Models.Vta_models.mapping ~sw_tasks ~idwt_p2p in
@@ -309,4 +405,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "osss_sim" ~doc)
           [ run_cmd; trace_cmd; compare_cmd; table1_cmd; fig1_cmd;
-            relations_cmd; campaign_cmd; mapping_cmd ]))
+            relations_cmd; campaign_cmd; serve_cmd; mapping_cmd ]))

@@ -1,0 +1,55 @@
+(* The decode service end to end: build a small codestream corpus,
+   serve a seeded open-loop workload through each overload policy, and
+   export the scheduler timeline of the last run as a Chrome trace.
+
+     dune exec examples/decode_service.exe
+
+   Every number printed is deterministic: scheduling runs on a
+   simulated clock driven by work counts, so the same seeds produce
+   the same report on any machine at any worker count. *)
+
+let () =
+  let corpus =
+    Array.init 3 (fun i ->
+        Models.Workload.codestream ~seed:(2008 + i) Jpeg2000.Codestream.Lossless)
+  in
+  let spec =
+    match Serve.Request.parse_spec "open:n=96,rate=4000,seed=42" with
+    | Ok spec -> spec
+    | Error e -> failwith e
+  in
+  Format.printf "corpus: %d codestreams, workload %s@.@."
+    (Array.length corpus)
+    (Serve.Request.spec_to_string spec);
+  (* The same overload, three answers: refuse, shed, or lower the
+     resolution. The cache and seeds are identical across runs, so
+     the policies are directly comparable. *)
+  List.iter
+    (fun policy ->
+      let config =
+        {
+          Serve.Service.default_config with
+          Serve.Service.queue_capacity = 8;
+          overload = policy;
+        }
+      in
+      let service = Serve.Service.create ~config corpus in
+      let report =
+        Par.Pool.with_jobs 2 (fun pool -> Serve.Service.run ~pool service spec)
+      in
+      Format.printf "--- policy %s ---@.%a@.@."
+        (Serve.Service.overload_to_string policy)
+        Serve.Service.pp_report report)
+    [ Serve.Service.Reject; Serve.Service.Drop_oldest; Serve.Service.Degrade ];
+  (* One more run with telemetry on: queue spans, request spans and
+     queue-depth counters land in a Chrome trace. *)
+  let service = Serve.Service.create corpus in
+  let sink, report =
+    Telemetry.Sink.with_sink (fun () -> Serve.Service.run service spec)
+  in
+  let trace = Filename.temp_file "decode_service" ".trace.json" in
+  Telemetry.Chrome.save trace (Telemetry.Sink.events sink);
+  Format.printf "timeline: %d events -> %s@."
+    (Telemetry.Sink.event_count sink)
+    trace;
+  Format.printf "replayable report digest: %s@." report.Serve.Service.pixels_digest

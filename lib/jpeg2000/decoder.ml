@@ -283,67 +283,74 @@ let reduced_size n d =
   let rec shrink n k = if k = 0 then n else shrink (Subband.low_size n) (k - 1) in
   shrink n d
 
+(* The reduced view of a tile: the header and segment a decode at
+   [discard] levels of resolution loss actually runs on. Identity for
+   [discard = 0]. *)
+let reduced_view header ~discard tile =
+  if discard = 0 then (header, tile)
+  else begin
+    let bands =
+      Subband.decompose ~width:tile.Codestream.tile_w
+        ~height:tile.Codestream.tile_h ~levels:header.Codestream.levels
+    in
+    let keep (band : Subband.band) = band.Subband.level > discard in
+    let reduced_header =
+      {
+        header with
+        Codestream.levels = header.Codestream.levels - discard;
+        tile_w = reduced_size tile.Codestream.tile_w discard;
+        tile_h = reduced_size tile.Codestream.tile_h discard;
+        (* Band levels shift down by [discard]; shifting the base step
+           the same way keeps every kept band's quantiser step equal to
+           the one the encoder used. *)
+        base_step =
+          header.Codestream.base_step /. Float.pow 2.0 (float_of_int discard);
+      }
+    in
+    (* The kept bands' levels shift down by [discard] so the geometry
+       matches the reduced tile. *)
+    let relevel seg =
+      { seg with Codestream.seg_level = seg.Codestream.seg_level - discard }
+    in
+    let reduced_tile =
+      {
+        tile with
+        Codestream.tile_x0 = tile.Codestream.tile_x0 asr discard;
+        tile_y0 = tile.Codestream.tile_y0 asr discard;
+        tile_w = reduced_header.Codestream.tile_w;
+        tile_h = reduced_header.Codestream.tile_h;
+        comps =
+          Array.map
+            (fun segments ->
+              List.filteri (fun i _ -> keep (List.nth bands i)) segments
+              |> List.map relevel)
+            tile.Codestream.comps;
+      }
+    in
+    (reduced_header, reduced_tile)
+  end
+
+(* Each skipped inverse level would have multiplied the lows by K
+   (per dimension); compensate so brightness does not drift. *)
+let compensate_k ~discard domain =
+  match domain with
+  | Ints _ -> () (* the 5/3 low-pass has unit DC gain *)
+  | Floats ms ->
+    if discard > 0 then begin
+      let k2d = Float.pow 1.230174104914001 (2.0 *. float_of_int discard) in
+      Array.iter
+        (fun m ->
+          Array.iteri (fun i v -> m.Dwt97.values.(i) <- v *. k2d) m.Dwt97.values)
+        ms
+    end
+
 let decode_tile_reduced ?(pool = Par.Pool.sequential) header ~discard tile =
-  let bands =
-    Subband.decompose ~width:tile.Codestream.tile_w
-      ~height:tile.Codestream.tile_h ~levels:header.Codestream.levels
-  in
-  let keep (band : Subband.band) = band.Subband.level > discard in
-  let reduced_header =
-    {
-      header with
-      Codestream.levels = header.Codestream.levels - discard;
-      tile_w = reduced_size tile.Codestream.tile_w discard;
-      tile_h = reduced_size tile.Codestream.tile_h discard;
-      (* Band levels shift down by [discard]; shifting the base step
-         the same way keeps every kept band's quantiser step equal to
-         the one the encoder used. *)
-      base_step =
-        header.Codestream.base_step /. Float.pow 2.0 (float_of_int discard);
-    }
-  in
-  let reduced_tile =
-    {
-      tile with
-      Codestream.tile_x0 = tile.Codestream.tile_x0 asr discard;
-      tile_y0 = tile.Codestream.tile_y0 asr discard;
-      tile_w = reduced_header.Codestream.tile_w;
-      tile_h = reduced_header.Codestream.tile_h;
-      comps =
-        Array.map
-          (fun segments ->
-            List.filteri
-              (fun i _ -> keep (List.nth bands i))
-              segments)
-          tile.Codestream.comps;
-    }
-  in
-  (* The kept bands' levels shift down by [discard] so the geometry
-     matches the reduced tile. *)
-  let relevel seg =
-    { seg with Codestream.seg_level = seg.Codestream.seg_level - discard }
-  in
-  let reduced_tile =
-    {
-      reduced_tile with
-      Codestream.comps =
-        Array.map (List.map relevel) reduced_tile.Codestream.comps;
-    }
-  in
+  let reduced_header, reduced_tile = reduced_view header ~discard tile in
   let domain =
     entropy_decode_tile ~pool reduced_header reduced_tile
     |> dequantise reduced_header
   in
-  (* Each skipped inverse level would have multiplied the lows by K
-     (per dimension); compensate so brightness does not drift. *)
-  (match domain with
-  | Ints _ -> () (* the 5/3 low-pass has unit DC gain *)
-  | Floats ms ->
-    let k2d = Float.pow 1.230174104914001 (2.0 *. float_of_int discard) in
-    Array.iter
-      (fun m ->
-        Array.iteri (fun i v -> m.Dwt97.values.(i) <- v *. k2d) m.Dwt97.values)
-      ms);
+  compensate_k ~discard domain;
   inverse_wavelet ~pool reduced_header domain
   |> inverse_colour_and_shift reduced_header reduced_tile
 
@@ -536,3 +543,85 @@ let decode_robust ?(pool = Par.Pool.sequential) data =
 
 let psnr_impact ~reference (image, report) =
   if no_damage report then Float.infinity else Image.psnr reference image
+
+(* -- staged tile decode (serving support) --------------------------- *)
+
+(* A tile split into its independent entropy-decode jobs but not yet
+   decoded: the serving layer's batch scheduler collects the jobs of
+   many tiles across many requests into one array, runs them on a
+   single [Par.Pool.map], and finishes each tile from its slice of
+   the results. The staged pipeline performs exactly the steps of
+   [decode_tile] / [decode_tile_reduced], so a finished tile is
+   bit-identical to the monolithic per-tile decode. *)
+
+type staged = {
+  st_header : Codestream.header;  (* effective (reduced) header *)
+  st_tile : Codestream.tile_segment;  (* effective (reduced) segment *)
+  st_discard : int;
+  st_nbands : int;
+  st_slots : band_slot array;
+  st_jobs : block_job array;
+}
+
+let stage_tile ?max_passes ?(discard = 0) header tile =
+  if discard < 0 || discard > header.Codestream.levels then
+    invalid_arg "Decoder.stage_tile: discard";
+  let st_header, st_tile = reduced_view header ~discard tile in
+  let fail msg = failwith ("Decoder: " ^ msg) in
+  let nbands, slots, jobs = tile_jobs ~fail ?max_passes st_header st_tile in
+  {
+    st_header;
+    st_tile;
+    st_discard = discard;
+    st_nbands = nbands;
+    st_slots = slots;
+    st_jobs = jobs;
+  }
+
+let staged_jobs st = Array.length st.st_jobs
+
+let staged_coded_bytes st = Codestream.segment_bytes st.st_tile
+
+let staged_samples st =
+  st.st_tile.Codestream.tile_w * st.st_tile.Codestream.tile_h
+  * Array.length st.st_tile.Codestream.comps
+
+(* Pure per-job decode with the containment semantics of the robust
+   path: [None] marks a block whose codeword no longer decodes. Only
+   [st_slots] orientations are read, so any number of jobs of any
+   staged tiles may run concurrently on pool workers. *)
+let staged_job st i =
+  let j = st.st_jobs.(i) in
+  if j.bj_planes > max_robust_planes then None
+  else
+    match decode_job st.st_slots j with
+    | block when Array.length block = j.bj_w * j.bj_h -> Some block
+    | _ -> None
+    | exception (Failure _ | Invalid_argument _ | Exit | Not_found) -> None
+
+let finish_staged st results =
+  if Array.length results <> Array.length st.st_jobs then
+    invalid_arg "Decoder.finish_staged: result count mismatch";
+  let concealed = ref 0 in
+  Array.iteri
+    (fun i j ->
+      match results.(i) with
+      | Some block -> place_block st.st_slots j block
+      | None -> incr concealed (* the block's coefficients stay zero *))
+    st.st_jobs;
+  let decoded =
+    {
+      ed_tile = st.st_tile;
+      ed_comps =
+        comps_of_slots
+          ~ncomps:(Array.length st.st_tile.Codestream.comps)
+          ~nbands:st.st_nbands st.st_slots;
+    }
+  in
+  let domain = dequantise st.st_header decoded in
+  compensate_k ~discard:st.st_discard domain;
+  let tile =
+    inverse_wavelet st.st_header domain
+    |> inverse_colour_and_shift st.st_header st.st_tile
+  in
+  (tile, !concealed)

@@ -151,3 +151,53 @@ val psnr_impact : reference:Image.t -> Image.t * report -> float
 (** PSNR (dB) of a robust decode against the undamaged reference —
     the fidelity cost of the concealment; [infinity] when nothing
     was concealed. *)
+
+(** {1 Staged tile decode}
+
+    The serving layer's batch scheduler coalesces the independent
+    entropy-decode jobs of many tiles — across many concurrent
+    requests — into one array and runs them on a single
+    {!Par.Pool.map}. A {!staged} value is a tile split into those
+    jobs; finishing it performs exactly the remaining stages of
+    {!decode_tile} (or {!decode_tile_reduced} via [?discard]), so the
+    result is bit-identical to the monolithic per-tile decode. *)
+
+type staged
+
+val stage_tile :
+  ?max_passes:int ->
+  ?discard:int ->
+  Codestream.header ->
+  Codestream.tile_segment ->
+  staged
+(** Splits a tile into its code-block jobs. [?discard] (default 0)
+    stages the reduced-resolution view, matching
+    [decode_reduced ~discard_levels]. Raises [Invalid_argument] if
+    [discard] is negative or exceeds the header's levels, [Failure]
+    if the segment contradicts the header geometry. *)
+
+val staged_jobs : staged -> int
+(** Number of independent code-block jobs. *)
+
+val staged_coded_bytes : staged -> int
+(** Entropy-coded payload of the staged (possibly reduced) view —
+    the work the cache skips on a hit. *)
+
+val staged_samples : staged -> int
+(** Output samples of the staged view (tile area times components). *)
+
+val staged_job : staged -> int -> int array option
+(** Decodes job [i]. Pure with respect to shared state — jobs of any
+    staged tiles may run concurrently on pool workers. [None] marks a
+    damaged block (containment, as in {!entropy_decode_tile_robust});
+    on a well-formed stream every job is [Some]. *)
+
+val finish_staged : staged -> int array option array -> Tile.t * int
+(** Places the job results (in job order), conceals [None] blocks,
+    and runs IQ, IDWT and ICT/DC-shift. Returns the tile and the
+    concealed-block count. Raises [Invalid_argument] if the result
+    count does not match {!staged_jobs}. *)
+
+val reduced_size : int -> int -> int
+(** [reduced_size n d] is the length of an [n]-sample dimension after
+    [d] resolution levels are discarded. *)

@@ -82,10 +82,14 @@ let robust_tile ?(pool = Par.Pool.sequential) header seg =
       0,
       1 )
 
-let make_payload ?corrupt ~pool mode =
+(* The standard case-study codestream: a band-limited pseudo-natural
+   image at the Table 1 geometry (128x128, 32x32 tiles, 3 levels).
+   Shared by the payload below, the bench harness and the serving
+   layer's synthetic stream corpus, so every consumer exercises the
+   same encoder configuration. *)
+let codestream ?(width = 128) ?(height = 128) ?(seed = 2008) mode =
   let image =
-    Jpeg2000.Image.smooth ~width:128 ~height:128 ~components:Profile.components
-      ~seed:2008
+    Jpeg2000.Image.smooth ~width ~height ~components:Profile.components ~seed
   in
   let config =
     {
@@ -97,7 +101,10 @@ let make_payload ?corrupt ~pool mode =
       code_block = 16;
     }
   in
-  let data = Jpeg2000.Encoder.encode config image in
+  Jpeg2000.Encoder.encode config image
+
+let make_payload ?corrupt ~pool mode =
+  let data = codestream mode in
   let stream = Jpeg2000.Codestream.parse data in
   let clean_reference = Jpeg2000.Decoder.decode ~pool data in
   let header = stream.Jpeg2000.Codestream.header in

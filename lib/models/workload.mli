@@ -12,6 +12,14 @@
 
 type t
 
+val codestream : ?width:int -> ?height:int -> ?seed:int -> Profile.mode -> string
+(** The standard case-study codestream: a {!Jpeg2000.Image.smooth}
+    image encoded at the Table 1 geometry (32×32 tiles, 3 wavelet
+    levels, 16-sample code blocks; default 128×128, seed 2008). The
+    payload below, the bench harness and the serving layer's
+    synthetic corpus all use it, so every consumer exercises the same
+    encoder configuration. *)
+
 val make :
   ?payload:bool -> ?corrupt:int * float -> ?pool:Par.Pool.t -> Profile.mode -> t
 (** 16 tiles, 3 components. [payload] defaults to [true]. [pool]

@@ -51,7 +51,10 @@ let create ~domains =
 (* The calling domain helps drain the queue during [map], so [n] jobs
    need only [n - 1] spawned workers — one fewer domain for the
    stop-the-world GC to synchronise. *)
-let of_jobs n = if n <= 1 then Sequential else create ~domains:(n - 1)
+let of_jobs n =
+  if n < 1 then invalid_arg "Par.Pool.of_jobs: jobs < 1"
+  else if n = 1 then Sequential
+  else create ~domains:(n - 1)
 
 let parallelism = function
   | Sequential -> 1

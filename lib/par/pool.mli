@@ -32,10 +32,11 @@ val create : domains:int -> t
     available hardware: callers pick the size (e.g. from [--jobs]). *)
 
 val of_jobs : int -> t
-(** [of_jobs n] is {!sequential} for [n <= 1] and a pool of [n - 1]
+(** [of_jobs n] is {!sequential} for [n = 1] and a pool of [n - 1]
     workers otherwise — the calling domain drains the queue alongside
     the workers during {!map}, so [--jobs n] occupies [n] domains
-    total. *)
+    total. Raises [Invalid_argument] for [n < 1]: a zero or negative
+    job count is a caller bug, not a request for sequential mode. *)
 
 val parallelism : t -> int
 (** Number of domains that execute a {!map}: the workers plus the

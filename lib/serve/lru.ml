@@ -1,0 +1,96 @@
+type ('k, 'v) entry = {
+  e_hash : int;
+  e_key : 'k;
+  mutable e_value : 'v;
+  mutable e_tick : int;
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  hash : 'k -> int;
+  mutable entries : ('k, 'v) entry list;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+}
+
+let create ?(hash = Hashtbl.hash) ~capacity () =
+  if capacity < 1 then invalid_arg "Serve.Lru.create: capacity < 1";
+  {
+    cap = capacity;
+    hash;
+    entries = [];
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    insertions = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+let length t = List.length t.entries
+
+let next_tick t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+(* The hash comparison screens out non-matches cheaply; the key
+   comparison on a hash match is what makes collisions harmless. *)
+let lookup t key =
+  let h = t.hash key in
+  List.find_opt (fun e -> e.e_hash = h && e.e_key = key) t.entries
+
+let find (t : (_, _) t) key =
+  match lookup t key with
+  | Some e ->
+    t.hits <- t.hits + 1;
+    e.e_tick <- next_tick t;
+    Some e.e_value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let mem t key = lookup t key <> None
+
+let evict_lru (t : (_, _) t) =
+  match t.entries with
+  | [] -> ()
+  | first :: rest ->
+    let victim =
+      List.fold_left (fun v e -> if e.e_tick < v.e_tick then e else v) first rest
+    in
+    t.entries <- List.filter (fun e -> e != victim) t.entries;
+    t.evictions <- t.evictions + 1
+
+let add (t : (_, _) t) key value =
+  t.insertions <- t.insertions + 1;
+  match lookup t key with
+  | Some e ->
+    e.e_value <- value;
+    e.e_tick <- next_tick t
+  | None ->
+    if List.length t.entries >= t.cap then evict_lru t;
+    t.entries <-
+      { e_hash = t.hash key; e_key = key; e_value = value; e_tick = next_tick t }
+      :: t.entries
+
+let stats (t : (_, _) t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    insertions = t.insertions;
+    evictions = t.evictions;
+  }
+
+let hit_rate s =
+  let lookups = s.hits + s.misses in
+  if lookups = 0 then 0.0 else float_of_int s.hits /. float_of_int lookups

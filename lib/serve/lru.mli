@@ -1,0 +1,49 @@
+(** Generic bounded LRU map with hit/miss/eviction accounting.
+
+    The cache is {e content-addressed but collision-honest}: lookups
+    first compare the stored hash of each entry, then — on a hash
+    match — the {e full} key with structural equality, so two keys
+    that collide under [hash] can never alias each other's values.
+    [?hash] exists so tests can force every key into one hash class
+    and prove that property.
+
+    Recency is a monotonic tick counter bumped on every hit and
+    insertion; eviction removes the entry with the smallest tick.
+    Ticks are unique, so the eviction order is deterministic — a
+    requirement of the serving layer's bit-identical reports.
+
+    Operations scan the (bounded) entry list linearly: the serving
+    cache holds at most a few hundred decoded tiles, and the scan
+    compares one int per non-matching entry. Not thread-safe; the
+    scheduler owns it from one domain. *)
+
+type ('k, 'v) t
+
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;  (** includes replacements of an existing key *)
+  evictions : int;
+}
+
+val create : ?hash:('k -> int) -> capacity:int -> unit -> ('k, 'v) t
+(** [hash] defaults to [Hashtbl.hash]. Raises [Invalid_argument] if
+    [capacity < 1]. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Full-key lookup; a hit refreshes the entry's recency and counts
+    in [stats.hits], a miss in [stats.misses]. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** [find] without touching recency or stats. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Inserts or replaces the binding for the full key, evicting the
+    least-recently-used entry when the cache is full. *)
+
+val stats : ('k, 'v) t -> stats
+val hit_rate : stats -> float
+(** Hits over lookups, [0.] before the first lookup. *)

@@ -1,0 +1,149 @@
+type target =
+  | Full
+  | Region of { rx : int; ry : int; rw : int; rh : int }
+  | Reduced of { discard : int }
+
+type t = {
+  id : int;
+  stream : int;
+  target : target;
+  priority : int;
+  arrival_ps : int;
+  deadline_ps : int;
+}
+
+let pp_target ppf = function
+  | Full -> Format.fprintf ppf "full"
+  | Region { rx; ry; rw; rh } ->
+    Format.fprintf ppf "region %dx%d+%d+%d" rw rh rx ry
+  | Reduced { discard } -> Format.fprintf ppf "reduced/%d" discard
+
+type shape =
+  | Open_loop of { rate_rps : float }
+  | Closed_loop of { clients : int; think_ms : float }
+
+type spec = {
+  shape : shape;
+  n : int;
+  seed : int;
+  deadline_ms : float;
+  region_share : float;
+  reduced_share : float;
+}
+
+(* -- spec parsing ---------------------------------------------------- *)
+
+let parse_fields fields =
+  List.fold_left
+    (fun acc field ->
+      match acc with
+      | Error _ -> acc
+      | Ok pairs -> (
+        match String.index_opt field '=' with
+        | None -> Error (Printf.sprintf "field %S is not key=value" field)
+        | Some i ->
+          let key = String.sub field 0 i in
+          let value = String.sub field (i + 1) (String.length field - i - 1) in
+          Ok ((key, value) :: pairs)))
+    (Ok []) fields
+
+let parse_spec s =
+  let shape_name, body =
+    match String.index_opt s ':' with
+    | None -> (s, "")
+    | Some i ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  let fields = if body = "" then [] else String.split_on_char ',' body in
+  let ( let* ) = Result.bind in
+  let* pairs = parse_fields fields in
+  let int_field key default =
+    match List.assoc_opt key pairs with
+    | None -> Ok default
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "%s=%S is not an integer" key v))
+  in
+  let float_field key default =
+    match List.assoc_opt key pairs with
+    | None -> Ok default
+    | Some v -> (
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "%s=%S is not a number" key v))
+  in
+  let known shape_keys =
+    let all = [ "n"; "seed"; "deadline"; "region"; "reduced" ] @ shape_keys in
+    match List.find_opt (fun (k, _) -> not (List.mem k all)) pairs with
+    | Some (k, _) -> Error (Printf.sprintf "unknown key %S" k)
+    | None -> Ok ()
+  in
+  let* shape =
+    match shape_name with
+    | "open" ->
+      let* () = known [ "rate" ] in
+      let* rate_rps = float_field "rate" 400.0 in
+      if rate_rps <= 0.0 then Error "rate must be > 0"
+      else Ok (Open_loop { rate_rps })
+    | "closed" ->
+      let* () = known [ "clients"; "think" ] in
+      let* clients = int_field "clients" 4 in
+      let* think_ms = float_field "think" 2.0 in
+      if clients < 1 then Error "clients must be >= 1"
+      else if think_ms < 0.0 then Error "think must be >= 0"
+      else Ok (Closed_loop { clients; think_ms })
+    | other ->
+      Error (Printf.sprintf "unknown workload shape %S (use open or closed)" other)
+  in
+  let* n = int_field "n" 64 in
+  let* seed = int_field "seed" 11 in
+  let* deadline_ms = float_field "deadline" 25.0 in
+  let* region_share = float_field "region" 0.25 in
+  let* reduced_share = float_field "reduced" 0.25 in
+  if n < 1 then Error "n must be >= 1"
+  else if deadline_ms <= 0.0 then Error "deadline must be > 0"
+  else if
+    region_share < 0.0 || reduced_share < 0.0
+    || region_share +. reduced_share > 1.0
+  then Error "region and reduced shares must be >= 0 and sum to <= 1"
+  else
+    Ok { shape; n; seed; deadline_ms; region_share; reduced_share }
+
+let spec_to_string spec =
+  let mix =
+    Printf.sprintf "seed=%d,deadline=%g,region=%g,reduced=%g" spec.seed
+      spec.deadline_ms spec.region_share spec.reduced_share
+  in
+  match spec.shape with
+  | Open_loop { rate_rps } ->
+    Printf.sprintf "open:n=%d,rate=%g,%s" spec.n rate_rps mix
+  | Closed_loop { clients; think_ms } ->
+    Printf.sprintf "closed:n=%d,clients=%d,think=%g,%s" spec.n clients think_ms
+      mix
+
+(* -- seeded draws ---------------------------------------------------- *)
+
+let exp_draw rng ~mean =
+  if mean <= 0.0 then 0.0
+  else
+    let u = Faults.Rng.float rng in
+    -.mean *. Float.log (1.0 -. u)
+
+let draw_target rng ~width ~height ~levels spec =
+  let r = Faults.Rng.float rng in
+  if r < spec.region_share then begin
+    let side lim =
+      let max_side = Stdlib.max 16 (lim / 2) in
+      Stdlib.min lim (16 + Faults.Rng.int rng (Stdlib.max 1 (max_side - 15)))
+    in
+    let rw = side width and rh = side height in
+    let rx = Faults.Rng.int rng (width - rw + 1) in
+    let ry = Faults.Rng.int rng (height - rh + 1) in
+    Region { rx; ry; rw; rh }
+  end
+  else if r < spec.region_share +. spec.reduced_share && levels > 0 then
+    Reduced { discard = 1 + Faults.Rng.int rng levels }
+  else Full
+
+let draw_priority rng = Faults.Rng.int rng 4

@@ -1,0 +1,760 @@
+type overload = Reject | Drop_oldest | Degrade
+
+let overload_of_string = function
+  | "reject" -> Ok Reject
+  | "drop-oldest" -> Ok Drop_oldest
+  | "degrade" -> Ok Degrade
+  | other ->
+    Error
+      (Printf.sprintf
+         "unknown overload policy %S (use reject, drop-oldest or degrade)" other)
+
+let overload_to_string = function
+  | Reject -> "reject"
+  | Drop_oldest -> "drop-oldest"
+  | Degrade -> "degrade"
+
+type config = {
+  queue_capacity : int;
+  overload : overload;
+  cache_capacity : int;
+  max_batch : int;
+}
+
+let default_config =
+  { queue_capacity = 32; overload = Reject; cache_capacity = 128; max_batch = 8 }
+
+type stream = {
+  s_digest : int64;
+  s_length : int;
+  s_header : Jpeg2000.Codestream.header;
+  s_tiles : Jpeg2000.Codestream.tile_segment array;
+}
+
+type t = { config : config; streams : stream array }
+
+let create ?(config = default_config) corpus =
+  if Array.length corpus = 0 then invalid_arg "Serve.Service.create: no streams";
+  if config.queue_capacity < 1 then
+    invalid_arg "Serve.Service.create: queue_capacity < 1";
+  if config.max_batch < 1 then invalid_arg "Serve.Service.create: max_batch < 1";
+  if config.cache_capacity < 0 then
+    invalid_arg "Serve.Service.create: cache_capacity < 0";
+  let streams =
+    Array.mapi
+      (fun i data ->
+        match Jpeg2000.Codestream.parse_result data with
+        | Error e ->
+          invalid_arg
+            (Printf.sprintf "Serve.Service.create: stream %d: %s" i
+               (Jpeg2000.Codestream.error_message e))
+        | Ok stream ->
+          {
+            s_digest = Cache.digest data;
+            s_length = String.length data;
+            s_header = stream.Jpeg2000.Codestream.header;
+            s_tiles = Array.of_list stream.Jpeg2000.Codestream.tiles;
+          })
+      corpus
+  in
+  { config; streams }
+
+let stream_count t = Array.length t.streams
+
+(* -- the virtual-time cost model -------------------------------------
+   Calibrated against the repository's own microbenchmarks (bench
+   t1_block_32x32, dwt53_128x128): an entropy-decoded code block costs
+   on the order of a microsecond, reconstruction tens of nanoseconds
+   per sample. The absolute values matter less than their being fixed:
+   every service-time in the report derives from these constants and
+   deterministic work counts only. *)
+
+let ps_per_batch = 2_000_000 (* dispatch overhead per batch: 2 us *)
+let ps_per_block = 1_500_000 (* per entropy-decoded code block: 1.5 us *)
+let ps_per_coded_byte = 45_000 (* per entropy-coded byte: 45 ns *)
+let ps_per_sample = 18_000 (* IQ+IDWT+ICT+shift per sample: 18 ns *)
+let ps_per_hit = 400_000 (* per cache-served tile: 0.4 us *)
+let ps_per_out_sample = 2_000 (* assembly/crop per output sample: 2 ns *)
+
+let ps_of_ms f = int_of_float ((f *. 1e9) +. 0.5)
+let ms_of_ps ps = float_of_int ps /. 1e9
+
+(* -- latency / pixel accounting -------------------------------------- *)
+
+type latency = {
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+let zero_latency =
+  { mean_ms = 0.0; p50_ms = 0.0; p95_ms = 0.0; p99_ms = 0.0; max_ms = 0.0 }
+
+(* Nearest-rank percentile over the exact latency population — no
+   interpolation, so the value is one of the observed latencies and
+   the report stays bit-stable. *)
+let latency_of samples_ps =
+  match samples_ps with
+  | [] -> zero_latency
+  | _ ->
+    let arr = Array.of_list samples_ps in
+    Array.sort Int.compare arr;
+    let n = Array.length arr in
+    let rank q =
+      let i = int_of_float (Float.ceil (q *. float_of_int n)) - 1 in
+      arr.(Stdlib.max 0 (Stdlib.min (n - 1) i))
+    in
+    let sum = Array.fold_left ( + ) 0 arr in
+    {
+      mean_ms = ms_of_ps sum /. float_of_int n;
+      p50_ms = ms_of_ps (rank 0.50);
+      p95_ms = ms_of_ps (rank 0.95);
+      p99_ms = ms_of_ps (rank 0.99);
+      max_ms = ms_of_ps arr.(n - 1);
+    }
+
+let fnv_prime = 0x100000001b3L
+
+let fnv_int h v =
+  let h = Int64.mul (Int64.logxor h (Int64.of_int v)) fnv_prime in
+  h
+
+let fnv_image h (image : Jpeg2000.Image.t) =
+  let h = ref h in
+  Array.iter
+    (fun (p : Jpeg2000.Image.plane) ->
+      h := fnv_int (fnv_int !h p.Jpeg2000.Image.width) p.Jpeg2000.Image.height;
+      Array.iter (fun v -> h := fnv_int !h v) p.Jpeg2000.Image.data)
+    image.Jpeg2000.Image.planes;
+  !h
+
+(* -- report ----------------------------------------------------------- *)
+
+type report = {
+  workload : string;
+  streams : int;
+  policy : string;
+  queue_capacity : int;
+  cache_capacity : int;
+  max_batch : int;
+  total : int;
+  served : int;
+  rejected : int;
+  dropped : int;
+  degraded : int;
+  batches : int;
+  coalesced : int;
+  concealed_blocks : int;
+  makespan_ms : float;
+  throughput_rps : float;
+  latency : latency;
+  slo_misses : int;
+  slo_miss_rate : float;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  cache_hit_rate : float;
+  pixels_digest : string;
+}
+
+(* -- request expansion ------------------------------------------------ *)
+
+(* The (tile, resolution) cache keys a request resolves to. A region
+   expands to the full-resolution tiles its window intersects; the
+   crop itself is not cached (it is orders of magnitude cheaper than
+   the entropy decode the cache skips). *)
+let needed_keys stream req_target =
+  let key tile discard =
+    {
+      Cache.digest = stream.s_digest;
+      length = stream.s_length;
+      tile;
+      discard;
+    }
+  in
+  match req_target with
+  | Request.Full ->
+    Array.to_list (Array.mapi (fun i _ -> (i, key i 0)) stream.s_tiles)
+  | Request.Reduced { discard } ->
+    Array.to_list (Array.mapi (fun i _ -> (i, key i discard)) stream.s_tiles)
+  | Request.Region { rx; ry; rw; rh } ->
+    let intersects (seg : Jpeg2000.Codestream.tile_segment) =
+      seg.Jpeg2000.Codestream.tile_x0 < rx + rw
+      && seg.Jpeg2000.Codestream.tile_x0 + seg.Jpeg2000.Codestream.tile_w > rx
+      && seg.Jpeg2000.Codestream.tile_y0 < ry + rh
+      && seg.Jpeg2000.Codestream.tile_y0 + seg.Jpeg2000.Codestream.tile_h > ry
+    in
+    List.filter_map
+      (fun (i, seg) -> if intersects seg then Some (i, key i 0) else None)
+      (Array.to_list (Array.mapi (fun i seg -> (i, seg)) stream.s_tiles))
+
+let output_dims stream = function
+  | Request.Full ->
+    ( stream.s_header.Jpeg2000.Codestream.width,
+      stream.s_header.Jpeg2000.Codestream.height )
+  | Request.Region { rw; rh; _ } -> (rw, rh)
+  | Request.Reduced { discard } ->
+    ( Jpeg2000.Decoder.reduced_size stream.s_header.Jpeg2000.Codestream.width
+        discard,
+      Jpeg2000.Decoder.reduced_size stream.s_header.Jpeg2000.Codestream.height
+        discard )
+
+let assemble stream target tiles =
+  let header = stream.s_header in
+  let components = header.Jpeg2000.Codestream.components in
+  let bit_depth = header.Jpeg2000.Codestream.bit_depth in
+  match target with
+  | Request.Full ->
+    Jpeg2000.Tile.assemble ~width:header.Jpeg2000.Codestream.width
+      ~height:header.Jpeg2000.Codestream.height ~components ~bit_depth tiles
+  | Request.Reduced { discard } ->
+    Jpeg2000.Tile.assemble
+      ~width:
+        (Jpeg2000.Decoder.reduced_size header.Jpeg2000.Codestream.width discard)
+      ~height:
+        (Jpeg2000.Decoder.reduced_size header.Jpeg2000.Codestream.height discard)
+      ~components ~bit_depth tiles
+  | Request.Region { rx; ry; rw; rh } ->
+    let region =
+      Jpeg2000.Image.create ~width:rw ~height:rh ~components ~bit_depth ()
+    in
+    List.iter
+      (fun (tile : Jpeg2000.Tile.t) ->
+        Array.iteri
+          (fun c (sub : Jpeg2000.Image.plane) ->
+            let plane = region.Jpeg2000.Image.planes.(c) in
+            for ty = 0 to sub.Jpeg2000.Image.height - 1 do
+              for tx = 0 to sub.Jpeg2000.Image.width - 1 do
+                let gx = tile.Jpeg2000.Tile.x0 + tx
+                and gy = tile.Jpeg2000.Tile.y0 + ty in
+                if gx >= rx && gx < rx + rw && gy >= ry && gy < ry + rh then
+                  Jpeg2000.Image.plane_set plane ~x:(gx - rx) ~y:(gy - ry)
+                    (Jpeg2000.Image.plane_get sub ~x:tx ~y:ty)
+              done
+            done)
+          tile.Jpeg2000.Tile.planes)
+      tiles;
+    region
+
+(* Largest degrade level the stream supports: the tile grid must stay
+   aligned, and a decode must keep at least one detail level
+   ([discard = levels] would leave no band the reduced view keeps). *)
+let max_discard stream =
+  let header = stream.s_header in
+  let aligned d =
+    header.Jpeg2000.Codestream.tile_w mod (1 lsl d) = 0
+    && header.Jpeg2000.Codestream.tile_h mod (1 lsl d) = 0
+  in
+  let rec search d =
+    if d < 1 then 0
+    else if aligned d then d
+    else search (d - 1)
+  in
+  search (header.Jpeg2000.Codestream.levels - 1)
+
+let degrade_target stream target =
+  let cap = max_discard stream in
+  match target with
+  | Request.Full | Request.Region _ ->
+    if cap >= 1 then Some (Request.Reduced { discard = 1 }) else None
+  | Request.Reduced { discard } ->
+    if discard < cap then Some (Request.Reduced { discard = discard + 1 })
+    else None
+
+(* -- workload generation ---------------------------------------------- *)
+
+(* Draw order per request is fixed (stream, target, priority) so a
+   spec replays identically no matter how the service interleaves
+   generation and completion. *)
+let draw_request rng ~id ~nstreams ~streams ~arrival_ps ~deadline_ps spec =
+  let stream = if nstreams = 1 then 0 else Faults.Rng.int rng nstreams in
+  let s = streams.(stream) in
+  let target =
+    Request.draw_target rng
+      ~width:s.s_header.Jpeg2000.Codestream.width
+      ~height:s.s_header.Jpeg2000.Codestream.height
+      ~levels:(max_discard s) spec
+  in
+  let priority = Request.draw_priority rng in
+  { Request.id; stream; target; priority; arrival_ps; deadline_ps }
+
+(* -- the scheduler ----------------------------------------------------- *)
+
+type queued = { q_req : Request.t; q_degraded : bool }
+
+let edf_compare a b =
+  let c = Int.compare a.q_req.Request.deadline_ps b.q_req.Request.deadline_ps in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.q_req.Request.priority b.q_req.Request.priority in
+    if c <> 0 then c else Int.compare a.q_req.Request.id b.q_req.Request.id
+
+let run ?(pool = Par.Pool.sequential) ?on_complete t spec =
+  let config = t.config in
+  let nstreams = Array.length t.streams in
+  let cache =
+    if config.cache_capacity > 0 then
+      Some (Cache.create ~capacity:config.cache_capacity)
+    else None
+  in
+  let deadline_rel_ps = ps_of_ms spec.Request.deadline_ms in
+  (* generated-but-not-admitted requests, sorted by (arrival, id) *)
+  let pending = ref [] in
+  let insert_pending r =
+    let rec ins = function
+      | [] -> [ r ]
+      | x :: rest ->
+        if
+          x.Request.arrival_ps < r.Request.arrival_ps
+          || (x.Request.arrival_ps = r.Request.arrival_ps
+              && x.Request.id < r.Request.id)
+        then x :: ins rest
+        else r :: x :: rest
+    in
+    pending := ins !pending
+  in
+  let next_id = ref 0 in
+  let fresh_id () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  (* Closed-loop state: one child RNG and a remaining-quota per
+     client; requests map back to their client for think-time
+     chaining. *)
+  let client_of_request = Hashtbl.create 64 in
+  let clients_rng, clients_left =
+    match spec.Request.shape with
+    | Request.Open_loop _ -> ([||], [||])
+    | Request.Closed_loop { clients; _ } ->
+      let master = Faults.Rng.create spec.Request.seed in
+      let rngs = Array.init clients (fun _ -> Faults.Rng.split master) in
+      let base = spec.Request.n / clients and extra = spec.Request.n mod clients in
+      let left = Array.init clients (fun c -> base + if c < extra then 1 else 0) in
+      (rngs, left)
+  in
+  let generate_client_request c ~not_before =
+    if clients_left.(c) > 0 then begin
+      clients_left.(c) <- clients_left.(c) - 1;
+      let rng = clients_rng.(c) in
+      let think_ms =
+        match spec.Request.shape with
+        | Request.Closed_loop { think_ms; _ } -> think_ms
+        | Request.Open_loop _ -> assert false
+      in
+      let arrival_ps = not_before + ps_of_ms (Request.exp_draw rng ~mean:think_ms) in
+      let id = fresh_id () in
+      let r =
+        draw_request rng ~id ~nstreams ~streams:t.streams ~arrival_ps
+          ~deadline_ps:(arrival_ps + deadline_rel_ps) spec
+      in
+      Hashtbl.replace client_of_request id c;
+      insert_pending r
+    end
+  in
+  (match spec.Request.shape with
+  | Request.Open_loop { rate_rps } ->
+    let rng = Faults.Rng.create spec.Request.seed in
+    let mean_ms = 1000.0 /. rate_rps in
+    let arrival = ref 0 in
+    for _ = 1 to spec.Request.n do
+      arrival := !arrival + ps_of_ms (Request.exp_draw rng ~mean:mean_ms);
+      let id = fresh_id () in
+      insert_pending
+        (draw_request rng ~id ~nstreams ~streams:t.streams ~arrival_ps:!arrival
+           ~deadline_ps:(!arrival + deadline_rel_ps) spec)
+    done
+  | Request.Closed_loop { clients; _ } ->
+    for c = 0 to clients - 1 do
+      generate_client_request c ~not_before:0
+    done);
+  (* mutable run state *)
+  let now = ref 0 in
+  let queue = ref [] (* queued list, unsorted; EDF-sorted at dispatch *) in
+  let total = ref 0
+  and served = ref 0
+  and rejected = ref 0
+  and dropped = ref 0
+  and degraded = ref 0
+  and batches = ref 0
+  and coalesced = ref 0
+  and concealed = ref 0
+  and slo_misses = ref 0 in
+  let latencies = ref [] in
+  let pixels = ref 0xcbf29ce484222325L in
+  let makespan = ref 0 in
+  let queue_track = "serve.queue" and exec_track = "serve.exec" in
+  let sched_track = "serve.sched" in
+  let emit_depth ts =
+    Telemetry.Span.counter ~ts_ps:ts ~track:queue_track "queue_depth"
+      (List.length !queue)
+  in
+  let admit r =
+    incr total;
+    Telemetry.Sink.incr "serve.arrivals";
+    let push q_req q_degraded =
+      queue := { q_req; q_degraded } :: !queue;
+      emit_depth !now
+    in
+    let depth = List.length !queue in
+    let stream = t.streams.(r.Request.stream) in
+    let r, was_degraded =
+      if config.overload = Degrade && depth >= Stdlib.max 1 (config.queue_capacity / 2)
+      then
+        match degrade_target stream r.Request.target with
+        | Some target -> ({ r with Request.target }, true)
+        | None -> (r, false)
+      else (r, false)
+    in
+    if was_degraded then begin
+      incr degraded;
+      Telemetry.Sink.incr "serve.degraded";
+      Telemetry.Span.instant ~ts_ps:!now ~track:sched_track ~cat:"overload"
+        ~args:[ ("id", Telemetry.Event.Int r.Request.id) ]
+        "degrade"
+    end;
+    if depth < config.queue_capacity then push r was_degraded
+    else
+      match config.overload with
+      | Drop_oldest -> (
+        let oldest =
+          List.fold_left
+            (fun acc q ->
+              match acc with
+              | None -> Some q
+              | Some best ->
+                if
+                  q.q_req.Request.arrival_ps < best.q_req.Request.arrival_ps
+                  || (q.q_req.Request.arrival_ps = best.q_req.Request.arrival_ps
+                      && q.q_req.Request.id < best.q_req.Request.id)
+                then Some q
+                else acc)
+            None !queue
+        in
+        match oldest with
+        | Some victim ->
+          queue := List.filter (fun q -> q != victim) !queue;
+          incr dropped;
+          Telemetry.Sink.incr "serve.dropped";
+          Telemetry.Span.instant ~ts_ps:!now ~track:sched_track ~cat:"overload"
+            ~args:[ ("id", Telemetry.Event.Int victim.q_req.Request.id) ]
+            "drop-oldest";
+          push r was_degraded
+        | None -> assert false)
+      | Reject | Degrade ->
+        incr rejected;
+        Telemetry.Sink.incr "serve.rejected";
+        Telemetry.Span.instant ~ts_ps:!now ~track:sched_track ~cat:"overload"
+          ~args:[ ("id", Telemetry.Event.Int r.Request.id) ]
+          "reject"
+  in
+  let admit_due () =
+    let rec loop () =
+      match !pending with
+      | r :: rest when r.Request.arrival_ps <= !now ->
+        pending := rest;
+        admit r;
+        loop ()
+      | _ -> ()
+    in
+    loop ()
+  in
+  (* one dispatched batch *)
+  let run_batch batch =
+    incr batches;
+    Telemetry.Sink.incr "serve.batches";
+    Telemetry.Sink.observe "serve.batch_requests" (List.length batch);
+    let batch_start = !now in
+    (* Plan in EDF order: resolve every request's tile needs against
+       the cache and the tiles already staged by earlier requests of
+       this batch. *)
+    let staged_tbl = Hashtbl.create 32 in
+    let staged_rev = ref [] (* (key, staged), newest first *) in
+    let staged_count = ref 0 in
+    let plans =
+      List.map
+        (fun q ->
+          let r = q.q_req in
+          let stream = t.streams.(r.Request.stream) in
+          let needs =
+            List.map
+              (fun (tile_index, key) ->
+                match
+                  match cache with Some c -> Cache.find c key | None -> None
+                with
+                | Some tile -> (key, `Hit tile)
+                | None -> (
+                  match Hashtbl.find_opt staged_tbl key with
+                  | Some si ->
+                    incr coalesced;
+                    Telemetry.Sink.incr "serve.coalesced";
+                    (key, `Shared si)
+                  | None ->
+                    let st =
+                      Jpeg2000.Decoder.stage_tile
+                        ~discard:key.Cache.discard stream.s_header
+                        stream.s_tiles.(tile_index)
+                    in
+                    let si = !staged_count in
+                    Hashtbl.replace staged_tbl key si;
+                    staged_rev := (key, st) :: !staged_rev;
+                    incr staged_count;
+                    (key, `Fresh si)))
+              (needed_keys stream r.Request.target)
+          in
+          (q, needs))
+        batch
+    in
+    let staged = Array.of_list (List.rev !staged_rev) in
+    (* Coalesce: one flat job array over every missing tile of every
+       request, one pool map. *)
+    let job_index =
+      Array.concat
+        (Array.to_list
+           (Array.mapi
+              (fun si (_, st) ->
+                Array.init (Jpeg2000.Decoder.staged_jobs st) (fun ji -> (si, ji)))
+              staged))
+    in
+    Telemetry.Sink.observe "serve.batch_jobs" (Array.length job_index);
+    let results =
+      Par.Pool.map pool job_index (fun (si, ji) ->
+          Jpeg2000.Decoder.staged_job (snd staged.(si)) ji)
+    in
+    (* Finish staged tiles in staging order and publish them to the
+       cache; slice the flat result array back per tile. *)
+    let tiles = Array.make (Array.length staged) None in
+    let offset = ref 0 in
+    Array.iteri
+      (fun si (key, st) ->
+        let n = Jpeg2000.Decoder.staged_jobs st in
+        let slice = Array.sub results !offset n in
+        offset := !offset + n;
+        let tile, tile_concealed = Jpeg2000.Decoder.finish_staged st slice in
+        concealed := !concealed + tile_concealed;
+        tiles.(si) <- Some tile;
+        match cache with Some c -> Cache.add c key tile | None -> ())
+      staged;
+    let tile_of = function
+      | `Hit tile -> tile
+      | `Shared si | `Fresh si -> Option.get tiles.(si)
+    in
+    (* Serve the batch back to back on the simulated clock: each
+       request pays for the tiles it was first to need, cache-hit
+       cost for the rest, and delivery per output sample. *)
+    let cursor = ref (batch_start + ps_per_batch) in
+    List.iter
+      (fun (q, needs) ->
+        let r = q.q_req in
+        let stream = t.streams.(r.Request.stream) in
+        let decode_ps =
+          List.fold_left
+            (fun acc (_, src) ->
+              match src with
+              | `Hit _ | `Shared _ -> acc + ps_per_hit
+              | `Fresh si ->
+                let st = snd staged.(si) in
+                acc
+                + (ps_per_block * Jpeg2000.Decoder.staged_jobs st)
+                + (ps_per_coded_byte * Jpeg2000.Decoder.staged_coded_bytes st)
+                + (ps_per_sample * Jpeg2000.Decoder.staged_samples st))
+            0 needs
+        in
+        let ow, oh = output_dims stream r.Request.target in
+        let out_samples =
+          ow * oh * stream.s_header.Jpeg2000.Codestream.components
+        in
+        let service_ps = decode_ps + (ps_per_out_sample * out_samples) in
+        let start = !cursor in
+        cursor := !cursor + service_ps;
+        let completion = !cursor in
+        let latency_ps = completion - r.Request.arrival_ps in
+        incr served;
+        latencies := latency_ps :: !latencies;
+        makespan := Stdlib.max !makespan completion;
+        if completion > r.Request.deadline_ps then begin
+          incr slo_misses;
+          Telemetry.Sink.incr "serve.slo_misses";
+          Telemetry.Span.instant ~ts_ps:completion ~track:exec_track
+            ~cat:"slo"
+            ~args:[ ("id", Telemetry.Event.Int r.Request.id) ]
+            "deadline-miss"
+        end;
+        Telemetry.Sink.observe "serve.latency_us" (latency_ps / 1_000_000);
+        Telemetry.Span.complete ~ts_ps:r.Request.arrival_ps
+          ~dur_ps:(start - r.Request.arrival_ps) ~track:queue_track ~cat:"queue"
+          ~args:[ ("id", Telemetry.Event.Int r.Request.id) ]
+          "queued";
+        Telemetry.Span.complete ~ts_ps:start ~dur_ps:service_ps
+          ~track:exec_track ~cat:"serve"
+          ~args:
+            [
+              ("id", Telemetry.Event.Int r.Request.id);
+              ("stream", Telemetry.Event.Int r.Request.stream);
+              ( "target",
+                Telemetry.Event.Str
+                  (Format.asprintf "%a" Request.pp_target r.Request.target) );
+              ("degraded", Telemetry.Event.Bool q.q_degraded);
+            ]
+          "request";
+        let image = assemble stream r.Request.target (List.map (fun (_, src) -> tile_of src) needs) in
+        pixels := fnv_int !pixels r.Request.id;
+        pixels := fnv_image !pixels image;
+        (match on_complete with Some f -> f r image | None -> ());
+        (* closed loop: the client thinks, then issues its next
+           request *)
+        match Hashtbl.find_opt client_of_request r.Request.id with
+        | Some c -> generate_client_request c ~not_before:completion
+        | None -> ())
+      plans;
+    Telemetry.Span.complete ~ts_ps:batch_start ~dur_ps:(!cursor - batch_start)
+      ~track:sched_track ~cat:"batch"
+      ~args:
+        [
+          ("requests", Telemetry.Event.Int (List.length batch));
+          ("jobs", Telemetry.Event.Int (Array.length job_index));
+        ]
+      "batch";
+    now := !cursor
+  in
+  (* main loop *)
+  let rec loop () =
+    if !queue = [] then (
+      match !pending with
+      | [] -> ()
+      | r :: _ ->
+        now := Stdlib.max !now r.Request.arrival_ps;
+        admit_due ();
+        loop ())
+    else begin
+      let sorted = List.sort edf_compare !queue in
+      let rec take k = function
+        | [] -> ([], [])
+        | x :: rest when k > 0 ->
+          let batch, leftover = take (k - 1) rest in
+          (x :: batch, leftover)
+        | rest -> ([], rest)
+      in
+      let batch, leftover = take config.max_batch sorted in
+      queue := leftover;
+      emit_depth !now;
+      run_batch batch;
+      admit_due ();
+      loop ()
+    end
+  in
+  admit_due ();
+  loop ();
+  (* snapshot *)
+  let cache_stats =
+    match cache with
+    | Some c -> Cache.stats c
+    | None -> { Lru.hits = 0; misses = 0; insertions = 0; evictions = 0 }
+  in
+  Telemetry.Sink.incr ~by:cache_stats.Lru.hits "serve.cache.hits";
+  Telemetry.Sink.incr ~by:cache_stats.Lru.misses "serve.cache.misses";
+  Telemetry.Sink.incr ~by:cache_stats.Lru.evictions "serve.cache.evictions";
+  let latency = latency_of !latencies in
+  let makespan_ms = ms_of_ps !makespan in
+  let slo_misses_total = !slo_misses + !rejected + !dropped in
+  {
+    workload = Request.spec_to_string spec;
+    streams = nstreams;
+    policy = overload_to_string config.overload;
+    queue_capacity = config.queue_capacity;
+    cache_capacity = config.cache_capacity;
+    max_batch = config.max_batch;
+    total = !total;
+    served = !served;
+    rejected = !rejected;
+    dropped = !dropped;
+    degraded = !degraded;
+    batches = !batches;
+    coalesced = !coalesced;
+    concealed_blocks = !concealed;
+    makespan_ms;
+    throughput_rps =
+      (if makespan_ms > 0.0 then float_of_int !served /. (makespan_ms /. 1000.0)
+       else 0.0);
+    latency;
+    slo_misses = slo_misses_total;
+    slo_miss_rate =
+      (if !total = 0 then 0.0
+       else float_of_int slo_misses_total /. float_of_int !total);
+    cache_hits = cache_stats.Lru.hits;
+    cache_misses = cache_stats.Lru.misses;
+    cache_evictions = cache_stats.Lru.evictions;
+    cache_hit_rate = Lru.hit_rate cache_stats;
+    pixels_digest = Printf.sprintf "%016Lx" !pixels;
+  }
+
+(* -- rendering --------------------------------------------------------- *)
+
+let report_to_json r =
+  let open Telemetry.Json in
+  Obj
+    [
+      ("workload", Str r.workload);
+      ("streams", Int r.streams);
+      ("policy", Str r.policy);
+      ("queue_capacity", Int r.queue_capacity);
+      ("cache_capacity", Int r.cache_capacity);
+      ("max_batch", Int r.max_batch);
+      ("total", Int r.total);
+      ("served", Int r.served);
+      ("rejected", Int r.rejected);
+      ("dropped", Int r.dropped);
+      ("degraded", Int r.degraded);
+      ("batches", Int r.batches);
+      ("coalesced", Int r.coalesced);
+      ("concealed_blocks", Int r.concealed_blocks);
+      ("makespan_ms", Float r.makespan_ms);
+      ("throughput_rps", Float r.throughput_rps);
+      ( "latency_ms",
+        Obj
+          [
+            ("mean", Float r.latency.mean_ms);
+            ("p50", Float r.latency.p50_ms);
+            ("p95", Float r.latency.p95_ms);
+            ("p99", Float r.latency.p99_ms);
+            ("max", Float r.latency.max_ms);
+          ] );
+      ("slo_misses", Int r.slo_misses);
+      ("slo_miss_rate", Float r.slo_miss_rate);
+      ( "cache",
+        Obj
+          [
+            ("hits", Int r.cache_hits);
+            ("misses", Int r.cache_misses);
+            ("evictions", Int r.cache_evictions);
+            ("hit_rate", Float r.cache_hit_rate);
+          ] );
+      ("pixels_digest", Str r.pixels_digest);
+    ]
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "workload:        %s@," r.workload;
+  Format.fprintf ppf "streams:         %d@," r.streams;
+  Format.fprintf ppf "policy:          %s (queue %d, cache %d, batch %d)@,"
+    r.policy r.queue_capacity r.cache_capacity r.max_batch;
+  Format.fprintf ppf "requests:        %d total, %d served, %d rejected, %d dropped, %d degraded@,"
+    r.total r.served r.rejected r.dropped r.degraded;
+  Format.fprintf ppf "batches:         %d (%d tile needs coalesced)@," r.batches
+    r.coalesced;
+  if r.concealed_blocks > 0 then
+    Format.fprintf ppf "concealed:       %d blocks@," r.concealed_blocks;
+  Format.fprintf ppf "makespan:        %.3f ms (%.1f req/s)@," r.makespan_ms
+    r.throughput_rps;
+  Format.fprintf ppf
+    "latency [ms]:    mean %.3f  p50 %.3f  p95 %.3f  p99 %.3f  max %.3f@,"
+    r.latency.mean_ms r.latency.p50_ms r.latency.p95_ms r.latency.p99_ms
+    r.latency.max_ms;
+  Format.fprintf ppf "SLO:             %d misses (%.1f%% of %d)@," r.slo_misses
+    (100.0 *. r.slo_miss_rate) r.total;
+  Format.fprintf ppf "cache:           %d hits, %d misses, %d evictions (%.1f%% hit rate)@,"
+    r.cache_hits r.cache_misses r.cache_evictions (100.0 *. r.cache_hit_rate);
+  Format.fprintf ppf "pixels digest:   %s" r.pixels_digest;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,110 @@
+(** The deterministic decode service: admission control, deadline-aware
+    batching, and the tile cache, driven by a simulated clock.
+
+    The service registers a corpus of codestreams and serves a seeded
+    {!Request.spec} workload against them. All scheduling decisions —
+    admission, overload handling, EDF batch formation, per-request
+    service times — run on a {e virtual} clock whose advances are
+    computed from deterministic work counts (code blocks, coded bytes,
+    samples), never from wall time. The {!Par.Pool} only accelerates
+    the real entropy-decode work (bit-identical by {!Par.Pool.map}'s
+    contract), so a report, including every latency percentile, is
+    byte-identical across repeated runs and across any [--jobs].
+
+    A dispatch takes the [max_batch] earliest-deadline requests from
+    the queue, expands them to (stream, tile, resolution) cache keys,
+    and coalesces the entropy-decode jobs of every missing tile into
+    one {!Par.Pool.map}; a tile needed by several requests of one
+    batch is decoded once. In simulated time the batch then serves its
+    requests back to back (single decode engine), each paying only for
+    the tiles it was first to need — later requests pay the cache-hit
+    cost, which is how repeated and overlapping traffic gets faster
+    and how the degrade path (reduced-resolution keys) stays cheap. *)
+
+type overload =
+  | Reject  (** full queue: the arriving request is refused *)
+  | Drop_oldest  (** full queue: the oldest queued request is shed *)
+  | Degrade
+      (** above the high-water mark (half capacity) arriving requests
+          are rewritten to the next lower resolution level
+          ({!Request.Reduced}, the [decode_reduced] path); a full
+          queue still refuses *)
+
+val overload_of_string : string -> (overload, string) result
+val overload_to_string : overload -> string
+
+type config = {
+  queue_capacity : int;  (** bounded request queue (>= 1) *)
+  overload : overload;
+  cache_capacity : int;  (** decoded tiles kept; 0 disables the cache *)
+  max_batch : int;  (** requests coalesced per dispatch (>= 1) *)
+}
+
+val default_config : config
+(** 32-deep queue, [Reject], 128-tile cache, batches of 8. *)
+
+type t
+
+val create : ?config:config -> string array -> t
+(** Registers the codestream corpus (parsed and digested once).
+    Raises [Invalid_argument] on an empty corpus, a malformed
+    codestream, or an out-of-range config. *)
+
+val stream_count : t -> int
+
+type latency = {
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+type report = {
+  workload : string;  (** canonical spec, {!Request.spec_to_string} *)
+  streams : int;
+  policy : string;
+  queue_capacity : int;
+  cache_capacity : int;
+  max_batch : int;
+  total : int;  (** requests generated *)
+  served : int;
+  rejected : int;
+  dropped : int;
+  degraded : int;  (** served at a lower resolution than requested *)
+  batches : int;
+  coalesced : int;
+      (** tile needs satisfied by another request of the same batch *)
+  concealed_blocks : int;  (** damaged blocks concealed (0 when clean) *)
+  makespan_ms : float;  (** last completion on the simulated clock *)
+  throughput_rps : float;  (** served per simulated second *)
+  latency : latency;  (** over served requests *)
+  slo_misses : int;
+      (** served past the deadline, plus every rejected and dropped
+          request — a refused request misses its SLO by definition *)
+  slo_miss_rate : float;  (** [slo_misses / total] *)
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  cache_hit_rate : float;
+  pixels_digest : string;
+      (** 64-bit digest (hex) folded over every served image in
+          completion order — two reports with equal digests delivered
+          bit-identical pixels *)
+}
+
+val run :
+  ?pool:Par.Pool.t ->
+  ?on_complete:(Request.t -> Jpeg2000.Image.t -> unit) ->
+  t ->
+  Request.spec ->
+  report
+(** Serves one workload to completion. [on_complete] observes every
+    served request's decoded image (in completion order) — the tests
+    use it to compare against the reference decoder. When a
+    {!Telemetry.Sink} is installed, the run emits queue/exec spans,
+    queue-depth counter samples, and serve.* metrics on the simulated
+    timeline; telemetry never changes the report. *)
+
+val report_to_json : report -> Telemetry.Json.t
+val pp_report : Format.formatter -> report -> unit

@@ -40,9 +40,17 @@ let event_json tids (ev : Event.t) =
     | Event.Complete dur ->
       [ ("ph", Json.Str "X"); ("dur", Json.Float (us_of_ps dur)) ]
     | Event.Instant -> [ ("ph", Json.Str "i"); ("s", Json.Str "t") ]
+    | Event.Counter _ -> [ ("ph", Json.Str "C") ]
+  in
+  let event_args =
+    (* A counter's sampled value rides in args, where the trace viewer
+       expects the series of a "C" event. *)
+    match ev.Event.phase with
+    | Event.Counter v -> (("value", Event.Int v) :: ev.Event.args)
+    | Event.Complete _ | Event.Instant -> ev.Event.args
   in
   let args =
-    match ev.Event.args with
+    match event_args with
     | [] -> []
     | args -> [ ("args", args_json args) ]
   in

@@ -7,6 +7,7 @@ type arg =
 type phase =
   | Complete of int
   | Instant
+  | Counter of int
 
 type t = {
   ts_ps : int;
@@ -17,9 +18,9 @@ type t = {
   args : (string * arg) list;
 }
 
-let duration_ps e = match e.phase with Complete d -> d | Instant -> 0
+let duration_ps e = match e.phase with Complete d -> d | Instant | Counter _ -> 0
 
-let is_span e = match e.phase with Complete _ -> true | Instant -> false
+let is_span e = match e.phase with Complete _ -> true | Instant | Counter _ -> false
 
 let tracks events =
   List.sort_uniq String.compare (List.map (fun e -> e.track) events)
@@ -42,7 +43,7 @@ let union_ps events =
       (fun e ->
         match e.phase with
         | Complete d when d > 0 -> Some (e.ts_ps, e.ts_ps + d)
-        | Complete _ | Instant -> None)
+        | Complete _ | Instant | Counter _ -> None)
       events
   in
   let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) intervals in

@@ -16,6 +16,9 @@ type phase =
   | Complete of int
       (** a span that covered [duration] picoseconds from [ts_ps] *)
   | Instant  (** a point event (CRC error, retry, ...) *)
+  | Counter of int
+      (** a sampled time-series value (queue depth, cache fill);
+          rendered as a Chrome counter lane ([ph:"C"]) *)
 
 type t = {
   ts_ps : int;  (** simulated time of the event start, picoseconds *)

@@ -30,6 +30,20 @@ let instant ~ts_ps ?track ?(cat = "instant") ?(args = []) name =
         args;
       }
 
+let counter ~ts_ps ?track ?(cat = "counter") ?(args = []) name value =
+  match Sink.active () with
+  | None -> ()
+  | Some t ->
+    Sink.emit
+      {
+        Event.ts_ps;
+        track = resolve_track t track;
+        name;
+        cat;
+        phase = Event.Counter value;
+        args;
+      }
+
 let begin_ ~ts_ps ?track ?(cat = "span") ?(args = []) name =
   match Sink.active () with
   | None -> ()

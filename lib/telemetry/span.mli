@@ -30,6 +30,18 @@ val instant :
   string ->
   unit
 
+val counter :
+  ts_ps:int ->
+  ?track:string ->
+  ?cat:string ->
+  ?args:(string * Event.arg) list ->
+  string ->
+  int ->
+  unit
+(** One sample of a named time-series (queue depth, cache fill) —
+    an [Event.Counter] on the track, exported as a Chrome counter
+    lane. *)
+
 val begin_ :
   ts_ps:int ->
   ?track:string ->

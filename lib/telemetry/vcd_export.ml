@@ -36,7 +36,7 @@ let deltas_of events =
   List.concat_map
     (fun (ev : Event.t) ->
       match ev.Event.phase with
-      | Event.Instant -> []
+      | Event.Instant | Event.Counter _ -> []
       | Event.Complete dur ->
         [
           (ev.Event.ts_ps, ev.Event.track, 1);
