@@ -305,6 +305,46 @@ let write_results_json path rows =
     | Some cold, Some warm when warm > 0.0 -> Float (cold /. warm)
     | _ -> Null
   in
+  (* Synthesis rows: LUT/FF with and without the value-analysis
+     optimiser (installed at startup) plus the wall time of one full
+     synthesise call per core. *)
+  let area_json (a : Rtl.Area.report) =
+    Obj
+      [
+        ("flip_flops", Int a.Rtl.Area.flip_flops);
+        ("luts", Int a.Rtl.Area.luts);
+      ]
+  in
+  let synthesis_json =
+    List.map
+      (fun (name, hir) ->
+        let t0 = Sys.time () in
+        match Fossy.Synthesis.synthesise hir with
+        | Error _ -> Obj [ ("core", Str name); ("error", Bool true) ]
+        | Ok r ->
+          let wall_ms = (Sys.time () -. t0) *. 1000.0 in
+          Obj
+            [
+              ("core", Str name);
+              ("optimised", area_json r.Fossy.Synthesis.area);
+              ("unoptimised", area_json r.Fossy.Synthesis.unopt_area);
+              ( "lut_delta_pct",
+                Float
+                  (Rtl.Area.delta_pct
+                     ~baseline:r.Fossy.Synthesis.unopt_area.Rtl.Area.luts
+                     r.Fossy.Synthesis.area.Rtl.Area.luts) );
+              ( "ff_delta_pct",
+                Float
+                  (Rtl.Area.delta_pct
+                     ~baseline:r.Fossy.Synthesis.unopt_area.Rtl.Area.flip_flops
+                     r.Fossy.Synthesis.area.Rtl.Area.flip_flops) );
+              ("synthesis_wall_ms", Float wall_ms);
+            ])
+      [
+        ("idwt53", Models.Idwt_cores.idwt53_systemc);
+        ("idwt97", Models.Idwt_cores.idwt97_systemc);
+      ]
+  in
   save path
     (Obj
        [
@@ -323,6 +363,7 @@ let write_results_json path rows =
                  Float serve_report.Serve.Service.cache_hit_rate );
                ("cache_hit_speedup", cache_hit_speedup);
              ] );
+         ("synthesis", List synthesis_json);
          ( "table1",
            Obj
              [
@@ -387,6 +428,7 @@ let print_ablations () =
     ]
 
 let () =
+  Analysis.Lint.install ();
   let results = benchmark () in
   let rows = bench_rows results in
   print_bench_results rows;

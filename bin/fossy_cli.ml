@@ -112,8 +112,19 @@ let testbench_cmd =
           & opt (some string) None
           & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Write the testbench here."))
 
+let json_of_diag (d : Analysis.Diagnostic.t) =
+  Telemetry.Json.Obj
+    [
+      ("code", Telemetry.Json.Str d.Analysis.Diagnostic.code);
+      ( "severity",
+        Telemetry.Json.Str
+          (Analysis.Diagnostic.severity_label d.Analysis.Diagnostic.severity) );
+      ("path", Telemetry.Json.Str d.Analysis.Diagnostic.path);
+      ("message", Telemetry.Json.Str d.Analysis.Diagnostic.message);
+    ]
+
 let lint_cmd =
-  let run with_models =
+  let run with_models json =
     let cores =
       [
         ("idwt53", Models.Idwt_cores.idwt53_systemc);
@@ -154,10 +165,21 @@ let lint_cmd =
             Models.Experiment.all_versions)
         [ Jpeg2000.Codestream.Lossless; Jpeg2000.Codestream.Lossy ];
     let ds = List.sort_uniq Analysis.Diagnostic.compare !diagnostics in
-    List.iter (fun d -> print_endline (Analysis.Diagnostic.render d)) ds;
     let errors = Analysis.Diagnostic.errors ds in
-    Printf.printf "lint: %d finding(s), %d error(s)\n" (List.length ds)
-      (List.length errors);
+    if json then
+      print_endline
+        (Telemetry.Json.to_string
+           (Telemetry.Json.Obj
+              [
+                ("findings", Telemetry.Json.List (List.map json_of_diag ds));
+                ("count", Telemetry.Json.Int (List.length ds));
+                ("errors", Telemetry.Json.Int (List.length errors));
+              ]))
+    else begin
+      List.iter (fun d -> print_endline (Analysis.Diagnostic.render d)) ds;
+      Printf.printf "lint: %d finding(s), %d error(s)\n" (List.length ds)
+        (List.length errors)
+    end;
     if errors <> [] then exit 1
   in
   Cmd.v
@@ -173,7 +195,108 @@ let lint_cmd =
           & info [ "models" ]
               ~doc:
                 "Also simulate the nine decoder variants with delta-race \
-                 checking enabled."))
+                 checking enabled.")
+      $ Arg.(
+          value & flag
+          & info [ "json" ]
+              ~doc:
+                "Emit the findings as a JSON document (code, severity, \
+                 path, message) instead of rendered lines."))
+
+let area_cmd =
+  let run json check =
+    let json_of_report (a : Rtl.Area.report) =
+      Telemetry.Json.Obj
+        [
+          ("flip_flops", Telemetry.Json.Int a.Rtl.Area.flip_flops);
+          ("luts", Telemetry.Json.Int a.Rtl.Area.luts);
+          ("slices", Telemetry.Json.Int a.Rtl.Area.slices);
+          ("gates", Telemetry.Json.Int a.Rtl.Area.gates);
+        ]
+    in
+    let failures = ref [] in
+    let rows =
+      List.map
+        (fun (name, hir) ->
+          match Fossy.Synthesis.synthesise hir with
+          | Error es ->
+            List.iter prerr_endline es;
+            exit 1
+          | Ok r ->
+            let reference =
+              Fossy.Synthesis.analyse_reference (reference_of_name name)
+            in
+            if check then
+              List.iter
+                (fun (metric, pct) ->
+                  failures :=
+                    Printf.sprintf "%s: optimised %s regressed %.2f%%" name
+                      metric pct
+                    :: !failures)
+                (Rtl.Area.regressions ~tolerance_pct:2.0
+                   ~baseline:r.Fossy.Synthesis.unopt_area
+                   r.Fossy.Synthesis.area);
+            ( name,
+              Telemetry.Json.Obj
+                [
+                  ("core", Telemetry.Json.Str name);
+                  ("optimised", json_of_report r.Fossy.Synthesis.area);
+                  ("unoptimised", json_of_report r.Fossy.Synthesis.unopt_area);
+                  ("reference", json_of_report reference.Fossy.Synthesis.ref_area);
+                  ( "fsm_states",
+                    Telemetry.Json.Int
+                      (Fossy.Fsm.state_count r.Fossy.Synthesis.fsm) );
+                ],
+              r ))
+        [
+          ("idwt53", Models.Idwt_cores.idwt53_systemc);
+          ("idwt97", Models.Idwt_cores.idwt97_systemc);
+        ]
+    in
+    if json then
+      print_endline
+        (Telemetry.Json.to_string
+           (Telemetry.Json.Obj
+              [
+                ( "cores",
+                  Telemetry.Json.List (List.map (fun (_, j, _) -> j) rows) );
+              ]))
+    else
+      List.iter
+        (fun (name, _, r) ->
+          Printf.printf "%s: opt FF=%d LUT=%d | unopt FF=%d LUT=%d (%+.2f%% FF, %+.2f%% LUT)\n"
+            name r.Fossy.Synthesis.area.Rtl.Area.flip_flops
+            r.Fossy.Synthesis.area.Rtl.Area.luts
+            r.Fossy.Synthesis.unopt_area.Rtl.Area.flip_flops
+            r.Fossy.Synthesis.unopt_area.Rtl.Area.luts
+            (Rtl.Area.delta_pct
+               ~baseline:r.Fossy.Synthesis.unopt_area.Rtl.Area.flip_flops
+               r.Fossy.Synthesis.area.Rtl.Area.flip_flops)
+            (Rtl.Area.delta_pct
+               ~baseline:r.Fossy.Synthesis.unopt_area.Rtl.Area.luts
+               r.Fossy.Synthesis.area.Rtl.Area.luts))
+        rows;
+    match !failures with
+    | [] -> ()
+    | fs ->
+      List.iter prerr_endline (List.rev fs);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "area"
+       ~doc:
+         "Report optimised, unoptimised and reference LUT/FF figures for \
+          the built-in cores. With --check, exit non-zero if the \
+          value-analysis optimiser regresses LUT or FF beyond 2% of the \
+          unoptimised baseline. CI diffs the --json output against the \
+          committed AREA_baseline.json.")
+    Term.(
+      const run
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON document.")
+      $ Arg.(
+          value & flag
+          & info [ "check" ]
+              ~doc:"Gate: fail on optimised-vs-unoptimised regression."))
 
 let table2_cmd =
   let run () = print_string (Models.Tables.table2 ()) in
@@ -262,4 +385,7 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "fossy_cli" ~doc)
-          [ synth_cmd; testbench_cmd; lint_cmd; table2_cmd; platgen_cmd; swgen_cmd ]))
+          [
+            synth_cmd; testbench_cmd; lint_cmd; area_cmd; table2_cmd;
+            platgen_cmd; swgen_cmd;
+          ]))

@@ -28,11 +28,18 @@ let errors ds = List.filter is_error ds
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 
+(* Byte-stable order for CI diffing: severity, then catalogue code,
+   then location. The message participates last so that distinct
+   findings sharing a location are deduplicated only when they are
+   truly identical, never collapsed. *)
 let compare a b =
   let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
   if c <> 0 then c
   else
-    let c = String.compare a.path b.path in
-    if c <> 0 then c else String.compare a.code b.code
+    let c = String.compare a.code b.code in
+    if c <> 0 then c
+    else
+      let c = String.compare a.path b.path in
+      if c <> 0 then c else String.compare a.message b.message
 
 let pp fmt d = Format.pp_print_string fmt (render d)

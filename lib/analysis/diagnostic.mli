@@ -28,6 +28,9 @@ val is_error : t -> bool
 val errors : t list -> t list
 
 val compare : t -> t -> int
-(** Orders by severity (errors first), then path, then code. *)
+(** Orders by severity (errors first), then code, then path, then
+    message — a total, byte-stable order so sorted lint output can be
+    diffed in CI, and [List.sort_uniq] deduplicates exactly the
+    findings that are identical. *)
 
 val pp : Format.formatter -> t -> unit

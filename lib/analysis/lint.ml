@@ -5,8 +5,10 @@ let fsm_diagnostics m =
      already reject (e.g. wait-free loops); those passes have reported
      the cause, so extraction failure is not itself a finding. *)
   match Fossy.Fsm.of_module (Fossy.Inline.run m) with
-  | fsm -> Fsm_lint.run fsm
+  | fsm -> Fsm_lint.run fsm @ Absint.lint_fsm fsm
   | exception _ -> []
+
+let semantic m = Hir_lint.run m @ Absint.lint m @ fsm_diagnostics m
 
 let lint_module m =
   let structural =
@@ -17,7 +19,7 @@ let lint_module m =
         (fun e -> D.error ~code:"E000" ~path:m.Fossy.Hir.m_name "%s" e)
         es
   in
-  List.sort_uniq D.compare (structural @ Hir_lint.run m @ fsm_diagnostics m)
+  List.sort_uniq D.compare (structural @ semantic m)
 
 let lint_design = Vhdl_lint.run
 let lint_vta = Concurrency.guard_deadlocks
@@ -31,4 +33,5 @@ let install () =
   Fossy.Synthesis.set_linter (fun m ->
       (* validate already ran inside [synthesise]; only the semantic
          passes gate here. *)
-      split (List.sort_uniq D.compare (Hir_lint.run m @ fsm_diagnostics m)))
+      split (List.sort_uniq D.compare (semantic m)));
+  Fossy.Synthesis.set_optimiser ~hir:Absint.optimise ~fsm:Absint.prune_fsm

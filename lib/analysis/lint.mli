@@ -9,11 +9,16 @@
     call cycle, [E010] input port driven, [E011]/[W015] undriven
     output, [W012] unreachable FSM state, [W013] unread register,
     [E014] guard deadlock, [E015] delta race, [W017] unused VHDL
-    signal. *)
+    signal, and the value-analysis findings of {!Absint}: [W018]
+    proved truncation at assignment, [W019] branch proved
+    always/never taken, [E020]/[W021] proved/possible out-of-range
+    array index, [W022] FSM state unreachable under value
+    constraints. *)
 
 val lint_module : Fossy.Hir.module_def -> Diagnostic.t list
 (** Structural validation + HIR dataflow/width/synthesisability passes
-    + (when extraction succeeds) FSM passes. *)
+    + interval abstract interpretation + (when extraction succeeds)
+    FSM passes. *)
 
 val lint_design : Rtl.Vhdl.design -> Diagnostic.t list
 val lint_vta : Osss.Vta.t -> Diagnostic.t list
@@ -22,7 +27,8 @@ val lint_kernel : Sim.Kernel.t -> Diagnostic.t list
 (** Races recorded so far by a kernel, as [E015] diagnostics. *)
 
 val install : unit -> unit
-(** Plugs the HIR/FSM suite into {!Fossy.Synthesis.set_linter}:
-    error-severity findings block synthesis, the rest surface in
-    {!Fossy.Synthesis.result.warnings}. Call once at program start
-    (the CLI and the tests do). *)
+(** Plugs the HIR/FSM suite into {!Fossy.Synthesis.set_linter}
+    (error-severity findings block synthesis, the rest surface in
+    {!Fossy.Synthesis.result.warnings}) and the {!Absint} optimiser
+    pair into {!Fossy.Synthesis.set_optimiser}. Call once at program
+    start (the CLI and the tests do). *)

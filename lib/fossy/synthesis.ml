@@ -8,6 +8,8 @@ type result = {
   summary : Rtl.Netlist.summary;
   area : Rtl.Area.report;
   fmax_mhz : float;
+  unopt_summary : Rtl.Netlist.summary;
+  unopt_area : Rtl.Area.report;
   warnings : string list;
 }
 
@@ -20,6 +22,31 @@ let linter : (Hir.module_def -> string list * string list) ref =
 
 let set_linter f = linter := f
 
+(* Same inversion for the value-analysis optimiser: the abstract
+   interpreter lives in [analysis], which depends on this library, so
+   it installs itself here. Uninstalled, [optimise] is the identity
+   and the flow is exactly the historical inline → FSM → VHDL chain. *)
+let optimiser : (Hir.module_def -> Hir.module_def) ref = ref (fun m -> m)
+let fsm_optimiser : (Fsm.t -> Fsm.t) ref = ref (fun f -> f)
+let optimiser_installed = ref false
+
+let set_optimiser ~hir ~fsm =
+  optimiser := hir;
+  fsm_optimiser := fsm;
+  optimiser_installed := true
+
+let optimise m = !optimiser m
+
+let cost fsm =
+  let vhdl = Codegen.run fsm in
+  let vhdl_text = Rtl.Vhdl_pp.emit vhdl in
+  let summary = Rtl.Netlist.of_design vhdl in
+  let area = Rtl.Area.estimate ~sharing:Rtl.Area.Shared summary in
+  let fmax_mhz =
+    Rtl.Timing_model.estimate_mhz ~sharing:Rtl.Area.Shared summary
+  in
+  (vhdl, vhdl_text, summary, area, fmax_mhz)
+
 let synthesise m =
   match Hir.validate m with
   | Error es -> Error es
@@ -27,27 +54,31 @@ let synthesise m =
     let lint_errors, warnings = !linter m in
     if lint_errors <> [] then Error lint_errors
     else
-    let systemc_loc = Hir_pp.loc m in
-    let inlined = Inline.run m in
-    let fsm = Fsm.of_module inlined in
-    let vhdl = Codegen.run fsm in
-    let vhdl_text = Rtl.Vhdl_pp.emit vhdl in
-    let summary = Rtl.Netlist.of_design vhdl in
-    let area = Rtl.Area.estimate ~sharing:Rtl.Area.Shared summary in
-    let fmax_mhz = Rtl.Timing_model.estimate_mhz ~sharing:Rtl.Area.Shared summary in
-    Ok
-      {
-        module_name = m.Hir.m_name;
-        systemc_loc;
-        fsm;
-        vhdl;
-        vhdl_text;
-        vhdl_loc = Rtl.Vhdl_pp.loc vhdl;
-        summary;
-        area;
-        fmax_mhz;
-        warnings;
-      }
+      let systemc_loc = Hir_pp.loc m in
+      let inlined = Inline.run m in
+      let unopt_fsm = Fsm.of_module inlined in
+      let _, _, unopt_summary, unopt_area, _ = cost unopt_fsm in
+      let fsm =
+        if !optimiser_installed then
+          !fsm_optimiser (Fsm.of_module (!optimiser inlined))
+        else unopt_fsm
+      in
+      let vhdl, vhdl_text, summary, area, fmax_mhz = cost fsm in
+      Ok
+        {
+          module_name = m.Hir.m_name;
+          systemc_loc;
+          fsm;
+          vhdl;
+          vhdl_text;
+          vhdl_loc = Rtl.Vhdl_pp.loc vhdl;
+          summary;
+          area;
+          fmax_mhz;
+          unopt_summary;
+          unopt_area;
+          warnings;
+        }
 
 type reference_result = {
   ref_name : string;

@@ -1,11 +1,12 @@
 (** FOSSY driver: end-to-end high-level synthesis.
 
-    validate → inline subprograms → extract FSM → emit VHDL →
-    estimate RTL synthesis results (area / f_max on the Virtex-4
-    model). The same estimation is applied to hand-written reference
-    VHDL for the Table 2 comparison; reference designs keep their
-    multi-process structure and are therefore costed without
-    cross-state operator sharing. *)
+    validate → inline subprograms → optimise (when a value-analysis
+    optimiser is installed) → extract FSM → emit VHDL → estimate RTL
+    synthesis results (area / f_max on the Virtex-4 model). The same
+    estimation is applied to hand-written reference VHDL for the
+    Table 2 comparison; reference designs keep their multi-process
+    structure and are therefore costed without cross-state operator
+    sharing. *)
 
 type result = {
   module_name : string;
@@ -17,6 +18,13 @@ type result = {
   summary : Rtl.Netlist.summary;
   area : Rtl.Area.report;
   fmax_mhz : float;
+  unopt_summary : Rtl.Netlist.summary;
+      (** netlist of the straight inline → FSM chain, before the
+          installed optimiser ran (equal to [summary] when no
+          optimiser is installed) *)
+  unopt_area : Rtl.Area.report;
+      (** area of [unopt_summary] — the baseline the optimiser's
+          LUT/FF win is measured against *)
   warnings : string list;
       (** non-blocking findings of the installed linter (empty when no
           linter is installed) *)
@@ -29,6 +37,18 @@ val set_linter : (Hir.module_def -> string list * string list) -> unit
     passed through in {!result.warnings}. The [analysis] library
     installs its diagnostic suite here ([Analysis.Lint.install]); the
     default linter reports nothing. *)
+
+val set_optimiser :
+  hir:(Hir.module_def -> Hir.module_def) -> fsm:(Fsm.t -> Fsm.t) -> unit
+(** Installs the behaviour-preserving optimisation passes run between
+    inline and FSM extraction ([hir], e.g. [Analysis.Absint.optimise])
+    and after FSM extraction ([fsm], e.g. [Analysis.Absint.prune_fsm]).
+    [Analysis.Lint.install] wires both. Without an optimiser the flow
+    is unchanged and [unopt_summary]/[unopt_area] simply duplicate
+    [summary]/[area]. *)
+
+val optimise : Hir.module_def -> Hir.module_def
+(** The installed HIR optimiser (identity when none is installed). *)
 
 val synthesise : Hir.module_def -> (result, string list) Stdlib.result
 (** The full flow. [Error] carries validation or lint diagnostics. *)

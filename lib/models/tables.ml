@@ -145,6 +145,7 @@ let table1 ?payload () =
 type table2_row = {
   core : string;
   fossy_area : Rtl.Area.report;
+  fossy_unopt_area : Rtl.Area.report;
   fossy_mhz : float;
   fossy_vhdl_loc : int;
   systemc_loc : int;
@@ -163,6 +164,7 @@ let table2_rows () =
       {
         core = core_name;
         fossy_area = r.Fossy.Synthesis.area;
+        fossy_unopt_area = r.Fossy.Synthesis.unopt_area;
         fossy_mhz = r.Fossy.Synthesis.fmax_mhz;
         fossy_vhdl_loc = r.Fossy.Synthesis.vhdl_loc;
         systemc_loc = r.Fossy.Synthesis.systemc_loc;
@@ -187,6 +189,10 @@ let table2 () =
         string_of_int r.ref_area.Rtl.Area.flip_flops ];
       [ "  4-input LUTs"; string_of_int r.fossy_area.Rtl.Area.luts;
         string_of_int r.ref_area.Rtl.Area.luts ];
+      [ "  FF before value analysis";
+        string_of_int r.fossy_unopt_area.Rtl.Area.flip_flops; "-" ];
+      [ "  LUTs before value analysis";
+        string_of_int r.fossy_unopt_area.Rtl.Area.luts; "-" ];
       [ "  occupied slices"; string_of_int r.fossy_area.Rtl.Area.slices;
         string_of_int r.ref_area.Rtl.Area.slices ];
       [ "  total equivalent gates"; string_of_int r.fossy_area.Rtl.Area.gates;

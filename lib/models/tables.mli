@@ -21,6 +21,10 @@ val table2 : unit -> string
 type table2_row = {
   core : string;  (** "IDWT53" / "IDWT97" *)
   fossy_area : Rtl.Area.report;
+  fossy_unopt_area : Rtl.Area.report;
+      (** area of the straight inline → FSM flow, before the
+          value-analysis optimiser (equals [fossy_area] when no
+          optimiser is installed) *)
   fossy_mhz : float;
   fossy_vhdl_loc : int;
   systemc_loc : int;

@@ -82,6 +82,20 @@ let estimate ~sharing (s : Netlist.summary) =
 
 let fits_lx25 r = r.slices <= 10_752 && r.luts <= 21_504 && r.flip_flops <= 21_504
 
+let delta_pct ~baseline value =
+  if baseline = 0 then if value = 0 then 0.0 else infinity
+  else float_of_int (value - baseline) *. 100.0 /. float_of_int baseline
+
+let regressions ~tolerance_pct ~baseline r =
+  List.filter_map
+    (fun (label, base, now) ->
+      let d = delta_pct ~baseline:base now in
+      if d > tolerance_pct then Some (label, d) else None)
+    [
+      ("flip_flops", baseline.flip_flops, r.flip_flops);
+      ("luts", baseline.luts, r.luts);
+    ]
+
 let pp_report fmt r =
   Format.fprintf fmt "FF=%d LUT=%d slices=%d gates=%d" r.flip_flops r.luts
     r.slices r.gates

@@ -28,4 +28,15 @@ val fits_lx25 : report -> bool
 (** Whether the design fits a Virtex-4 LX25 (10 752 slices, 21 504
     LUTs/FFs). *)
 
+val delta_pct : baseline:int -> int -> float
+(** Signed percentage change relative to [baseline]; [0.] when both
+    are zero, [infinity] when only the baseline is. *)
+
+val regressions :
+  tolerance_pct:float -> baseline:report -> report -> (string * float) list
+(** The LUT/FF metrics of a report that grew beyond [tolerance_pct]
+    percent over [baseline], as [(metric, delta_pct)] pairs — the
+    area-regression gate run by the CLI [area --check] command and
+    CI. Empty means the gate passes. *)
+
 val pp_report : Format.formatter -> report -> unit
