@@ -161,6 +161,31 @@ let serve_cold_service =
 let serve_warm_service = Serve.Service.create [| j2k_stream |]
 let serve_run service () = ignore (Serve.Service.run service serve_spec)
 
+(* Streaming-ingest rows: the same service fed chunk-by-chunk on the
+   virtual clock. Clean delivery prices the reassembly/readiness
+   machinery alone; the faulty row adds loss + stall jitter and so
+   pays for deadline flushes through the concealment decoder. *)
+let serve_ingest_spec =
+  match Serve.Request.parse_spec "open:n=24,rate=600,seed=11,deadline=8" with
+  | Ok spec -> spec
+  | Error e -> failwith e
+
+let ingest_faulty_profile = "chunk=256,loss=0.05,stall=0.2,stall_us=2000"
+
+let ingest_config profile =
+  match Faults.Ingest.parse_spec profile with
+  | Ok ing -> { Serve.Service.default_config with Serve.Service.ingest = Some ing }
+  | Error e -> failwith e
+
+let serve_ingest_clean_service =
+  Serve.Service.create ~config:(ingest_config "") [| j2k_stream |]
+
+let serve_ingest_faulty_service =
+  Serve.Service.create ~config:(ingest_config ingest_faulty_profile) [| j2k_stream |]
+
+let serve_ingest_run service () =
+  ignore (Serve.Service.run service serve_ingest_spec)
+
 let sweep_9v pool () =
   ignore
     (Models.Experiment.run_many ~payload:false ~pool
@@ -208,6 +233,10 @@ let substrate_tests =
       (Staged.stage (sweep_9v par_pool));
     Test.make ~name:"serve_cold_32req" (Staged.stage (serve_run serve_cold_service));
     Test.make ~name:"serve_warm_32req" (Staged.stage (serve_run serve_warm_service));
+    Test.make ~name:"serve_ingest_clean_24req"
+      (Staged.stage (serve_ingest_run serve_ingest_clean_service));
+    Test.make ~name:"serve_ingest_faulty_24req"
+      (Staged.stage (serve_ingest_run serve_ingest_faulty_service));
   ]
 
 let ablation_tests =
@@ -286,6 +315,32 @@ let write_results_json path rows =
   let serve_report =
     Serve.Service.run (Serve.Service.create [| j2k_stream |]) serve_spec
   in
+  (* Fresh service so the simulated ingest numbers don't depend on how
+     many Bechamel iterations warmed the shared caches above. *)
+  let ingest_report =
+    Serve.Service.run
+      (Serve.Service.create ~config:(ingest_config ingest_faulty_profile)
+         [| j2k_stream |])
+      serve_ingest_spec
+  in
+  let ingest_json =
+    match ingest_report.Serve.Service.ingest with
+    | None -> Null
+    | Some i ->
+      Obj
+        [
+          ("spec", Str i.Serve.Service.ing_spec);
+          ("chunks_lost", Int i.Serve.Service.ing_chunks_lost);
+          ("flushed", Int i.Serve.Service.ing_flushed);
+          ("flush_failed", Int i.Serve.Service.ing_flush_failed);
+          ( "flush_concealed_tiles",
+            Int i.Serve.Service.ing_flush_concealed_tiles );
+          ( "flush_psnr_db",
+            if Float.is_finite i.Serve.Service.ing_flush_psnr_db then
+              Float i.Serve.Service.ing_flush_psnr_db
+            else Str "inf" );
+        ]
+  in
   let row_ns suffix =
     List.find_map
       (fun (name, ns) ->
@@ -362,6 +417,7 @@ let write_results_json path rows =
                ( "cache_hit_rate",
                  Float serve_report.Serve.Service.cache_hit_rate );
                ("cache_hit_speedup", cache_hit_speedup);
+               ("ingest", ingest_json);
              ] );
          ("synthesis", List synthesis_json);
          ( "table1",

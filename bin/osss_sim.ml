@@ -224,7 +224,18 @@ let relations_cmd =
     Term.(const run $ payload_arg)
 
 let campaign_cmd =
-  let run seed rates mode versions unprotected json jobs =
+  let run seed rates mode versions unprotected ingest json jobs =
+    if ingest then begin
+      let rows =
+        with_jobs jobs (fun pool ->
+            Models.Campaign.run_ingest ~pool ~seed ?rates ~mode ())
+      in
+      if json then
+        print_endline
+          (Telemetry.Json.to_string (Models.Campaign.ingest_to_json rows))
+      else print_string (Models.Campaign.render_ingest rows)
+    end
+    else
     let versions =
       match versions with
       | [] -> Models.Experiment.all_versions
@@ -288,11 +299,20 @@ let campaign_cmd =
           value & flag
           & info [ "unprotected" ]
               ~doc:"Disable the CRC/retry channel hardening.")
+      $ Arg.(
+          value & flag
+          & info [ "ingest" ]
+              ~doc:
+                "Sweep the ingest-fault axis instead: chunk \
+                 loss/dup/reorder/stall on the byte-arrival path through \
+                 the decode service (--versions and --unprotected are \
+                 ignored).")
       $ json_arg
       $ jobs_arg)
 
 let serve_cmd =
-  let run workload streams mode queue policy cache batch trace_path json jobs =
+  let run workload streams mode queue policy cache batch ingest trace_path json
+      jobs =
     let spec =
       match Serve.Request.parse_spec workload with
       | Ok spec -> spec
@@ -311,12 +331,35 @@ let serve_cmd =
       Printf.eprintf "osss_sim: --streams must be >= 1 (got %d)\n" streams;
       exit 2
     end;
+    if queue < 1 then begin
+      Printf.eprintf "osss_sim: --queue must be >= 1 (got %d)\n" queue;
+      exit 2
+    end;
+    if batch < 1 then begin
+      Printf.eprintf "osss_sim: --batch must be >= 1 (got %d)\n" batch;
+      exit 2
+    end;
+    if cache < 0 then begin
+      Printf.eprintf "osss_sim: --cache must be >= 0 (got %d)\n" cache;
+      exit 2
+    end;
+    let ingest =
+      match ingest with
+      | None -> None
+      | Some s -> (
+        match Faults.Ingest.parse_spec s with
+        | Ok spec -> Some spec
+        | Error msg ->
+          Printf.eprintf "osss_sim: bad --ingest: %s\n" msg;
+          exit 2)
+    in
     let config =
       {
         Serve.Service.queue_capacity = queue;
         overload;
         cache_capacity = cache;
         max_batch = batch;
+        ingest;
       }
     in
     let corpus =
@@ -379,6 +422,16 @@ let serve_cmd =
       $ Arg.(
           value & opt int Serve.Service.default_config.Serve.Service.max_batch
           & info [ "batch" ] ~docv:"N" ~doc:"Max requests coalesced per dispatch.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "ingest" ] ~docv:"SPEC"
+              ~doc:
+                "Stream request bytes chunk by chunk instead of whole: \
+                 chunk=BYTES,gap_us=US,loss=P,dup=P,reorder=P,window=N,\
+                 stall=P,stall_us=US (every key optional; empty string = \
+                 fault-free streaming). Stalled requests are flushed \
+                 best-effort at their deadline.")
       $ Arg.(
           value
           & opt (some string) None

@@ -1,0 +1,189 @@
+type profile = {
+  loss : float;
+  dup : float;
+  reorder : float;
+  window : int;
+  stall : float;
+  stall_max_ps : int;
+}
+
+let no_faults =
+  {
+    loss = 0.0;
+    dup = 0.0;
+    reorder = 0.0;
+    window = 4;
+    stall = 0.0;
+    stall_max_ps = 0;
+  }
+
+type spec = { chunk_bytes : int; gap_ps : int; profile : profile }
+
+let ps_per_us = 1_000_000
+
+let default_spec =
+  {
+    chunk_bytes = 512;
+    gap_ps = 100 * ps_per_us;
+    profile = { no_faults with stall_max_ps = 1000 * ps_per_us };
+  }
+
+(* -- spec strings ---------------------------------------------------- *)
+
+let parse_spec s =
+  let fields = if s = "" then [] else String.split_on_char ',' s in
+  let ( let* ) = Result.bind in
+  let* pairs =
+    List.fold_left
+      (fun acc field ->
+        let* pairs = acc in
+        match String.index_opt field '=' with
+        | None -> Error (Printf.sprintf "field %S is not key=value" field)
+        | Some i ->
+          let key = String.sub field 0 i in
+          let value = String.sub field (i + 1) (String.length field - i - 1) in
+          Ok ((key, value) :: pairs))
+      (Ok []) fields
+  in
+  let* () =
+    let known =
+      [ "chunk"; "gap_us"; "loss"; "dup"; "reorder"; "window"; "stall";
+        "stall_us" ]
+    in
+    match List.find_opt (fun (k, _) -> not (List.mem k known)) pairs with
+    | Some (k, _) -> Error (Printf.sprintf "unknown ingest key %S" k)
+    | None -> Ok ()
+  in
+  let int_field key default check =
+    match List.assoc_opt key pairs with
+    | None -> Ok default
+    | Some v -> (
+      match int_of_string_opt v with
+      | None -> Error (Printf.sprintf "%s=%S is not an integer" key v)
+      | Some n -> check n)
+  in
+  let float_field key default check =
+    match List.assoc_opt key pairs with
+    | None -> Ok default
+    | Some v -> (
+      match float_of_string_opt v with
+      | None -> Error (Printf.sprintf "%s=%S is not a number" key v)
+      | Some f -> check f)
+  in
+  let positive key n =
+    if n < 1 then Error (Printf.sprintf "%s=%d must be >= 1" key n) else Ok n
+  in
+  let rate key f =
+    if Float.is_finite f && f >= 0.0 && f <= 1.0 then Ok f
+    else Error (Printf.sprintf "%s=%g must be in [0, 1]" key f)
+  in
+  let positive_us key f =
+    if Float.is_finite f && f > 0.0 then
+      Ok (int_of_float ((f *. float_of_int ps_per_us) +. 0.5))
+    else Error (Printf.sprintf "%s=%g must be > 0" key f)
+  in
+  let d = default_spec in
+  let* chunk_bytes = int_field "chunk" d.chunk_bytes (positive "chunk") in
+  let* gap_ps =
+    float_field "gap_us"
+      d.gap_ps
+      (fun f -> positive_us "gap_us" f)
+  in
+  let* loss = float_field "loss" d.profile.loss (rate "loss") in
+  let* dup = float_field "dup" d.profile.dup (rate "dup") in
+  let* reorder = float_field "reorder" d.profile.reorder (rate "reorder") in
+  let* window = int_field "window" d.profile.window (positive "window") in
+  let* stall = float_field "stall" d.profile.stall (rate "stall") in
+  let* stall_max_ps =
+    float_field "stall_us"
+      d.profile.stall_max_ps
+      (fun f -> positive_us "stall_us" f)
+  in
+  Ok
+    {
+      chunk_bytes;
+      gap_ps;
+      profile = { loss; dup; reorder; window; stall; stall_max_ps };
+    }
+
+let spec_to_string spec =
+  let us ps = float_of_int ps /. float_of_int ps_per_us in
+  Printf.sprintf
+    "chunk=%d,gap_us=%g,loss=%g,dup=%g,reorder=%g,window=%d,stall=%g,stall_us=%g"
+    spec.chunk_bytes (us spec.gap_ps) spec.profile.loss spec.profile.dup
+    spec.profile.reorder spec.profile.window spec.profile.stall
+    (us spec.profile.stall_max_ps)
+
+(* -- schedules ------------------------------------------------------- *)
+
+type chunk = { c_offset : int; c_bytes : string; c_arrival_ps : int }
+
+type delivery = {
+  chunks : chunk list;
+  sent : int;
+  lost : int;
+  duped : int;
+  reordered : int;
+  stall_ps : int;
+}
+
+let schedule ~seed spec ~start_ps data =
+  let rng = Rng.create seed in
+  let p = spec.profile in
+  let len = String.length data in
+  let sent = (len + spec.chunk_bytes - 1) / spec.chunk_bytes in
+  let lost = ref 0 and duped = ref 0 and reordered = ref 0 in
+  let stall_total = ref 0 in
+  let delay = ref 0 in
+  let out = ref [] in
+  for i = 0 to sent - 1 do
+    let offset = i * spec.chunk_bytes in
+    let bytes = String.sub data offset (Stdlib.min spec.chunk_bytes (len - offset)) in
+    (* Fixed per-chunk draw order — stall, loss, reorder, dup — so the
+       schedule is a pure function of (seed, spec, data). *)
+    if p.stall > 0.0 && p.stall_max_ps > 0 && Rng.float rng < p.stall then begin
+      let s = 1 + Rng.int rng p.stall_max_ps in
+      delay := !delay + s;
+      stall_total := !stall_total + s
+    end;
+    let base = start_ps + (i * spec.gap_ps) + !delay in
+    if p.loss > 0.0 && Rng.float rng < p.loss then incr lost
+    else begin
+      let arrival =
+        if p.reorder > 0.0 && Rng.float rng < p.reorder then begin
+          incr reordered;
+          (* slip behind up to [window] successors, landing half a gap
+             past the last of them so the displacement is unambiguous *)
+          let slip = 1 + Rng.int rng p.window in
+          base + (slip * spec.gap_ps) + (spec.gap_ps / 2)
+        end
+        else base
+      in
+      out := { c_offset = offset; c_bytes = bytes; c_arrival_ps = arrival } :: !out;
+      if p.dup > 0.0 && Rng.float rng < p.dup then begin
+        incr duped;
+        out :=
+          {
+            c_offset = offset;
+            c_bytes = bytes;
+            c_arrival_ps = arrival + Stdlib.max 1 (spec.gap_ps / 4);
+          }
+          :: !out
+      end
+    end
+  done;
+  let chunks =
+    List.sort
+      (fun a b ->
+        let c = Int.compare a.c_arrival_ps b.c_arrival_ps in
+        if c <> 0 then c else Int.compare a.c_offset b.c_offset)
+      !out
+  in
+  {
+    chunks;
+    sent;
+    lost = !lost;
+    duped = !duped;
+    reordered = !reordered;
+    stall_ps = !stall_total;
+  }

@@ -232,9 +232,11 @@ let parse_tile r ~header =
   in
   { tile_index; tile_x0; tile_y0; tile_w; tile_h; comps }
 
-let parse_exn data =
-  let r = { data; pos = 0 } in
-  if String.length data < 4 then fail_err Bad_magic;
+(* The preamble: magic, version, header fields and the tile count —
+   everything before the first tile segment. One source of truth for
+   both the monolithic [parse_result] and the incremental [Stream]
+   reader. *)
+let parse_preamble r =
   if rbytes r 4 <> magic then fail_err Bad_magic;
   let v = r8 r in
   if v <> version then fail_err (Bad_version v);
@@ -270,6 +272,12 @@ let parse_exn data =
     ((width + tile_w - 1) / tile_w) * ((height + tile_h - 1) / tile_h)
   in
   check_range "tile count" ntiles 0 grid_tiles;
+  (header, ntiles)
+
+let parse_exn data =
+  let r = { data; pos = 0 } in
+  if String.length data < 4 then fail_err Bad_magic;
+  let header, ntiles = parse_preamble r in
   let tiles = List.init ntiles (fun _ -> parse_tile r ~header) in
   if r.pos <> String.length data then
     fail_err (Trailing (String.length data - r.pos));
@@ -280,10 +288,30 @@ let parse_result data =
   | t -> Ok t
   | exception Error e -> Error e
 
+(* The legacy exception interface is a thin shim over [parse_result]
+   so there is exactly one parser and one error taxonomy. *)
 let parse data =
-  match parse_exn data with
-  | t -> t
-  | exception Error e -> failwith ("Codestream.parse: " ^ error_message e)
+  match parse_result data with
+  | Ok t -> t
+  | Error e -> failwith ("Codestream.parse: " ^ error_message e)
+
+(* -- incremental framing units -------------------------------------- *)
+
+type 'a step =
+  | Unit_ready of 'a * int
+  | Unit_truncated of int
+  | Unit_error of error
+
+let step_of ~pos ~data parse_unit =
+  let r = { data; pos } in
+  match parse_unit r with
+  | v -> Unit_ready (v, r.pos)
+  | exception Error (Truncated off) -> Unit_truncated off
+  | exception Error e -> Unit_error e
+
+let read_preamble data ~pos = step_of ~pos ~data parse_preamble
+
+let read_tile ~header data ~pos = step_of ~pos ~data (parse_tile ~header)
 
 let segment_bytes tile =
   Array.fold_left

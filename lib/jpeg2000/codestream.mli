@@ -74,9 +74,37 @@ val parse_result : string -> (t, error) result
 (** [parse_result (emit s) = Ok s]; total on arbitrary input. *)
 
 val parse : string -> t
-(** [parse (emit s) = s]. Raises [Failure] on malformed input
-    (bad magic, truncation, invalid field values) — the historical
-    interface; new code should prefer {!parse_result}. *)
+(** @deprecated Legacy wrapper over {!parse_result}: it runs exactly
+    that parser and turns [Error e] into
+    [Failure ("Codestream.parse: " ^ error_message e)] — the {!error}
+    type is the one source of truth for the error taxonomy. New code
+    should call {!parse_result} (or feed chunks to {!Stream}) and
+    match on the typed error. *)
+
+(** {1 Incremental framing units}
+
+    The building blocks of the resumable {!Stream} parser. Each
+    attempts to read one framing unit of [data] starting at [pos]
+    against the hostile-input bounds above and reports how far it
+    got. [Unit_truncated off] means the available bytes ran out at
+    offset [off] — feeding more data may complete the unit, so a
+    streaming caller treats it as "need more" while a caller at
+    end-of-input treats it as the definitive {!Truncated} error
+    (offsets agree with {!parse_result} by construction).
+    [Unit_error] is definite: no suffix can repair the prefix. *)
+
+type 'a step =
+  | Unit_ready of 'a * int  (** parsed value and the position after it *)
+  | Unit_truncated of int  (** ran out of bytes at this offset *)
+  | Unit_error of error  (** unrepairable framing damage *)
+
+val read_preamble : string -> pos:int -> (header * int) step
+(** Magic, version, header fields and the tile count — everything
+    before the first tile segment. *)
+
+val read_tile : header:header -> string -> pos:int -> tile_segment step
+(** One tile segment, validated against [header] exactly as
+    {!parse_result} does. *)
 
 val segment_bytes : tile_segment -> int
 (** Total entropy-coded payload of a tile (sum of all code-block

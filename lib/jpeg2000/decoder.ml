@@ -490,56 +490,119 @@ let tile_block_count header tile =
     0 bands
   * Array.length tile.Codestream.comps
 
+(* A tile segment standing in for one that never arrived: right grid
+   cell, right component count, no entropy payload — exactly what
+   [concealed_tile] needs to render mid-grey at the right place. *)
+let absent_tile header ~index ~x0 ~y0 =
+  let { Codestream.tile_w; tile_h; width; height; components; _ } = header in
+  {
+    Codestream.tile_index = index;
+    tile_x0 = x0;
+    tile_y0 = y0;
+    tile_w = Stdlib.min tile_w (width - x0);
+    tile_h = Stdlib.min tile_h (height - y0);
+    comps = Array.make components [];
+  }
+
+(* Grid cells of [header] not covered by any tile in [present], in
+   raster order — the tiles a truncated stream never delivered. *)
+let missing_tiles (header : Codestream.header) present =
+  let covered =
+    List.map
+      (fun (t : Codestream.tile_segment) ->
+        (t.Codestream.tile_x0, t.Codestream.tile_y0))
+      present
+  in
+  let tw = header.Codestream.tile_w and th = header.Codestream.tile_h in
+  let cols = (header.Codestream.width + tw - 1) / tw in
+  let rows = (header.Codestream.height + th - 1) / th in
+  List.concat
+    (List.init rows (fun ty ->
+         List.init cols (fun tx ->
+             ((ty * cols) + tx, tx * tw, ty * th))))
+  |> List.filter_map (fun (index, x0, y0) ->
+         if List.mem (x0, y0) covered then None
+         else Some (absent_tile header ~index ~x0 ~y0))
+
+(* The robust body over an explicit tile population: [present] tiles
+   decode with per-block containment, [missing] ones are concealed
+   whole. *)
+let decode_robust_tiles ~pool header ~present ~missing =
+  let decode_one tile =
+    (* (tile image, concealed blocks, concealed tiles, total blocks):
+       per-tile results stay pure so the fan-out over tiles cannot
+       race on the report counters. *)
+    let total = tile_block_count header tile in
+    match entropy_decode_tile_robust ~pool header tile with
+    | Some (ed, concealed) ->
+      (match
+         dequantise header ed |> inverse_wavelet header
+         |> inverse_colour_and_shift header tile
+       with
+      | t -> (t, concealed, 0, total)
+      | exception (Failure _ | Invalid_argument _) ->
+        (concealed_tile header tile, concealed, 1, total))
+    | None -> (concealed_tile header tile, 0, 1, total)
+  in
+  let results = Par.Pool.map pool (Array.of_list present) decode_one in
+  let concealed_blocks = ref 0 and concealed_tiles = ref 0 in
+  let total_blocks = ref 0 in
+  let tiles =
+    Array.to_list
+      (Array.map
+         (fun (tile, blocks, tiles, total) ->
+           concealed_blocks := !concealed_blocks + blocks;
+           concealed_tiles := !concealed_tiles + tiles;
+           total_blocks := !total_blocks + total;
+           tile)
+         results)
+  in
+  let tiles =
+    tiles
+    @ List.map
+        (fun tile ->
+          concealed_tiles := !concealed_tiles + 1;
+          total_blocks := !total_blocks + tile_block_count header tile;
+          concealed_tile header tile)
+        missing
+  in
+  let image =
+    Tile.assemble ~width:header.Codestream.width
+      ~height:header.Codestream.height
+      ~components:header.Codestream.components
+      ~bit_depth:header.Codestream.bit_depth tiles
+  in
+  Ok
+    ( image,
+      {
+        concealed_blocks = !concealed_blocks;
+        concealed_tiles = !concealed_tiles;
+        total_blocks = !total_blocks;
+        total_tiles = List.length present + List.length missing;
+      } )
+
 let decode_robust ?(pool = Par.Pool.sequential) data =
   match Codestream.parse_result data with
-  | Error e -> Error e
   | Ok stream ->
-    let header = stream.Codestream.header in
-    let decode_one tile =
-      (* (tile image, concealed blocks, concealed tiles, total blocks):
-         per-tile results stay pure so the fan-out over tiles cannot
-         race on the report counters. *)
-      let total = tile_block_count header tile in
-      match entropy_decode_tile_robust ~pool header tile with
-      | Some (ed, concealed) ->
-        (match
-           dequantise header ed |> inverse_wavelet header
-           |> inverse_colour_and_shift header tile
-         with
-        | t -> (t, concealed, 0, total)
-        | exception (Failure _ | Invalid_argument _) ->
-          (concealed_tile header tile, concealed, 1, total))
-      | None -> (concealed_tile header tile, 0, 1, total)
-    in
-    let results =
-      Par.Pool.map pool (Array.of_list stream.Codestream.tiles) decode_one
-    in
-    let concealed_blocks = ref 0 and concealed_tiles = ref 0 in
-    let total_blocks = ref 0 in
-    let tiles =
-      Array.to_list
-        (Array.map
-           (fun (tile, blocks, tiles, total) ->
-             concealed_blocks := !concealed_blocks + blocks;
-             concealed_tiles := !concealed_tiles + tiles;
-             total_blocks := !total_blocks + total;
-             tile)
-           results)
-    in
-    let image =
-      Tile.assemble ~width:header.Codestream.width
-        ~height:header.Codestream.height
-        ~components:header.Codestream.components
-        ~bit_depth:header.Codestream.bit_depth tiles
-    in
-    Ok
-      ( image,
-        {
-          concealed_blocks = !concealed_blocks;
-          concealed_tiles = !concealed_tiles;
-          total_blocks = !total_blocks;
-          total_tiles = List.length stream.Codestream.tiles;
-        } )
+    decode_robust_tiles ~pool stream.Codestream.header
+      ~present:stream.Codestream.tiles ~missing:[]
+  | Error (Codestream.Truncated _ as e) -> (
+    (* A truncated stream is the signature of a stalled or lossy
+       ingest path: salvage every tile segment the prefix completed
+       and conceal the grid cells that never arrived. Only a prefix
+       too short to deliver the preamble remains an error. *)
+    let s = Stream.create () in
+    (match Stream.feed s data with
+    | Stream.Need_more | Stream.Segment_ready | Stream.Done
+    | Stream.Corrupt _ ->
+      ());
+    match Stream.header s with
+    | None -> Error e
+    | Some header ->
+      let present = List.init (Stream.tiles_ready s) (Stream.tile s) in
+      decode_robust_tiles ~pool header ~present
+        ~missing:(missing_tiles header present))
+  | Error e -> Error e
 
 let psnr_impact ~reference (image, report) =
   if no_damage report then Float.infinity else Image.psnr reference image

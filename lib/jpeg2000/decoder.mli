@@ -145,7 +145,15 @@ val decode_robust :
     confined and reported. [decode_robust (emit s)] of a well-formed
     stream equals [Ok (decode s, r)] with [no_damage r]. Per-tile
     damage counts are merged deterministically, so image and report
-    are identical on every [pool]. *)
+    are identical on every [pool].
+
+    A {e truncated} stream — the received prefix of a stalled or
+    lossy ingest path — is decoded best-effort once its preamble is
+    complete: every tile segment the prefix delivered decodes with
+    per-block containment, and each grid cell whose segment never
+    arrived is concealed whole (counted in [concealed_tiles]).
+    [Error (Truncated _)] therefore only remains for a prefix too
+    short to carry the header. *)
 
 val psnr_impact : reference:Image.t -> Image.t * report -> float
 (** PSNR (dB) of a robust decode against the undamaged reference —

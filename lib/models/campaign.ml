@@ -143,6 +143,107 @@ let fmt_psnr p =
   else if p = Float.infinity then "inf"
   else Printf.sprintf "%.1f" p
 
+(* -- ingest sweep ------------------------------------------------------
+   The second fault axis: damage on the byte-arrival path instead of
+   inside the platform. One rate knob couples chunk loss, duplication,
+   reordering and stall jitter; each swept rate runs the full decode
+   service with that ingest profile, so the table shows when streams
+   stop landing before their deadlines and what the best-effort
+   flushes cost in fidelity. *)
+
+type ingest_row = { ing_rate : float; ing_report : Serve.Service.report }
+
+let ingest_spec rate =
+  let cap f = Stdlib.min 1.0 f in
+  {
+    Faults.Ingest.default_spec with
+    Faults.Ingest.profile =
+      {
+        Faults.Ingest.loss = cap rate;
+        dup = cap (rate /. 2.0);
+        reorder = cap rate;
+        window = 4;
+        stall = cap (2.0 *. rate);
+        stall_max_ps = 2_000_000_000 (* 2 ms: enough to blow a deadline *);
+      };
+  }
+
+(* The workload is fixed apart from the campaign seed: an open-loop
+   trickle whose deadline comfortably clears a fault-free delivery
+   (~10 ms for the default chunk/gap), so every flush in the table is
+   attributable to the injected ingest faults. *)
+let ingest_workload seed =
+  let spec = Printf.sprintf "open:n=24,rate=200,seed=%d,deadline=20" seed in
+  match Serve.Request.parse_spec spec with
+  | Ok s -> s
+  | Error msg -> invalid_arg ("Campaign.ingest_workload: " ^ msg)
+
+let run_ingest ?(pool = Par.Pool.sequential) ?(seed = 2008)
+    ?(rates = [ 0.0; 0.01; 0.05; 0.2 ])
+    ?(mode = Jpeg2000.Codestream.Lossless) ?(streams = 2) () =
+  let corpus =
+    Array.init streams (fun i -> Workload.codestream ~seed:(seed + i) mode)
+  in
+  let spec = ingest_workload seed in
+  List.map
+    (fun rate ->
+      let config =
+        {
+          Serve.Service.default_config with
+          Serve.Service.ingest = Some (ingest_spec rate);
+        }
+      in
+      let service = Serve.Service.create ~config corpus in
+      { ing_rate = rate; ing_report = Serve.Service.run ~pool service spec })
+    rates
+
+let ingest_to_json rows =
+  Telemetry.Json.List
+    (List.map
+       (fun r ->
+         Telemetry.Json.Obj
+           [
+             ("rate", Telemetry.Json.Float r.ing_rate);
+             ("report", Serve.Service.report_to_json r.ing_report);
+           ])
+       rows)
+
+let render_ingest rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "Ingest-fault campaign\n\n";
+  let header =
+    [
+      "rate"; "served"; "flushed"; "failed"; "lost"; "reordered";
+      "concealed"; "PSNR [dB]"; "p95 [ms]"; "SLO miss";
+    ]
+  in
+  let table_rows =
+    List.map
+      (fun r ->
+        let rep = r.ing_report in
+        let i =
+          match rep.Serve.Service.ingest with
+          | Some i -> i
+          | None -> assert false
+        in
+        [
+          Printf.sprintf "%g" r.ing_rate;
+          string_of_int rep.Serve.Service.served;
+          string_of_int i.Serve.Service.ing_flushed;
+          string_of_int i.Serve.Service.ing_flush_failed;
+          string_of_int i.Serve.Service.ing_chunks_lost;
+          string_of_int i.Serve.Service.ing_chunks_reordered;
+          Printf.sprintf "%db/%dt" i.Serve.Service.ing_flush_concealed_blocks
+            i.Serve.Service.ing_flush_concealed_tiles;
+          fmt_psnr i.Serve.Service.ing_flush_psnr_db;
+          Printf.sprintf "%.3f" rep.Serve.Service.latency.Serve.Service.p95_ms;
+          string_of_int rep.Serve.Service.slo_misses;
+        ])
+      rows
+  in
+  Buffer.add_string buf (Osss.Report.render ~header table_rows);
+  Buffer.contents buf
+
 let fmt_inflation f =
   if Float.is_nan f then "-" else Printf.sprintf "%.4fx" f
 

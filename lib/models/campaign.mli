@@ -54,6 +54,37 @@ val run : ?pool:Par.Pool.t -> config -> row list
 val render : config -> row list -> string
 (** The resilience table. *)
 
+(** {1 Ingest-fault sweep}
+
+    The second fault axis: damage on the byte-arrival path rather
+    than inside the platform. One rate knob couples chunk loss (at
+    the rate), duplication (rate/2), bounded reordering (rate) and
+    head-of-line stall jitter (2x rate, up to 2 ms) on every
+    request's delivery into the decode service; the swept table shows
+    when streams stop landing before their deadlines and what the
+    deadline flushes cost in concealment and PSNR. Deterministic like
+    the main campaign: per-request ingest seeds are pure hashes, so
+    equal seeds render equal tables on any pool. *)
+
+type ingest_row = { ing_rate : float; ing_report : Serve.Service.report }
+
+val run_ingest :
+  ?pool:Par.Pool.t ->
+  ?seed:int ->
+  ?rates:float list ->
+  ?mode:Profile.mode ->
+  ?streams:int ->
+  unit ->
+  ingest_row list
+(** One service run per rate over a [streams]-codestream corpus
+    (default 2) and a fixed open-loop workload whose 20 ms deadline
+    clears a fault-free delivery — every flush is attributable to the
+    injected faults. Defaults: seed 2008, rates [0; 0.01; 0.05; 0.2],
+    lossless. *)
+
+val render_ingest : ingest_row list -> string
+val ingest_to_json : ingest_row list -> Telemetry.Json.t
+
 val row_to_json : row -> Telemetry.Json.t
 
 val to_json : config -> row list -> Telemetry.Json.t

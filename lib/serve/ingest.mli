@@ -1,0 +1,36 @@
+(** Per-request streaming delivery: a faulted chunk-arrival schedule
+    ({!Faults.Ingest.schedule}) replayed through the resumable
+    {!Jpeg2000.Stream} parser.
+
+    The analysis reassembles chunks in arrival order — duplicates
+    dropped, out-of-order chunks parked until the contiguous prefix
+    reaches them — and feeds each contiguous extension to the stream
+    machine, recording the instant every tile segment lands. Because
+    both the schedule and the parser are deterministic, the whole
+    delivery is a pure function of (seed, spec, stream bytes): the
+    scheduler can read tile readiness and stall outcomes off the
+    precomputed timeline without simulating I/O events. *)
+
+type t
+
+val analyse : seed:int -> Faults.Ingest.spec -> start_ps:int -> string -> t
+(** Cut the stream into its faulted arrival schedule and replay it.
+    [start_ps] is the first chunk's nominal arrival instant. *)
+
+val delivery : t -> Faults.Ingest.delivery
+(** The underlying schedule and its loss/dup/reorder/stall counters. *)
+
+val tile_landed_ps : t -> int -> int
+(** Instant tile [i] (stream order) was fully parsed, or [max_int]
+    if the faulted delivery never completes it. *)
+
+val complete_ps : t -> int
+(** Instant the whole codestream had landed, or [max_int]. *)
+
+val prefix_at : t -> int -> string
+(** The contiguous byte prefix received by instant [t] — what a
+    deadline-driven flush hands to {!Jpeg2000.Decoder.decode_robust}. *)
+
+val bytes_received : t -> int
+(** Total distinct payload bytes that ever arrive (duplicates and
+    lost chunks excluded). *)

@@ -19,16 +19,31 @@ type config = {
   overload : overload;
   cache_capacity : int;
   max_batch : int;
+  ingest : Faults.Ingest.spec option;
+      (** [Some spec]: request bytes arrive as a seeded, possibly
+          faulted chunk schedule; a request only becomes runnable
+          once the tiles it needs have landed, and one that stalls
+          past its deadline is flushed best-effort. [None]: streams
+          are complete on arrival (the historical behaviour). *)
 }
 
 let default_config =
-  { queue_capacity = 32; overload = Reject; cache_capacity = 128; max_batch = 8 }
+  {
+    queue_capacity = 32;
+    overload = Reject;
+    cache_capacity = 128;
+    max_batch = 8;
+    ingest = None;
+  }
 
 type stream = {
   s_digest : int64;
   s_length : int;
+  s_data : string;
   s_header : Jpeg2000.Codestream.header;
   s_tiles : Jpeg2000.Codestream.tile_segment array;
+  s_reference : Jpeg2000.Image.t Lazy.t;
+      (* clean full decode; the psnr_impact baseline for flushes *)
 }
 
 type t = { config : config; streams : stream array }
@@ -52,8 +67,10 @@ let create ?(config = default_config) corpus =
           {
             s_digest = Cache.digest data;
             s_length = String.length data;
+            s_data = data;
             s_header = stream.Jpeg2000.Codestream.header;
             s_tiles = Array.of_list stream.Jpeg2000.Codestream.tiles;
+            s_reference = lazy (Jpeg2000.Decoder.decode data);
           })
       corpus
   in
@@ -132,6 +149,23 @@ let fnv_image h (image : Jpeg2000.Image.t) =
 
 (* -- report ----------------------------------------------------------- *)
 
+type ingest_stats = {
+  ing_spec : string;
+  ing_chunks_sent : int;
+  ing_chunks_lost : int;
+  ing_chunks_duped : int;
+  ing_chunks_reordered : int;
+  ing_stall_ms : float;
+  ing_bytes : int;
+  ing_flushed : int;
+  ing_flush_failed : int;
+  ing_flush_concealed_blocks : int;
+  ing_flush_concealed_tiles : int;
+  ing_flush_psnr_db : float;
+      (* worst psnr_impact across flushes; infinity when no flush
+         produced a damaged image *)
+}
+
 type report = {
   workload : string;
   streams : int;
@@ -156,6 +190,7 @@ type report = {
   cache_misses : int;
   cache_evictions : int;
   cache_hit_rate : float;
+  ingest : ingest_stats option;
   pixels_digest : string;
 }
 
@@ -282,7 +317,14 @@ let draw_request rng ~id ~nstreams ~streams ~arrival_ps ~deadline_ps spec =
 
 (* -- the scheduler ----------------------------------------------------- *)
 
-type queued = { q_req : Request.t; q_degraded : bool }
+type queued = {
+  q_req : Request.t;
+  q_degraded : bool;
+  q_ready_ps : int;
+      (* instant every tile the request needs has landed on the
+         ingest path (= arrival when ingest is off); [max_int] when
+         the faulted delivery never completes them *)
+}
 
 let edf_compare a b =
   let c = Int.compare a.q_req.Request.deadline_ps b.q_req.Request.deadline_ps in
@@ -291,7 +333,7 @@ let edf_compare a b =
     let c = Int.compare a.q_req.Request.priority b.q_req.Request.priority in
     if c <> 0 then c else Int.compare a.q_req.Request.id b.q_req.Request.id
 
-let run ?(pool = Par.Pool.sequential) ?on_complete t spec =
+let run ?(pool = Par.Pool.sequential) ?on_complete ?on_flush t spec =
   let config = t.config in
   let nstreams = Array.length t.streams in
   let cache =
@@ -300,6 +342,44 @@ let run ?(pool = Par.Pool.sequential) ?on_complete t spec =
     else None
   in
   let deadline_rel_ps = ps_of_ms spec.Request.deadline_ms in
+  (* Per-request faulted deliveries. The ingest seed is a pure hash of
+     (workload seed, request id), so the workload RNG draws are
+     untouched by ingest settings and the whole timeline is fixed the
+     moment the request is drawn — no I/O events to simulate. *)
+  let deliveries : (int, Ingest.t) Hashtbl.t = Hashtbl.create 64 in
+  let delivery_for (r : Request.t) =
+    match Hashtbl.find_opt deliveries r.Request.id with
+    | Some d -> d
+    | None ->
+      let ing = Option.get config.ingest in
+      let stream = t.streams.(r.Request.stream) in
+      let seed =
+        Int64.to_int
+          (Int64.logand
+             (Faults.Rng.hash64
+                (Int64.of_int spec.Request.seed)
+                (Int64.of_int r.Request.id))
+             Int64.max_int)
+      in
+      let d =
+        Ingest.analyse ~seed ing ~start_ps:r.Request.arrival_ps stream.s_data
+      in
+      Hashtbl.replace deliveries r.Request.id d;
+      d
+  in
+  (* Instant every tile the request resolves to has landed. *)
+  let ready_ps (r : Request.t) =
+    match config.ingest with
+    | None -> r.Request.arrival_ps
+    | Some _ ->
+      let d = delivery_for r in
+      let stream = t.streams.(r.Request.stream) in
+      List.fold_left
+        (fun acc (tile_index, _) ->
+          Stdlib.max acc (Ingest.tile_landed_ps d tile_index))
+        r.Request.arrival_ps
+        (needed_keys stream r.Request.target)
+  in
   (* generated-but-not-admitted requests, sorted by (arrival, id) *)
   let pending = ref [] in
   let insert_pending r =
@@ -382,11 +462,59 @@ let run ?(pool = Par.Pool.sequential) ?on_complete t spec =
   and coalesced = ref 0
   and concealed = ref 0
   and slo_misses = ref 0 in
+  let flushed = ref 0
+  and flush_failed = ref 0
+  and flush_concealed_blocks = ref 0
+  and flush_concealed_tiles = ref 0 in
+  let flush_psnr = ref Float.infinity in
+  let ing_sent = ref 0
+  and ing_lost = ref 0
+  and ing_duped = ref 0
+  and ing_reordered = ref 0
+  and ing_stall_ps = ref 0
+  and ing_bytes = ref 0 in
   let latencies = ref [] in
   let pixels = ref 0xcbf29ce484222325L in
   let makespan = ref 0 in
   let queue_track = "serve.queue" and exec_track = "serve.exec" in
-  let sched_track = "serve.sched" in
+  let sched_track = "serve.sched" and ingest_track = "serve.ingest" in
+  (* Instant a queued request leaves the queue: when its bytes are
+     ready, or at its deadline — whichever comes first — so a stalled
+     stream is flushed rather than waited out. *)
+  let dispatch_ps q =
+    match config.ingest with
+    | None -> q.q_req.Request.arrival_ps
+    | Some _ -> Stdlib.min q.q_ready_ps q.q_req.Request.deadline_ps
+  in
+  (* Fold a request's delivery counters into the report exactly once,
+     at dispatch, and close its ingest span. *)
+  let note_ingest q ~end_ps =
+    match config.ingest with
+    | None -> ()
+    | Some _ ->
+      let r = q.q_req in
+      let arr = delivery_for r in
+      let d = Ingest.delivery arr in
+      ing_sent := !ing_sent + d.Faults.Ingest.sent;
+      ing_lost := !ing_lost + d.Faults.Ingest.lost;
+      ing_duped := !ing_duped + d.Faults.Ingest.duped;
+      ing_reordered := !ing_reordered + d.Faults.Ingest.reordered;
+      ing_stall_ps := !ing_stall_ps + d.Faults.Ingest.stall_ps;
+      ing_bytes := !ing_bytes + Ingest.bytes_received arr;
+      Telemetry.Sink.incr ~by:d.Faults.Ingest.sent "serve.ingest.chunks";
+      Telemetry.Sink.incr ~by:d.Faults.Ingest.lost "serve.ingest.lost";
+      Telemetry.Sink.incr ~by:(Ingest.bytes_received arr) "serve.ingest.bytes";
+      Telemetry.Span.complete ~ts_ps:r.Request.arrival_ps
+        ~dur_ps:(Stdlib.max 0 (end_ps - r.Request.arrival_ps))
+        ~track:ingest_track ~cat:"ingest"
+        ~args:
+          [
+            ("id", Telemetry.Event.Int r.Request.id);
+            ("chunks", Telemetry.Event.Int d.Faults.Ingest.sent);
+            ("lost", Telemetry.Event.Int d.Faults.Ingest.lost);
+          ]
+        "ingest"
+  in
   let emit_depth ts =
     Telemetry.Span.counter ~ts_ps:ts ~track:queue_track "queue_depth"
       (List.length !queue)
@@ -395,7 +523,7 @@ let run ?(pool = Par.Pool.sequential) ?on_complete t spec =
     incr total;
     Telemetry.Sink.incr "serve.arrivals";
     let push q_req q_degraded =
-      queue := { q_req; q_degraded } :: !queue;
+      queue := { q_req; q_degraded; q_ready_ps = ready_ps q_req } :: !queue;
       emit_depth !now
     in
     let depth = List.length !queue in
@@ -478,6 +606,11 @@ let run ?(pool = Par.Pool.sequential) ?on_complete t spec =
         (fun q ->
           let r = q.q_req in
           let stream = t.streams.(r.Request.stream) in
+          if config.ingest <> None && q.q_ready_ps > batch_start then
+            (* deadline fired before the bytes finished landing:
+               serve best-effort from the received prefix *)
+            (q, `Flush)
+          else
           let needs =
             List.map
               (fun (tile_index, key) ->
@@ -504,7 +637,7 @@ let run ?(pool = Par.Pool.sequential) ?on_complete t spec =
                     (key, `Fresh si)))
               (needed_keys stream r.Request.target)
           in
-          (q, needs))
+          (q, `Needs needs))
         batch
     in
     let staged = Array.of_list (List.rev !staged_rev) in
@@ -546,68 +679,141 @@ let run ?(pool = Par.Pool.sequential) ?on_complete t spec =
        cost for the rest, and delivery per output sample. *)
     let cursor = ref (batch_start + ps_per_batch) in
     List.iter
-      (fun (q, needs) ->
+      (fun (q, plan) ->
         let r = q.q_req in
         let stream = t.streams.(r.Request.stream) in
-        let decode_ps =
-          List.fold_left
-            (fun acc (_, src) ->
-              match src with
-              | `Hit _ | `Shared _ -> acc + ps_per_hit
-              | `Fresh si ->
-                let st = snd staged.(si) in
-                acc
-                + (ps_per_block * Jpeg2000.Decoder.staged_jobs st)
-                + (ps_per_coded_byte * Jpeg2000.Decoder.staged_coded_bytes st)
-                + (ps_per_sample * Jpeg2000.Decoder.staged_samples st))
-            0 needs
-        in
-        let ow, oh = output_dims stream r.Request.target in
-        let out_samples =
-          ow * oh * stream.s_header.Jpeg2000.Codestream.components
-        in
-        let service_ps = decode_ps + (ps_per_out_sample * out_samples) in
-        let start = !cursor in
-        cursor := !cursor + service_ps;
-        let completion = !cursor in
-        let latency_ps = completion - r.Request.arrival_ps in
-        incr served;
-        latencies := latency_ps :: !latencies;
-        makespan := Stdlib.max !makespan completion;
-        if completion > r.Request.deadline_ps then begin
-          incr slo_misses;
-          Telemetry.Sink.incr "serve.slo_misses";
-          Telemetry.Span.instant ~ts_ps:completion ~track:exec_track
-            ~cat:"slo"
+        (* completion accounting shared by both serve paths *)
+        let finish ~start ~service_ps ~target_label ~image =
+          let completion = !cursor in
+          let latency_ps = completion - r.Request.arrival_ps in
+          incr served;
+          latencies := latency_ps :: !latencies;
+          makespan := Stdlib.max !makespan completion;
+          if completion > r.Request.deadline_ps then begin
+            incr slo_misses;
+            Telemetry.Sink.incr "serve.slo_misses";
+            Telemetry.Span.instant ~ts_ps:completion ~track:exec_track
+              ~cat:"slo"
+              ~args:[ ("id", Telemetry.Event.Int r.Request.id) ]
+              "deadline-miss"
+          end;
+          Telemetry.Sink.observe "serve.latency_us" (latency_ps / 1_000_000);
+          Telemetry.Span.complete ~ts_ps:r.Request.arrival_ps
+            ~dur_ps:(start - r.Request.arrival_ps) ~track:queue_track
+            ~cat:"queue"
             ~args:[ ("id", Telemetry.Event.Int r.Request.id) ]
-            "deadline-miss"
-        end;
-        Telemetry.Sink.observe "serve.latency_us" (latency_ps / 1_000_000);
-        Telemetry.Span.complete ~ts_ps:r.Request.arrival_ps
-          ~dur_ps:(start - r.Request.arrival_ps) ~track:queue_track ~cat:"queue"
-          ~args:[ ("id", Telemetry.Event.Int r.Request.id) ]
-          "queued";
-        Telemetry.Span.complete ~ts_ps:start ~dur_ps:service_ps
-          ~track:exec_track ~cat:"serve"
-          ~args:
-            [
-              ("id", Telemetry.Event.Int r.Request.id);
-              ("stream", Telemetry.Event.Int r.Request.stream);
-              ( "target",
-                Telemetry.Event.Str
-                  (Format.asprintf "%a" Request.pp_target r.Request.target) );
-              ("degraded", Telemetry.Event.Bool q.q_degraded);
-            ]
-          "request";
-        let image = assemble stream r.Request.target (List.map (fun (_, src) -> tile_of src) needs) in
-        pixels := fnv_int !pixels r.Request.id;
-        pixels := fnv_image !pixels image;
-        (match on_complete with Some f -> f r image | None -> ());
+            "queued";
+          Telemetry.Span.complete ~ts_ps:start ~dur_ps:service_ps
+            ~track:exec_track ~cat:"serve"
+            ~args:
+              [
+                ("id", Telemetry.Event.Int r.Request.id);
+                ("stream", Telemetry.Event.Int r.Request.stream);
+                ("target", Telemetry.Event.Str target_label);
+                ("degraded", Telemetry.Event.Bool q.q_degraded);
+              ]
+            "request";
+          pixels := fnv_int !pixels r.Request.id;
+          pixels := fnv_image !pixels image;
+          completion
+        in
         (* closed loop: the client thinks, then issues its next
            request *)
-        match Hashtbl.find_opt client_of_request r.Request.id with
-        | Some c -> generate_client_request c ~not_before:completion
-        | None -> ())
+        let chain ~not_before =
+          match Hashtbl.find_opt client_of_request r.Request.id with
+          | Some c -> generate_client_request c ~not_before
+          | None -> ()
+        in
+        match plan with
+        | `Flush -> (
+          let arr = delivery_for r in
+          let prefix = Ingest.prefix_at arr batch_start in
+          note_ingest q ~end_ps:batch_start;
+          Telemetry.Span.instant ~ts_ps:batch_start ~track:sched_track
+            ~cat:"ingest"
+            ~args:
+              [
+                ("id", Telemetry.Event.Int r.Request.id);
+                ("bytes", Telemetry.Event.Int (String.length prefix));
+              ]
+            "flush";
+          match Jpeg2000.Decoder.decode_robust ~pool prefix with
+          | Ok (image, rep) ->
+            incr flushed;
+            Telemetry.Sink.incr "serve.ingest.flushed";
+            flush_concealed_blocks :=
+              !flush_concealed_blocks + rep.Jpeg2000.Decoder.concealed_blocks;
+            flush_concealed_tiles :=
+              !flush_concealed_tiles + rep.Jpeg2000.Decoder.concealed_tiles;
+            let psnr =
+              Jpeg2000.Decoder.psnr_impact
+                ~reference:(Lazy.force stream.s_reference)
+                (image, rep)
+            in
+            if psnr < !flush_psnr then flush_psnr := psnr;
+            (* a flush always renders the full frame: robust decode of
+               the prefix, then whole-image assembly *)
+            let out_samples =
+              stream.s_header.Jpeg2000.Codestream.width
+              * stream.s_header.Jpeg2000.Codestream.height
+              * stream.s_header.Jpeg2000.Codestream.components
+            in
+            let service_ps =
+              (ps_per_coded_byte * String.length prefix)
+              + (ps_per_sample * out_samples)
+              + (ps_per_out_sample * out_samples)
+            in
+            let start = !cursor in
+            cursor := !cursor + service_ps;
+            let completion =
+              finish ~start ~service_ps ~target_label:"flush" ~image
+            in
+            (match on_flush with Some f -> f r ~prefix image | None -> ());
+            chain ~not_before:completion
+          | Error _ ->
+            (* prefix too short even for the header: nothing to serve *)
+            incr flush_failed;
+            incr dropped;
+            Telemetry.Sink.incr "serve.dropped";
+            Telemetry.Span.instant ~ts_ps:batch_start ~track:sched_track
+              ~cat:"ingest"
+              ~args:[ ("id", Telemetry.Event.Int r.Request.id) ]
+              "flush-failed";
+            chain ~not_before:batch_start)
+        | `Needs needs ->
+          note_ingest q ~end_ps:q.q_ready_ps;
+          let decode_ps =
+            List.fold_left
+              (fun acc (_, src) ->
+                match src with
+                | `Hit _ | `Shared _ -> acc + ps_per_hit
+                | `Fresh si ->
+                  let st = snd staged.(si) in
+                  acc
+                  + (ps_per_block * Jpeg2000.Decoder.staged_jobs st)
+                  + (ps_per_coded_byte * Jpeg2000.Decoder.staged_coded_bytes st)
+                  + (ps_per_sample * Jpeg2000.Decoder.staged_samples st))
+              0 needs
+          in
+          let ow, oh = output_dims stream r.Request.target in
+          let out_samples =
+            ow * oh * stream.s_header.Jpeg2000.Codestream.components
+          in
+          let service_ps = decode_ps + (ps_per_out_sample * out_samples) in
+          let start = !cursor in
+          cursor := !cursor + service_ps;
+          let image =
+            assemble stream r.Request.target
+              (List.map (fun (_, src) -> tile_of src) needs)
+          in
+          let completion =
+            finish ~start ~service_ps
+              ~target_label:
+                (Format.asprintf "%a" Request.pp_target r.Request.target)
+              ~image
+          in
+          (match on_complete with Some f -> f r image | None -> ());
+          chain ~not_before:completion)
       plans;
     Telemetry.Span.complete ~ts_ps:batch_start ~dur_ps:(!cursor - batch_start)
       ~track:sched_track ~cat:"batch"
@@ -619,17 +825,36 @@ let run ?(pool = Par.Pool.sequential) ?on_complete t spec =
       "batch";
     now := !cursor
   in
-  (* main loop *)
+  (* main loop. A queued request is dispatchable once [dispatch_ps]
+     has passed — immediately when ingest is off (its bytes arrived
+     whole), else when its tiles land or its deadline fires. When
+     nothing is dispatchable the clock jumps to the next arrival or
+     the next dispatch instant; [dispatch_ps] is bounded by the
+     deadline, so a stalled stream can never wedge the loop. *)
   let rec loop () =
-    if !queue = [] then (
-      match !pending with
-      | [] -> ()
-      | r :: _ ->
-        now := Stdlib.max !now r.Request.arrival_ps;
+    let eligible, waiting =
+      List.partition (fun q -> dispatch_ps q <= !now) !queue
+    in
+    if eligible = [] then begin
+      let next_arrival =
+        match !pending with
+        | [] -> max_int
+        | r :: _ -> r.Request.arrival_ps
+      in
+      let next_dispatch =
+        List.fold_left
+          (fun acc q -> Stdlib.min acc (dispatch_ps q))
+          max_int waiting
+      in
+      let next = Stdlib.min next_arrival next_dispatch in
+      if next < max_int then begin
+        now := Stdlib.max !now next;
         admit_due ();
-        loop ())
+        loop ()
+      end
+    end
     else begin
-      let sorted = List.sort edf_compare !queue in
+      let sorted = List.sort edf_compare eligible in
       let rec take k = function
         | [] -> ([], [])
         | x :: rest when k > 0 ->
@@ -638,7 +863,7 @@ let run ?(pool = Par.Pool.sequential) ?on_complete t spec =
         | rest -> ([], rest)
       in
       let batch, leftover = take config.max_batch sorted in
-      queue := leftover;
+      queue := leftover @ waiting;
       emit_depth !now;
       run_batch batch;
       admit_due ();
@@ -687,6 +912,24 @@ let run ?(pool = Par.Pool.sequential) ?on_complete t spec =
     cache_misses = cache_stats.Lru.misses;
     cache_evictions = cache_stats.Lru.evictions;
     cache_hit_rate = Lru.hit_rate cache_stats;
+    ingest =
+      Option.map
+        (fun ing ->
+          {
+            ing_spec = Faults.Ingest.spec_to_string ing;
+            ing_chunks_sent = !ing_sent;
+            ing_chunks_lost = !ing_lost;
+            ing_chunks_duped = !ing_duped;
+            ing_chunks_reordered = !ing_reordered;
+            ing_stall_ms = ms_of_ps !ing_stall_ps;
+            ing_bytes = !ing_bytes;
+            ing_flushed = !flushed;
+            ing_flush_failed = !flush_failed;
+            ing_flush_concealed_blocks = !flush_concealed_blocks;
+            ing_flush_concealed_tiles = !flush_concealed_tiles;
+            ing_flush_psnr_db = !flush_psnr;
+          })
+        config.ingest;
     pixels_digest = Printf.sprintf "%016Lx" !pixels;
   }
 
@@ -731,6 +974,28 @@ let report_to_json r =
             ("evictions", Int r.cache_evictions);
             ("hit_rate", Float r.cache_hit_rate);
           ] );
+      ( "ingest",
+        match r.ingest with
+        | None -> Null
+        | Some i ->
+          Obj
+            [
+              ("spec", Str i.ing_spec);
+              ("chunks_sent", Int i.ing_chunks_sent);
+              ("chunks_lost", Int i.ing_chunks_lost);
+              ("chunks_duped", Int i.ing_chunks_duped);
+              ("chunks_reordered", Int i.ing_chunks_reordered);
+              ("stall_ms", Float i.ing_stall_ms);
+              ("bytes_received", Int i.ing_bytes);
+              ("flushed", Int i.ing_flushed);
+              ("flush_failed", Int i.ing_flush_failed);
+              ("flush_concealed_blocks", Int i.ing_flush_concealed_blocks);
+              ("flush_concealed_tiles", Int i.ing_flush_concealed_tiles);
+              ( "flush_psnr_db",
+                if Float.is_finite i.ing_flush_psnr_db then
+                  Float i.ing_flush_psnr_db
+                else Str "inf" );
+            ] );
       ("pixels_digest", Str r.pixels_digest);
     ]
 
@@ -756,5 +1021,20 @@ let pp_report ppf r =
     (100.0 *. r.slo_miss_rate) r.total;
   Format.fprintf ppf "cache:           %d hits, %d misses, %d evictions (%.1f%% hit rate)@,"
     r.cache_hits r.cache_misses r.cache_evictions (100.0 *. r.cache_hit_rate);
+  (match r.ingest with
+  | None -> ()
+  | Some i ->
+    Format.fprintf ppf "ingest:          %s@," i.ing_spec;
+    Format.fprintf ppf
+      "                 %d chunks (%d lost, %d duped, %d reordered), %.3f ms stalled, %d bytes@,"
+      i.ing_chunks_sent i.ing_chunks_lost i.ing_chunks_duped
+      i.ing_chunks_reordered i.ing_stall_ms i.ing_bytes;
+    Format.fprintf ppf
+      "flushes:         %d served, %d failed (%d blocks, %d tiles concealed; worst %s dB)@,"
+      i.ing_flushed i.ing_flush_failed i.ing_flush_concealed_blocks
+      i.ing_flush_concealed_tiles
+      (if Float.is_finite i.ing_flush_psnr_db then
+         Printf.sprintf "%.2f" i.ing_flush_psnr_db
+       else "inf"));
   Format.fprintf ppf "pixels digest:   %s" r.pixels_digest;
   Format.fprintf ppf "@]"

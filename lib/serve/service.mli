@@ -19,7 +19,20 @@
     requests back to back (single decode engine), each paying only for
     the tiles it was first to need — later requests pay the cache-hit
     cost, which is how repeated and overlapping traffic gets faster
-    and how the degrade path (reduced-resolution keys) stays cheap. *)
+    and how the degrade path (reduced-resolution keys) stays cheap.
+
+    With [config.ingest] set, request bytes no longer arrive whole:
+    each request's codestream is delivered as a seeded
+    {!Faults.Ingest.schedule} of chunks replayed through the resumable
+    {!Jpeg2000.Stream} parser ({!Ingest.analyse}), and the request
+    only becomes dispatchable once every tile it resolves to has
+    landed. A stream that stalls past the request's deadline is
+    {e flushed}: the received contiguous prefix is decoded best-effort
+    by {!Jpeg2000.Decoder.decode_robust} (missing tiles concealed),
+    served as a full frame, and accounted in {!ingest_stats}. The
+    delivery timeline is a pure function of (workload seed, request
+    id, spec), so ingest reports stay byte-identical across reruns
+    and across any [--jobs]. *)
 
 type overload =
   | Reject  (** full queue: the arriving request is refused *)
@@ -38,10 +51,16 @@ type config = {
   overload : overload;
   cache_capacity : int;  (** decoded tiles kept; 0 disables the cache *)
   max_batch : int;  (** requests coalesced per dispatch (>= 1) *)
+  ingest : Faults.Ingest.spec option;
+      (** [Some spec]: bytes arrive as a seeded (possibly faulted)
+          chunk schedule; requests wait for their tiles and are
+          flushed best-effort at the deadline. [None]: streams are
+          complete on arrival (the historical behaviour). *)
 }
 
 val default_config : config
-(** 32-deep queue, [Reject], 128-tile cache, batches of 8. *)
+(** 32-deep queue, [Reject], 128-tile cache, batches of 8, no
+    ingest. *)
 
 type t
 
@@ -58,6 +77,25 @@ type latency = {
   p95_ms : float;
   p99_ms : float;
   max_ms : float;
+}
+
+type ingest_stats = {
+  ing_spec : string;  (** canonical {!Faults.Ingest.spec_to_string} *)
+  ing_chunks_sent : int;  (** across every dispatched request *)
+  ing_chunks_lost : int;
+  ing_chunks_duped : int;
+  ing_chunks_reordered : int;
+  ing_stall_ms : float;  (** total head-of-line stall injected *)
+  ing_bytes : int;  (** distinct payload bytes that arrived *)
+  ing_flushed : int;  (** deadline flushes served best-effort *)
+  ing_flush_failed : int;
+      (** flushes whose prefix could not carry even the header; the
+          request is dropped *)
+  ing_flush_concealed_blocks : int;  (** damage across flushed frames *)
+  ing_flush_concealed_tiles : int;
+  ing_flush_psnr_db : float;
+      (** worst {!Jpeg2000.Decoder.psnr_impact} across flushes;
+          [infinity] when no flush produced a damaged frame *)
 }
 
 type report = {
@@ -87,6 +125,7 @@ type report = {
   cache_misses : int;
   cache_evictions : int;
   cache_hit_rate : float;
+  ingest : ingest_stats option;  (** present iff [config.ingest] was *)
   pixels_digest : string;
       (** 64-bit digest (hex) folded over every served image in
           completion order — two reports with equal digests delivered
@@ -96,15 +135,18 @@ type report = {
 val run :
   ?pool:Par.Pool.t ->
   ?on_complete:(Request.t -> Jpeg2000.Image.t -> unit) ->
+  ?on_flush:(Request.t -> prefix:string -> Jpeg2000.Image.t -> unit) ->
   t ->
   Request.spec ->
   report
 (** Serves one workload to completion. [on_complete] observes every
-    served request's decoded image (in completion order) — the tests
-    use it to compare against the reference decoder. When a
-    {!Telemetry.Sink} is installed, the run emits queue/exec spans,
-    queue-depth counter samples, and serve.* metrics on the simulated
-    timeline; telemetry never changes the report. *)
+    fully-served request's decoded image (in completion order) — the
+    tests use it to compare against the reference decoder. [on_flush]
+    observes every deadline flush instead, with the contiguous byte
+    prefix the best-effort frame was decoded from. When a
+    {!Telemetry.Sink} is installed, the run emits queue/exec/ingest
+    spans, queue-depth counter samples, and serve.* metrics on the
+    simulated timeline; telemetry never changes the report. *)
 
 val report_to_json : report -> Telemetry.Json.t
 val pp_report : Format.formatter -> report -> unit

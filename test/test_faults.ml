@@ -348,8 +348,16 @@ let test_fuzz_decode_robust_total () =
     match Jpeg2000.Decoder.decode_robust corrupted with
     | Ok (image, report) ->
       incr oks;
-      Alcotest.(check bool) "full-size image" true
-        (Jpeg2000.Image.width image = 32 && Jpeg2000.Image.height image = 32);
+      (* The frame is sized by whatever header the bytes declare —
+         32x32 unless the damage landed in the preamble itself (a
+         truncated prefix decodes best-effort once its preamble is
+         complete, so a self-consistent flipped header can survive). *)
+      (match Jpeg2000.Codestream.read_preamble corrupted ~pos:0 with
+      | Jpeg2000.Codestream.Unit_ready ((header, _), _) ->
+        Alcotest.(check bool) "header-size image" true
+          (Jpeg2000.Image.width image = header.Jpeg2000.Codestream.width
+          && Jpeg2000.Image.height image = header.Jpeg2000.Codestream.height)
+      | _ -> Alcotest.fail "Ok decode without a parseable preamble");
       Alcotest.(check bool) "report counts sane" true
         (report.Jpeg2000.Decoder.concealed_blocks >= 0
         && report.Jpeg2000.Decoder.concealed_tiles
@@ -423,6 +431,82 @@ let test_campaign_concealment_visible () =
     (Models.Workload.concealed_blocks w)
     o.Models.Outcome.resilience.Models.Outcome.concealed_blocks
 
+(* -- ingest faults ----------------------------------------------------- *)
+
+let ingest_payload = String.init 10_000 (fun i -> Char.chr (i land 0xff))
+
+let ingest_spec_exn s =
+  match Faults.Ingest.parse_spec s with
+  | Ok spec -> spec
+  | Error e -> Alcotest.failf "bad ingest spec %S: %s" s e
+
+let test_ingest_schedule_deterministic () =
+  let spec = ingest_spec_exn "loss=0.1,dup=0.1,reorder=0.2,stall=0.3" in
+  let a = Faults.Ingest.schedule ~seed:7 spec ~start_ps:1000 ingest_payload in
+  let b = Faults.Ingest.schedule ~seed:7 spec ~start_ps:1000 ingest_payload in
+  Alcotest.(check bool) "equal seeds, equal deliveries" true (a = b);
+  let c = Faults.Ingest.schedule ~seed:8 spec ~start_ps:1000 ingest_payload in
+  Alcotest.(check bool) "different seed, different schedule" true (a <> c)
+
+let test_ingest_schedule_bounds () =
+  let spec = ingest_spec_exn "chunk=256,loss=0.2,dup=0.2,reorder=0.3,stall=0.2" in
+  let d = Faults.Ingest.schedule ~seed:42 spec ~start_ps:0 ingest_payload in
+  let n = String.length ingest_payload in
+  Alcotest.(check int) "sent covers the stream" ((n + 255) / 256)
+    d.Faults.Ingest.sent;
+  Alcotest.(check int) "chunk count balances"
+    (d.Faults.Ingest.sent - d.Faults.Ingest.lost + d.Faults.Ingest.duped)
+    (List.length d.Faults.Ingest.chunks);
+  (* arrivals sorted, offsets chunk-aligned, payloads match the data *)
+  let last = ref min_int in
+  List.iter
+    (fun (c : Faults.Ingest.chunk) ->
+      Alcotest.(check bool) "sorted by arrival" true
+        (c.Faults.Ingest.c_arrival_ps >= !last);
+      last := c.Faults.Ingest.c_arrival_ps;
+      Alcotest.(check int) "aligned offset" 0 (c.Faults.Ingest.c_offset mod 256);
+      Alcotest.(check string) "payload is the slice"
+        (String.sub ingest_payload c.Faults.Ingest.c_offset
+           (String.length c.Faults.Ingest.c_bytes))
+        c.Faults.Ingest.c_bytes)
+    d.Faults.Ingest.chunks;
+  (* a lossless schedule reassembles to the exact stream *)
+  let clean = ingest_spec_exn "chunk=256" in
+  let d0 = Faults.Ingest.schedule ~seed:42 clean ~start_ps:0 ingest_payload in
+  Alcotest.(check int) "nothing lost" 0 d0.Faults.Ingest.lost;
+  let buf = Bytes.make n '\000' in
+  List.iter
+    (fun (c : Faults.Ingest.chunk) ->
+      Bytes.blit_string c.Faults.Ingest.c_bytes 0 buf c.Faults.Ingest.c_offset
+        (String.length c.Faults.Ingest.c_bytes))
+    d0.Faults.Ingest.chunks;
+  Alcotest.(check string) "reassembles exactly" ingest_payload
+    (Bytes.to_string buf)
+
+let test_ingest_spec_validation () =
+  List.iter
+    (fun (s, fragment) ->
+      match Faults.Ingest.parse_spec s with
+      | Ok _ -> Alcotest.failf "spec %S accepted" s
+      | Error msg ->
+        if not (String.length msg > 0 && String.sub msg 0 (String.length fragment) = fragment)
+        then Alcotest.failf "spec %S: message %S does not name %S" s msg fragment)
+    [
+      ("chunk=0", "chunk=0");
+      ("chunk=-5", "chunk=-5");
+      ("chunk=abc", "chunk=\"abc\"");
+      ("loss=1.5", "loss=1.5");
+      ("loss=nan", "loss=nan");
+      ("gap_us=0", "gap_us=0");
+      ("window=0", "window=0");
+      ("stall_us=-1", "stall_us=-1");
+    ];
+  (* round trip of the canonical form *)
+  let spec = ingest_spec_exn "chunk=128,loss=0.25,stall=0.5,stall_us=250" in
+  let s = Faults.Ingest.spec_to_string spec in
+  Alcotest.(check bool) "canonical form reparses" true
+    (Faults.Ingest.parse_spec s = Ok spec)
+
 let () =
   Alcotest.run "faults"
     [
@@ -462,6 +546,13 @@ let () =
             test_decode_robust_clean_stream;
           Alcotest.test_case "typed parse errors" `Quick
             test_parse_result_typed_errors;
+        ] );
+      ( "ingest",
+        [
+          Alcotest.test_case "schedule deterministic" `Quick
+            test_ingest_schedule_deterministic;
+          Alcotest.test_case "schedule bounds" `Quick test_ingest_schedule_bounds;
+          Alcotest.test_case "spec validation" `Quick test_ingest_spec_validation;
         ] );
       ( "campaign",
         [

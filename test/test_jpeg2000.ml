@@ -852,6 +852,155 @@ let test_stagewise_equals_monolithic () =
   Alcotest.(check bool) "stages compose to identity" true
     (Jpeg2000.Image.equal img out)
 
+(* -- Stream (resumable parsing) -------------------------------------- *)
+
+let stream_sample = lazy (snd (sample_stream ()))
+
+(* Feed [data] split at the given (sorted, strictly interior) cut
+   offsets; returns the machine. *)
+let feed_partition data cuts =
+  let s = Jpeg2000.Stream.create () in
+  let n = String.length data in
+  let rec go pos cuts =
+    let next = match cuts with [] -> n | c :: _ -> c in
+    ignore (Jpeg2000.Stream.feed s (String.sub data pos (next - pos)));
+    match cuts with [] -> () | _ :: rest -> go next rest
+  in
+  go 0 cuts;
+  s
+
+(* The tentpole invariant: any partition of any byte string drives the
+   machine to Codestream.parse_result of the concatenation — on clean
+   streams, truncated prefixes and bit-stomped variants alike. *)
+let stream_chunk_invariance_qcheck =
+  QCheck.Test.make ~name:"Stream.feed is chunk-size invariant" ~count:120
+    (QCheck.make
+       QCheck.Gen.(
+         let* variant = int_range 0 2 in
+         let* a = int_range 0 99_999 in
+         let* b = int_range 0 255 in
+         let* cuts = list_size (int_range 0 16) (int_range 1 99_999) in
+         return (variant, a, b, cuts)))
+    (fun (variant, a, b, cuts) ->
+      let base = Lazy.force stream_sample in
+      let n = String.length base in
+      let data =
+        match variant with
+        | 0 -> base
+        | 1 -> String.sub base 0 (a mod (n + 1))
+        | _ ->
+          let stomped = Bytes.of_string base in
+          Bytes.set stomped (a mod n) (Char.chr b);
+          Bytes.to_string stomped
+      in
+      let m = String.length data in
+      let cuts =
+        List.sort_uniq Int.compare
+          (List.filter_map
+             (fun c ->
+               let c = c mod (m + 1) in
+               if c > 0 && c < m then Some c else None)
+             cuts)
+      in
+      let s = feed_partition data cuts in
+      Jpeg2000.Stream.parse_result s = Jpeg2000.Codestream.parse_result data)
+
+let test_stream_one_byte_chunks () =
+  let data = Lazy.force stream_sample in
+  let s = Jpeg2000.Stream.create () in
+  String.iter (fun c -> ignore (Jpeg2000.Stream.feed s (String.make 1 c))) data;
+  Alcotest.(check bool) "done" true
+    (Jpeg2000.Stream.status s = Jpeg2000.Stream.Done);
+  Alcotest.(check string) "received" data (Jpeg2000.Stream.received s);
+  Alcotest.(check int) "bytes_fed" (String.length data)
+    (Jpeg2000.Stream.bytes_fed s);
+  (match
+     (Jpeg2000.Stream.parse_result s, Jpeg2000.Codestream.parse_result data)
+   with
+  | Ok a, Ok b ->
+    Alcotest.(check bool) "equal parse" true (a = b);
+    Alcotest.(check string) "emit round trip" data (Jpeg2000.Codestream.emit a)
+  | _ -> Alcotest.fail "parse failed");
+  Alcotest.(check bool) "feed after finish raises" true
+    (try
+       ignore (Jpeg2000.Stream.feed s "x");
+       false
+     with Invalid_argument _ -> true)
+
+(* Unit boundaries of the sample stream, via the incremental readers
+   themselves: end of preamble, then end of each tile segment. *)
+let unit_boundaries data =
+  match Jpeg2000.Codestream.read_preamble data ~pos:0 with
+  | Jpeg2000.Codestream.Unit_ready ((header, ntiles), pos) ->
+    let rec go acc pos n =
+      if n = 0 then List.rev acc
+      else
+        match Jpeg2000.Codestream.read_tile ~header data ~pos with
+        | Jpeg2000.Codestream.Unit_ready (_, pos') ->
+          go (pos' :: acc) pos' (n - 1)
+        | _ -> List.rev acc
+    in
+    (pos, go [] pos ntiles)
+  | _ -> Alcotest.fail "sample preamble did not parse"
+
+let test_stream_truncation_at_boundaries () =
+  let data = Lazy.force stream_sample in
+  let preamble_end, tile_ends = unit_boundaries data in
+  Alcotest.(check int) "six tile units" 6 (List.length tile_ends);
+  (* Truncating at, just before and just after every marker boundary
+     must agree with the batch parser, Truncated offsets included. *)
+  List.iter
+    (fun b ->
+      List.iter
+        (fun cut ->
+          if cut >= 0 && cut <= String.length data then begin
+            let prefix = String.sub data 0 cut in
+            let s = Jpeg2000.Stream.create () in
+            ignore (Jpeg2000.Stream.feed s prefix);
+            if
+              Jpeg2000.Stream.parse_result s
+              <> Jpeg2000.Codestream.parse_result prefix
+            then Alcotest.failf "cut %d: stream disagrees with parse_result" cut
+          end)
+        [ b - 1; b; b + 1 ])
+    (0 :: 4 :: preamble_end :: tile_ends);
+  (* At an exact boundary the machine has landed exactly the units
+     before the cut. *)
+  let s = Jpeg2000.Stream.create () in
+  ignore (Jpeg2000.Stream.feed s (String.sub data 0 preamble_end));
+  Alcotest.(check bool) "header at preamble" true
+    (Jpeg2000.Stream.header s <> None);
+  Alcotest.(check (option int)) "tile count" (Some 6)
+    (Jpeg2000.Stream.tile_count s);
+  Alcotest.(check int) "no tiles yet" 0 (Jpeg2000.Stream.tiles_ready s);
+  List.iteri
+    (fun i e ->
+      let s = Jpeg2000.Stream.create () in
+      ignore (Jpeg2000.Stream.feed s (String.sub data 0 e));
+      Alcotest.(check int)
+        (Printf.sprintf "tiles ready at unit %d" i)
+        (i + 1) (Jpeg2000.Stream.tiles_ready s))
+    tile_ends
+
+let test_parse_wrapper_routes_result () =
+  (* The legacy wrapper must report exactly what parse_result says —
+     one source of truth for the error taxonomy. *)
+  let data = Lazy.force stream_sample in
+  let expect s =
+    match Jpeg2000.Codestream.parse_result s with
+    | Ok _ -> Alcotest.fail "expected a parse error"
+    | Error e -> (
+      match Jpeg2000.Codestream.parse s with
+      | _ -> Alcotest.fail "parse did not raise"
+      | exception Failure msg ->
+        Alcotest.(check string) "wrapper message"
+          ("Codestream.parse: " ^ Jpeg2000.Codestream.error_message e)
+          msg)
+  in
+  expect "XXXXjunk";
+  expect (String.sub data 0 (String.length data / 2));
+  expect (data ^ "!")
+
 let () =
   Alcotest.run "jpeg2000"
     [
@@ -938,6 +1087,15 @@ let () =
             test_code_block_size_invariance;
           Alcotest.test_case "small blocks compress worse" `Quick
             test_smaller_blocks_cost_more_bytes;
+        ] );
+      ( "stream",
+        [
+          qc stream_chunk_invariance_qcheck;
+          Alcotest.test_case "one-byte chunks" `Quick test_stream_one_byte_chunks;
+          Alcotest.test_case "truncation at marker boundaries" `Quick
+            test_stream_truncation_at_boundaries;
+          Alcotest.test_case "parse wrapper routes parse_result" `Quick
+            test_parse_wrapper_routes_result;
         ] );
       ( "codec",
         [

@@ -310,6 +310,91 @@ let test_policy_degrade () =
   Alcotest.(check bool) "degrades under overload" true
     (r.Serve.Service.degraded > 0)
 
+(* -- ingest ------------------------------------------------------------ *)
+
+let ingest_config s =
+  match Faults.Ingest.parse_spec s with
+  | Ok spec ->
+    { Serve.Service.default_config with Serve.Service.ingest = Some spec }
+  | Error e -> Alcotest.failf "bad ingest spec: %s" e
+
+let test_ingest_jobs_invariant () =
+  (* Faulted ingest reports must stay byte-identical across worker
+     counts, like everything else the service prints. *)
+  let spec = spec_exn "open:n=24,rate=600,seed=11,deadline=6" in
+  let config =
+    ingest_config
+      "chunk=256,gap_us=300,loss=0.05,dup=0.05,reorder=0.1,stall=0.2,stall_us=2000"
+  in
+  let run_with jobs =
+    let service = Serve.Service.create ~config (corpus ()) in
+    report_string
+      (Par.Pool.with_jobs jobs (fun pool ->
+           Serve.Service.run ~pool service spec))
+  in
+  let a = run_with 1 in
+  Alcotest.(check string) "jobs=2 byte-equal" a (run_with 2);
+  Alcotest.(check string) "jobs=4 byte-equal" a (run_with 4);
+  let service = Serve.Service.create ~config (corpus ()) in
+  let r = Serve.Service.run service spec in
+  Alcotest.(check string) "rerun byte-equal" a (report_string r);
+  match r.Serve.Service.ingest with
+  | None -> Alcotest.fail "report lacks ingest stats"
+  | Some i ->
+    Alcotest.(check bool) "chunks lost" true
+      (i.Serve.Service.ing_chunks_lost > 0);
+    Alcotest.(check bool) "flushes happened" true
+      (i.Serve.Service.ing_flushed > 0);
+    Alcotest.(check bool) "tiles concealed" true
+      (i.Serve.Service.ing_flush_concealed_tiles > 0);
+    Alcotest.(check bool) "psnr impact finite" true
+      (Float.is_finite i.Serve.Service.ing_flush_psnr_db)
+
+let test_ingest_flush_equals_robust_prefix () =
+  (* A deadline flush must serve exactly decode_robust of the
+     contiguous prefix the stream had delivered. *)
+  let config = ingest_config "chunk=256,loss=0.1,stall=0.3,stall_us=3000" in
+  let service = Serve.Service.create ~config (corpus ()) in
+  let flushes = ref 0 in
+  let report =
+    Serve.Service.run
+      ~on_flush:(fun _r ~prefix img ->
+        incr flushes;
+        match Jpeg2000.Decoder.decode_robust prefix with
+        | Ok (want, _) ->
+          if not (Jpeg2000.Image.equal img want) then
+            Alcotest.fail "flush image diverges from decode_robust of prefix"
+        | Error _ -> Alcotest.fail "flushed prefix did not robust-decode")
+      service
+      (spec_exn "open:n=20,rate=500,seed=9,deadline=5")
+  in
+  Alcotest.(check bool) "some requests flushed" true (!flushes > 0);
+  (match report.Serve.Service.ingest with
+  | Some i ->
+    Alcotest.(check int) "flush count matches" !flushes
+      i.Serve.Service.ing_flushed
+  | None -> Alcotest.fail "report lacks ingest stats");
+  Alcotest.(check int) "counters still balance" report.Serve.Service.total
+    (report.Serve.Service.served + report.Serve.Service.rejected
+   + report.Serve.Service.dropped)
+
+let test_ingest_clean_streaming_serves_all () =
+  (* Fault-free streaming under a roomy deadline: delivery only adds
+     latency; every request is served by the normal path. *)
+  let config = ingest_config "" in
+  let service = Serve.Service.create ~config (corpus ()) in
+  let r =
+    Serve.Service.run service (spec_exn "open:n=16,rate=300,seed=4,deadline=60")
+  in
+  Alcotest.(check int) "all served" r.Serve.Service.total r.Serve.Service.served;
+  match r.Serve.Service.ingest with
+  | Some i ->
+    Alcotest.(check int) "no flushes" 0 i.Serve.Service.ing_flushed;
+    Alcotest.(check int) "no loss" 0 i.Serve.Service.ing_chunks_lost;
+    Alcotest.(check bool) "bytes accounted" true
+      (i.Serve.Service.ing_bytes > 0)
+  | None -> Alcotest.fail "report lacks ingest stats"
+
 let test_policy_names_roundtrip () =
   List.iter
     (fun p ->
@@ -355,5 +440,14 @@ let () =
           Alcotest.test_case "drop-oldest" `Quick test_policy_drop_oldest;
           Alcotest.test_case "degrade" `Quick test_policy_degrade;
           Alcotest.test_case "names" `Quick test_policy_names_roundtrip;
+        ] );
+      ( "ingest",
+        [
+          Alcotest.test_case "jobs/rerun invariant" `Quick
+            test_ingest_jobs_invariant;
+          Alcotest.test_case "flush equals robust prefix" `Quick
+            test_ingest_flush_equals_robust_prefix;
+          Alcotest.test_case "clean streaming serves all" `Quick
+            test_ingest_clean_streaming_serves_all;
         ] );
     ]
