@@ -142,6 +142,16 @@ let j2k_stream = Models.Workload.codestream lossless
 
 let j2k_decode pool () = ignore (Jpeg2000.Decoder.decode ~pool j2k_stream)
 
+(* Same decode under an installed sink: the delta to j2k_decode_jobs1
+   is what enabling the profiler costs on the decode path (reported as
+   profile_overhead_decode in BENCH_results.json). *)
+let j2k_decode_profiled pool () =
+  let _sink, () =
+    Telemetry.Sink.with_sink (fun () ->
+        ignore (Jpeg2000.Decoder.decode ~pool j2k_stream))
+  in
+  ()
+
 (* -- decode service rows --------------------------------------------- *)
 
 let serve_spec =
@@ -224,6 +234,8 @@ let substrate_tests =
     Test.make ~name:"t1_block_32x32_ref" (Staged.stage t1_roundtrip_ref);
     Test.make ~name:"j2k_decode_jobs1"
       (Staged.stage (j2k_decode Par.Pool.sequential));
+    Test.make ~name:"j2k_decode_jobs1_profiled"
+      (Staged.stage (j2k_decode_profiled Par.Pool.sequential));
     Test.make
       ~name:(Printf.sprintf "j2k_decode_jobs%d" jobs)
       (Staged.stage (j2k_decode par_pool));
@@ -285,6 +297,41 @@ let bench_rows results =
       |> List.sort (fun (a, _) (b, _) -> String.compare a b))
     results
 
+(* OLS estimate of the row whose (grouped) name ends with [suffix]. *)
+let row_ns rows suffix =
+  List.find_map
+    (fun (name, ns) ->
+      if
+        String.length name >= String.length suffix
+        && String.sub name
+             (String.length name - String.length suffix)
+             (String.length suffix)
+           = suffix
+        && not (Float.is_nan ns)
+      then Some ns
+      else None)
+    rows
+
+(* Regression gate on the traced-kernel hot path: after the label
+   interning in Sim.Kernel, an installed sink may cost at most 25%
+   on the ping-pong microbenchmark. Returns true on breach. *)
+let traced_overhead_limit = 1.25
+
+let traced_overhead_gate rows =
+  match
+    (row_ns rows "kernel_ping_pong_1k", row_ns rows "kernel_ping_pong_1k_traced")
+  with
+  | Some plain, Some traced when plain > 0.0 ->
+    let ratio = traced /. plain in
+    let breach = ratio > traced_overhead_limit in
+    Printf.printf "\ntraced-kernel overhead gate: %.3fx (limit %.2fx) - %s\n"
+      ratio traced_overhead_limit
+      (if breach then "FAIL" else "ok");
+    breach
+  | _ ->
+    Printf.printf "\ntraced-kernel overhead gate: rows missing - skipped\n";
+    false
+
 let print_bench_results rows =
   Printf.printf "Benchmark (wall-clock per regeneration, OLS estimate):\n";
   List.iter
@@ -341,24 +388,45 @@ let write_results_json path rows =
             else Str "inf" );
         ]
   in
-  let row_ns suffix =
-    List.find_map
-      (fun (name, ns) ->
-        if
-          String.length name >= String.length suffix
-          && String.sub name
-               (String.length name - String.length suffix)
-               (String.length suffix)
-             = suffix
-          && not (Float.is_nan ns)
-        then Some ns
-        else None)
-      rows
-  in
+  let row_ns = row_ns rows in
   let cache_hit_speedup =
     match (row_ns "serve_cold_32req", row_ns "serve_warm_32req") with
     | Some cold, Some warm when warm > 0.0 -> Float (cold /. warm)
     | _ -> Null
+  in
+  let profile_overhead_decode =
+    match (row_ns "j2k_decode_jobs1", row_ns "j2k_decode_jobs1_profiled") with
+    | Some plain, Some profiled when plain > 0.0 -> Float (profiled /. plain)
+    | _ -> Null
+  in
+  let traced_kernel_overhead =
+    match
+      (row_ns "kernel_ping_pong_1k", row_ns "kernel_ping_pong_1k_traced")
+    with
+    | Some plain, Some traced when plain > 0.0 -> Float (traced /. plain)
+    | _ -> Null
+  in
+  (* Deterministic cost tree of the seeded serve run: the top self-time
+     stages are virtual-time sums, identical on every host. *)
+  let profile_json =
+    let sink, _ =
+      Telemetry.Sink.with_sink (fun () ->
+          ignore
+            (Serve.Service.run (Serve.Service.create [| j2k_stream |]) serve_spec))
+    in
+    let prof = Telemetry.Profile.of_events (Telemetry.Sink.events sink) in
+    Obj
+      [
+        ( "top_self",
+          List
+            (List.map
+               (fun (path, self) ->
+                 Obj [ ("path", Str path); ("self_ps", Int self) ])
+               (Telemetry.Profile.top_self ~n:3 prof)) );
+        ("total_ps", Int (Telemetry.Profile.total_ps prof));
+        ("profile_overhead_decode", profile_overhead_decode);
+        ("traced_kernel_overhead", traced_kernel_overhead);
+      ]
   in
   (* Synthesis rows: LUT/FF with and without the value-analysis
      optimiser (installed at startup) plus the wall time of one full
@@ -419,6 +487,7 @@ let write_results_json path rows =
                ("cache_hit_speedup", cache_hit_speedup);
                ("ingest", ingest_json);
              ] );
+         ("profile", profile_json);
          ("synthesis", List synthesis_json);
          ( "table1",
            Obj
@@ -488,6 +557,7 @@ let () =
   let results = benchmark () in
   let rows = bench_rows results in
   print_bench_results rows;
+  let overhead_breach = traced_overhead_gate rows in
   write_results_json "BENCH_results.json" rows;
   if not quick then begin
     print_newline ();
@@ -498,4 +568,5 @@ let () =
     print_string (Models.Tables.relations_report ~payload:false ());
     print_ablations ()
   end;
-  Par.Pool.shutdown par_pool
+  Par.Pool.shutdown par_pool;
+  if overhead_breach then exit 1

@@ -105,7 +105,10 @@ let trace_cmd =
       (List.length (Telemetry.Event.tracks events))
       trace_path coverage;
     if Telemetry.Sink.dropped sink > 0 then
-      Format.printf "trace: %d events dropped by --capacity ring@."
+      Format.printf
+        "trace: WARNING %d events dropped by the --capacity ring — the \
+         exported trace is incomplete (telemetry.dropped_events in the \
+         metrics report)@."
         (Telemetry.Sink.dropped sink);
     (match metrics_path with
     | None -> ()
@@ -440,6 +443,398 @@ let serve_cmd =
       $ json_arg
       $ jobs_arg)
 
+(* -- profile ----------------------------------------------------------- *)
+
+(* The profiling scenario is deterministic end to end: one traced model
+   run (kernel-process and decoder-stage spans) plus one traced serve
+   workload (queue/exec/sched/ingest spans with latency exemplars),
+   folded into a single cost tree with the T1 code-block classes
+   grafted in from their counters. Everything in the tree is virtual
+   time, so the tree, its JSON and the collapsed stacks are
+   byte-identical across reruns and any --jobs. The traced-kernel
+   overhead ratio is the one wall-clock measurement; it is reported
+   next to the tree, never inside it. *)
+
+let profile_ping_pong () =
+  let k = Sim.Kernel.create () in
+  let mb = Sim.Mailbox.create k ~capacity:4 () in
+  Sim.Kernel.spawn k (fun () ->
+      for i = 1 to 1000 do
+        Sim.Mailbox.put mb i
+      done);
+  Sim.Kernel.spawn k (fun () ->
+      for _ = 1 to 1000 do
+        ignore (Sim.Mailbox.get mb)
+      done);
+  Sim.Kernel.run k
+
+(* traced / plain wall time of the kernel ping-pong, best of a few
+   rounds so scheduler noise biases both sides equally *)
+let measure_kernel_overhead () =
+  let time_of f =
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Sys.time () in
+      for _ = 1 to 20 do
+        f ()
+      done;
+      let dt = Sys.time () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  ignore (time_of profile_ping_pong);
+  (* warm-up *)
+  let plain = time_of profile_ping_pong in
+  let traced =
+    time_of (fun () ->
+        ignore (Telemetry.Sink.with_sink profile_ping_pong : Telemetry.Sink.t * unit))
+  in
+  if plain <= 0.0 then 1.0 else traced /. plain
+
+let ms_of_self_ps ps = float_of_int ps /. 1e9
+
+let profile_cmd =
+  let run version_name workload streams mode jobs flame_path out_path json
+      check baseline_path write_baseline =
+    let version = parse_version version_name in
+    let spec =
+      match Serve.Request.parse_spec workload with
+      | Ok spec -> spec
+      | Error msg ->
+        Printf.eprintf "osss_sim: bad --workload: %s\n" msg;
+        exit 2
+    in
+    if streams < 1 then begin
+      Printf.eprintf "osss_sim: --streams must be >= 1 (got %d)\n" streams;
+      exit 2
+    end;
+    let model_sink, (_ : Models.Outcome.t) =
+      Telemetry.Sink.with_sink (fun () ->
+          Models.Experiment.run ~payload:false version mode)
+    in
+    let corpus =
+      Array.init streams (fun i ->
+          Models.Workload.codestream ~seed:(2008 + i) mode)
+    in
+    let service =
+      try Serve.Service.create ~config:Serve.Service.default_config corpus
+      with Invalid_argument msg ->
+        Printf.eprintf "osss_sim: %s\n" msg;
+        exit 2
+    in
+    let serve_sink, report =
+      Telemetry.Sink.with_sink (fun () ->
+          with_jobs jobs (fun pool -> Serve.Service.run ~pool service spec))
+    in
+    let sreport = Telemetry.Sink.report serve_sink in
+    let profile =
+      Telemetry.Profile.of_events
+        (Telemetry.Sink.events model_sink @ Telemetry.Sink.events serve_sink)
+    in
+    (* T1 classes live as counters (priced in ps at staging time);
+       graft them in as a synthetic track. *)
+    let t1_leaves =
+      List.filter_map
+        (fun (key, ps) ->
+          match String.split_on_char '.' key with
+          | [ "t1"; "class"; cls; "ps" ] ->
+            let blocks =
+              Telemetry.Report.counter sreport ("t1.class." ^ cls ^ ".blocks")
+            in
+            Some ([ "class"; cls ], ps, blocks)
+          | _ -> None)
+        sreport.Telemetry.Report.counters
+    in
+    let profile =
+      if t1_leaves = [] then profile
+      else Telemetry.Profile.add_synthetic profile ~track:"t1" t1_leaves
+    in
+    let overhead = measure_kernel_overhead () in
+    let latency_dist = Telemetry.Report.dist sreport "serve.latency_us" in
+    let p99_exemplar =
+      Option.bind latency_dist (fun d ->
+          Telemetry.Report.quantile_exemplar d 0.99)
+    in
+    let metric_value name =
+      match name with
+      | "serve_p99_ms" -> Some report.Serve.Service.latency.Serve.Service.p99_ms
+      | "cache_hit_rate" -> Some report.Serve.Service.cache_hit_rate
+      | "traced_kernel_overhead" -> Some overhead
+      | "dropped_events" ->
+        Some
+          (float_of_int
+             (Telemetry.Report.counter sreport "telemetry.dropped_events"))
+      | _ ->
+        let lookup prefix value =
+          if String.starts_with ~prefix name then
+            let path =
+              String.sub name (String.length prefix)
+                (String.length name - String.length prefix)
+            in
+            Option.map value (Telemetry.Profile.find profile path)
+          else None
+        in
+        (match
+           lookup "self_ms:" (fun n ->
+               ms_of_self_ps n.Telemetry.Profile.self_ps)
+         with
+        | Some v -> Some v
+        | None ->
+          lookup "total_ms:" (fun n ->
+              ms_of_self_ps n.Telemetry.Profile.total_ps))
+    in
+    let top = Telemetry.Profile.top_self ~n:3 profile in
+    let profile_json =
+      let open Telemetry.Json in
+      Obj
+        [
+          ("version", Str version_name);
+          ("workload", Str (Serve.Request.spec_to_string spec));
+          ("streams", Int streams);
+          ( "metrics",
+            Obj
+              [
+                ( "serve_p99_ms",
+                  Float report.Serve.Service.latency.Serve.Service.p99_ms );
+                ("cache_hit_rate", Float report.Serve.Service.cache_hit_rate);
+                ("traced_kernel_overhead", Float overhead);
+                ( "dropped_events",
+                  Int (Telemetry.Report.counter sreport "telemetry.dropped_events")
+                );
+              ] );
+          ( "top_self",
+            List
+              (Stdlib.List.map
+                 (fun (path, self) ->
+                   Obj
+                     [
+                       ("path", Str path);
+                       ("self_ps", Int self);
+                       ("self_ms", Float (ms_of_self_ps self));
+                     ])
+                 top) );
+          ( "p99_exemplar",
+            match p99_exemplar with
+            | None -> Null
+            | Some e ->
+              Obj
+                [
+                  ("request", Int e.Telemetry.Metrics.ex_id);
+                  ("trace", Str e.Telemetry.Metrics.ex_trace);
+                  ("latency_us", Int e.Telemetry.Metrics.ex_value);
+                ] );
+          ("tree", Telemetry.Profile.to_json profile);
+          ("telemetry", Telemetry.Report.to_json sreport);
+        ]
+    in
+    (match flame_path with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Telemetry.Profile.collapsed profile);
+      close_out oc);
+    (match out_path with
+    | None -> ()
+    | Some path -> Telemetry.Json.save path profile_json);
+    if json then print_endline (Telemetry.Json.to_string profile_json)
+    else begin
+      Format.printf "profile: %s + serve %s (%d streams, --jobs %d)@."
+        version_name
+        (Serve.Request.spec_to_string spec)
+        streams jobs;
+      Format.printf "tracks: %s@."
+        (String.concat ", " (Telemetry.Profile.tracks profile));
+      Format.printf "top self-time stages:@.";
+      Stdlib.List.iter
+        (fun (path, self) ->
+          Format.printf "  %-48s %.3f ms@." path (ms_of_self_ps self))
+        top;
+      Format.printf "serve p99: %.3f ms   cache hit rate: %.1f%%@."
+        report.Serve.Service.latency.Serve.Service.p99_ms
+        (100.0 *. report.Serve.Service.cache_hit_rate);
+      (match p99_exemplar with
+      | None -> ()
+      | Some e ->
+        Format.printf "p99 exemplar: request %d  trace %s  (%d us)@."
+          e.Telemetry.Metrics.ex_id e.Telemetry.Metrics.ex_trace
+          e.Telemetry.Metrics.ex_value);
+      Format.printf "traced-kernel overhead: %.2fx (wall, not in the tree)@."
+        overhead;
+      (match flame_path with
+      | None -> ()
+      | Some path -> Format.printf "flamegraph: %s@." path);
+      match out_path with
+      | None -> ()
+      | Some path -> Format.printf "profile json: %s@." path
+    end;
+    if write_baseline then begin
+      let open Telemetry.Json in
+      let stage_checks =
+        Stdlib.List.map
+          (fun (path, self) ->
+            Obj
+              [
+                ("metric", Str ("self_ms:" ^ path));
+                ("value", Float (ms_of_self_ps self));
+                ("tol_pct", Float 10.0);
+              ])
+          top
+      in
+      let checks =
+        [
+          Obj
+            [
+              ("metric", Str "serve_p99_ms");
+              ( "value",
+                Float report.Serve.Service.latency.Serve.Service.p99_ms );
+              ("tol_pct", Float 30.0);
+            ];
+          Obj
+            [
+              ("metric", Str "cache_hit_rate");
+              ( "min",
+                Float
+                  (Stdlib.max 0.0
+                     (report.Serve.Service.cache_hit_rate -. 0.10)) );
+            ];
+          Obj
+            [
+              ("metric", Str "traced_kernel_overhead");
+              (* wall-clock: generous bound so CI hosts do not flake *)
+              ("max", Float 2.5);
+            ];
+          Obj [ ("metric", Str "dropped_events"); ("max", Float 0.0) ];
+        ]
+        @ stage_checks
+      in
+      let baseline =
+        Obj
+          [
+            ("scenario", Str (version_name ^ "+" ^ Serve.Request.spec_to_string spec));
+            ("checks", List checks);
+          ]
+      in
+      Telemetry.Json.save baseline_path baseline;
+      Format.printf "baseline written: %s@." baseline_path
+    end;
+    if check then begin
+      match Telemetry.Json.load baseline_path with
+      | Error msg ->
+        Printf.eprintf "osss_sim profile --check: %s: %s\n" baseline_path msg;
+        exit 1
+      | Ok baseline ->
+        let checks =
+          match
+            Option.bind
+              (Telemetry.Json.member "checks" baseline)
+              Telemetry.Json.to_list_opt
+          with
+          | Some checks -> checks
+          | None ->
+            Printf.eprintf
+              "osss_sim profile --check: %s has no \"checks\" array\n"
+              baseline_path;
+            exit 1
+        in
+        let breaches = ref 0 in
+        Stdlib.List.iter
+          (fun entry ->
+            let str key =
+              Option.bind (Telemetry.Json.member key entry)
+                Telemetry.Json.to_string_opt
+            in
+            let num key =
+              Option.bind (Telemetry.Json.member key entry)
+                Telemetry.Json.to_float_opt
+            in
+            match str "metric" with
+            | None ->
+              incr breaches;
+              Format.printf "BREACH  (malformed check entry: no metric)@."
+            | Some metric -> (
+              match metric_value metric with
+              | None ->
+                incr breaches;
+                Format.printf "BREACH  %-44s not present in this run@." metric
+              | Some actual ->
+                let verdict, bound =
+                  match (num "value", num "tol_pct", num "min", num "max") with
+                  | Some v, tol, _, _ ->
+                    let tol = Option.value tol ~default:0.0 in
+                    let slack = Float.abs v *. tol /. 100.0 in
+                    ( Float.abs (actual -. v) <= slack,
+                      Printf.sprintf "%g +/- %g%%" v tol )
+                  | None, _, Some lo, None ->
+                    (actual >= lo, Printf.sprintf ">= %g" lo)
+                  | None, _, None, Some hi ->
+                    (actual <= hi, Printf.sprintf "<= %g" hi)
+                  | None, _, Some lo, Some hi ->
+                    ( actual >= lo && actual <= hi,
+                      Printf.sprintf "in [%g, %g]" lo hi )
+                  | None, _, None, None -> (false, "no bound declared")
+                in
+                if not verdict then incr breaches;
+                Format.printf "%s  %-44s %.6g  (%s)@."
+                  (if verdict then "ok    " else "BREACH")
+                  metric actual bound))
+          checks;
+        if !breaches > 0 then begin
+          Format.printf "profile check: %d breach(es) against %s@." !breaches
+            baseline_path;
+          exit 1
+        end
+        else Format.printf "profile check: all checks within %s@." baseline_path
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Fold a traced model run and a traced serve workload into a \
+          deterministic cost tree (self/total virtual-time per kernel \
+          process, decoder stage, T1 code-block class and serve phase); \
+          export collapsed stacks for flamegraphs and gate key metrics \
+          against PERF_baseline.json.")
+    Term.(
+      const run
+      $ Arg.(
+          value & opt string "7b"
+          & info [ "version" ] ~docv:"VERSION" ~doc:"Model version to profile.")
+      $ Arg.(
+          value & opt string "open:n=64,rate=400,seed=11"
+          & info [ "workload" ] ~docv:"SPEC" ~doc:"Serve workload spec.")
+      $ Arg.(
+          value & opt int 3
+          & info [ "streams" ] ~docv:"N" ~doc:"Codestreams in the serve corpus.")
+      $ mode_arg
+      $ jobs_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "flame" ] ~docv:"FILE"
+              ~doc:
+                "Write collapsed-stack text (one 'path self_ps' line per \
+                 node; feed to flamegraph.pl). Byte-identical across reruns \
+                 and --jobs.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "out" ] ~docv:"FILE" ~doc:"Write the profile as JSON.")
+      $ json_arg
+      $ Arg.(
+          value & flag
+          & info [ "check" ]
+              ~doc:
+                "Compare this run against the baseline's declared \
+                 tolerances; exit 1 on any breach.")
+      $ Arg.(
+          value & opt string "PERF_baseline.json"
+          & info [ "baseline" ] ~docv:"FILE" ~doc:"Baseline path.")
+      $ Arg.(
+          value & flag
+          & info [ "write-baseline" ]
+              ~doc:"Write a fresh baseline from this run's values."))
+
 let mapping_cmd =
   let run sw_tasks idwt_p2p =
     let vta = Models.Vta_models.mapping ~sw_tasks ~idwt_p2p in
@@ -458,4 +853,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "osss_sim" ~doc)
           [ run_cmd; trace_cmd; compare_cmd; table1_cmd; fig1_cmd;
-            relations_cmd; campaign_cmd; serve_cmd; mapping_cmd ]))
+            relations_cmd; campaign_cmd; serve_cmd; profile_cmd;
+            mapping_cmd ]))

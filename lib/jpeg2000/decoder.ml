@@ -649,6 +649,34 @@ let staged_samples st =
   st.st_tile.Codestream.tile_w * st.st_tile.Codestream.tile_h
   * Array.length st.st_tile.Codestream.comps
 
+(* Job count and coded bytes per code-block class (band orientation) —
+   the profiler's T1 attribution. Pure function of the staged segment
+   structure, so it agrees across reruns and pool schedules. *)
+let staged_block_classes st =
+  let blocks = Array.make 4 0 and bytes = Array.make 4 0 in
+  Array.iter
+    (fun j ->
+      let o = st.st_slots.(j.bj_slot).sl_band.Subband.orientation in
+      let i = Subband.orientation_code o in
+      blocks.(i) <- blocks.(i) + 1;
+      bytes.(i) <-
+        bytes.(i)
+        + List.fold_left (fun acc p -> acc + String.length p) 0 j.bj_passes)
+    st.st_jobs;
+  List.filter_map
+    (fun i ->
+      if blocks.(i) = 0 then None
+      else
+        let name =
+          match Subband.orientation_of_code i with
+          | Subband.LL -> "LL"
+          | Subband.HL -> "HL"
+          | Subband.LH -> "LH"
+          | Subband.HH -> "HH"
+        in
+        Some (name, blocks.(i), bytes.(i)))
+    [ 0; 1; 2; 3 ]
+
 (* Pure per-job decode with the containment semantics of the robust
    path: [None] marks a block whose codeword no longer decodes. Only
    [st_slots] orientations are read, so any number of jobs of any

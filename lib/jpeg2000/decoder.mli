@@ -194,6 +194,12 @@ val staged_coded_bytes : staged -> int
 val staged_samples : staged -> int
 (** Output samples of the staged view (tile area times components). *)
 
+val staged_block_classes : staged -> (string * int * int) list
+(** Per code-block class [(orientation, jobs, coded_bytes)] over the
+    staged jobs, in LL/HL/LH/HH order, classes with jobs only — the
+    profiler's T1 cost attribution. Pure function of the segment
+    structure. *)
+
 val staged_job : staged -> int -> int array option
 (** Decodes job [i]. Pure with respect to shared state — jobs of any
     staged tiles may run concurrently on pool workers. [None] marks a

@@ -76,14 +76,23 @@ let shutdown = function
 
 let map t arr f =
   match t with
-  | Sequential -> Array.map f arr
+  | Sequential ->
+    (* Pool-phase attribution, counted on the caller's domain (worker
+       domains carry no sink, so nested maps cost one branch). *)
+    Telemetry.Sink.incr "par.map.calls";
+    Telemetry.Sink.incr ~by:(Array.length arr) "par.map.jobs";
+    Telemetry.Sink.incr "par.map.sequential";
+    Array.map f arr
   | Pool _ when Domain.DLS.get in_worker -> Array.map f arr
   | Pool p ->
     let n = Array.length arr in
+    Telemetry.Sink.incr "par.map.calls";
+    Telemetry.Sink.incr ~by:n "par.map.jobs";
     if n = 0 then [||]
     else begin
       if p.stop then invalid_arg "Par.Pool.map: pool is shut down";
       let chunks = Stdlib.min n (Array.length p.workers + 1) in
+      Telemetry.Sink.incr ~by:chunks "par.map.chunks";
       let parts = Array.make chunks [||] in
       let remaining = ref chunks in
       let error = ref None in

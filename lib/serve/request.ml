@@ -5,12 +5,17 @@ type target =
 
 type t = {
   id : int;
+  trace : int64;
   stream : int;
   target : target;
   priority : int;
   arrival_ps : int;
   deadline_ps : int;
 }
+
+let trace_id ~seed id =
+  Faults.Rng.hash64 (Int64.of_int seed) (Int64.of_int id)
+let trace_to_string trace = Printf.sprintf "%016Lx" trace
 
 let pp_target ppf = function
   | Full -> Format.fprintf ppf "full"

@@ -16,6 +16,7 @@ type target =
 
 type t = {
   id : int;  (** unique, in generation order *)
+  trace : int64;  (** per-request trace id, pure function of (seed, id) *)
   stream : int;  (** index into the service's registered codestreams *)
   target : target;
   priority : int;  (** 0 = most urgent; EDF tie-breaker *)
@@ -24,6 +25,14 @@ type t = {
 }
 
 val pp_target : Format.formatter -> target -> unit
+
+val trace_id : seed:int -> int -> int64
+(** The trace id of request [id] under a workload seed — a pure hash,
+    so replays and any [--jobs] agree and a reader can recompute it. *)
+
+val trace_to_string : int64 -> string
+(** Canonical 16-hex-digit rendering, as threaded through span args
+    and histogram exemplars. *)
 
 (** {1 Workload specs}
 

@@ -313,7 +313,8 @@ let draw_request rng ~id ~nstreams ~streams ~arrival_ps ~deadline_ps spec =
       ~levels:(max_discard s) spec
   in
   let priority = Request.draw_priority rng in
-  { Request.id; stream; target; priority; arrival_ps; deadline_ps }
+  let trace = Request.trace_id ~seed:spec.Request.seed id in
+  { Request.id; trace; stream; target; priority; arrival_ps; deadline_ps }
 
 (* -- the scheduler ----------------------------------------------------- *)
 
@@ -478,6 +479,15 @@ let run ?(pool = Par.Pool.sequential) ?on_complete ?on_flush t spec =
   let makespan = ref 0 in
   let queue_track = "serve.queue" and exec_track = "serve.exec" in
   let sched_track = "serve.sched" and ingest_track = "serve.ingest" in
+  (* Every span and instant about a request carries (id, trace); the
+     trace id is a pure hash of (seed, id), so a histogram exemplar or
+     a span arg resolves to the same request on any rerun. *)
+  let trace_args (r : Request.t) =
+    [
+      ("id", Telemetry.Event.Int r.Request.id);
+      ("trace", Telemetry.Event.Str (Request.trace_to_string r.Request.trace));
+    ]
+  in
   (* Instant a queued request leaves the queue: when its bytes are
      ready, or at its deadline — whichever comes first — so a stalled
      stream is flushed rather than waited out. *)
@@ -508,11 +518,11 @@ let run ?(pool = Par.Pool.sequential) ?on_complete ?on_flush t spec =
         ~dur_ps:(Stdlib.max 0 (end_ps - r.Request.arrival_ps))
         ~track:ingest_track ~cat:"ingest"
         ~args:
-          [
-            ("id", Telemetry.Event.Int r.Request.id);
-            ("chunks", Telemetry.Event.Int d.Faults.Ingest.sent);
-            ("lost", Telemetry.Event.Int d.Faults.Ingest.lost);
-          ]
+          (trace_args r
+          @ [
+              ("chunks", Telemetry.Event.Int d.Faults.Ingest.sent);
+              ("lost", Telemetry.Event.Int d.Faults.Ingest.lost);
+            ])
         "ingest"
   in
   let emit_depth ts =
@@ -540,8 +550,7 @@ let run ?(pool = Par.Pool.sequential) ?on_complete ?on_flush t spec =
       incr degraded;
       Telemetry.Sink.incr "serve.degraded";
       Telemetry.Span.instant ~ts_ps:!now ~track:sched_track ~cat:"overload"
-        ~args:[ ("id", Telemetry.Event.Int r.Request.id) ]
-        "degrade"
+        ~args:(trace_args r) "degrade"
     end;
     if depth < config.queue_capacity then push r was_degraded
     else
@@ -567,16 +576,14 @@ let run ?(pool = Par.Pool.sequential) ?on_complete ?on_flush t spec =
           incr dropped;
           Telemetry.Sink.incr "serve.dropped";
           Telemetry.Span.instant ~ts_ps:!now ~track:sched_track ~cat:"overload"
-            ~args:[ ("id", Telemetry.Event.Int victim.q_req.Request.id) ]
-            "drop-oldest";
+            ~args:(trace_args victim.q_req) "drop-oldest";
           push r was_degraded
         | None -> assert false)
       | Reject | Degrade ->
         incr rejected;
         Telemetry.Sink.incr "serve.rejected";
         Telemetry.Span.instant ~ts_ps:!now ~track:sched_track ~cat:"overload"
-          ~args:[ ("id", Telemetry.Event.Int r.Request.id) ]
-          "reject"
+          ~args:(trace_args r) "reject"
   in
   let admit_due () =
     let rec loop () =
@@ -630,6 +637,20 @@ let run ?(pool = Par.Pool.sequential) ?on_complete ?on_flush t spec =
                         ~discard:key.Cache.discard stream.s_header
                         stream.s_tiles.(tile_index)
                     in
+                    (* T1 attribution per code-block class, priced by
+                       the same constants as the request's entropy
+                       stage — a deterministic counter family the
+                       profiler grafts in as a synthetic track. *)
+                    List.iter
+                      (fun (cls, blocks, bytes) ->
+                        Telemetry.Sink.incr ~by:blocks
+                          ("t1.class." ^ cls ^ ".blocks");
+                        Telemetry.Sink.incr
+                          ~by:
+                            ((ps_per_block * blocks)
+                            + (ps_per_coded_byte * bytes))
+                          ("t1.class." ^ cls ^ ".ps"))
+                      (Jpeg2000.Decoder.staged_block_classes st);
                     let si = !staged_count in
                     Hashtbl.replace staged_tbl key si;
                     staged_rev := (key, st) :: !staged_rev;
@@ -682,8 +703,13 @@ let run ?(pool = Par.Pool.sequential) ?on_complete ?on_flush t spec =
       (fun (q, plan) ->
         let r = q.q_req in
         let stream = t.streams.(r.Request.stream) in
-        (* completion accounting shared by both serve paths *)
-        let finish ~start ~service_ps ~target_label ~image =
+        (* completion accounting shared by both serve paths. [stages]
+           is the request's deterministic cost split — the child spans
+           tile the "request" span exactly (Σ stage = service_ps), so
+           the profiler's cost tree attributes every picosecond of
+           service to a named stage with zero self-time left on the
+           parent beyond rounding. *)
+        let finish ~start ~service_ps ~stages ~target_label ~image =
           let completion = !cursor in
           let latency_ps = completion - r.Request.arrival_ps in
           incr served;
@@ -693,26 +719,33 @@ let run ?(pool = Par.Pool.sequential) ?on_complete ?on_flush t spec =
             incr slo_misses;
             Telemetry.Sink.incr "serve.slo_misses";
             Telemetry.Span.instant ~ts_ps:completion ~track:exec_track
-              ~cat:"slo"
-              ~args:[ ("id", Telemetry.Event.Int r.Request.id) ]
-              "deadline-miss"
+              ~cat:"slo" ~args:(trace_args r) "deadline-miss"
           end;
-          Telemetry.Sink.observe "serve.latency_us" (latency_ps / 1_000_000);
+          Telemetry.Sink.observe
+            ~exemplar:
+              (r.Request.id, Request.trace_to_string r.Request.trace)
+            "serve.latency_us" (latency_ps / 1_000_000);
           Telemetry.Span.complete ~ts_ps:r.Request.arrival_ps
             ~dur_ps:(start - r.Request.arrival_ps) ~track:queue_track
-            ~cat:"queue"
-            ~args:[ ("id", Telemetry.Event.Int r.Request.id) ]
-            "queued";
+            ~cat:"queue" ~args:(trace_args r) "queued";
           Telemetry.Span.complete ~ts_ps:start ~dur_ps:service_ps
             ~track:exec_track ~cat:"serve"
             ~args:
-              [
-                ("id", Telemetry.Event.Int r.Request.id);
-                ("stream", Telemetry.Event.Int r.Request.stream);
-                ("target", Telemetry.Event.Str target_label);
-                ("degraded", Telemetry.Event.Bool q.q_degraded);
-              ]
+              (trace_args r
+              @ [
+                  ("stream", Telemetry.Event.Int r.Request.stream);
+                  ("target", Telemetry.Event.Str target_label);
+                  ("degraded", Telemetry.Event.Bool q.q_degraded);
+                ])
             "request";
+          ignore
+            (List.fold_left
+               (fun ts (stage, dur_ps) ->
+                 if dur_ps > 0 then
+                   Telemetry.Span.complete ~ts_ps:ts ~dur_ps ~track:exec_track
+                     ~cat:"stage" ~args:(trace_args r) stage;
+                 ts + dur_ps)
+               start stages);
           pixels := fnv_int !pixels r.Request.id;
           pixels := fnv_image !pixels image;
           completion
@@ -732,10 +765,8 @@ let run ?(pool = Par.Pool.sequential) ?on_complete ?on_flush t spec =
           Telemetry.Span.instant ~ts_ps:batch_start ~track:sched_track
             ~cat:"ingest"
             ~args:
-              [
-                ("id", Telemetry.Event.Int r.Request.id);
-                ("bytes", Telemetry.Event.Int (String.length prefix));
-              ]
+              (trace_args r
+              @ [ ("bytes", Telemetry.Event.Int (String.length prefix)) ])
             "flush";
           match Jpeg2000.Decoder.decode_robust ~pool prefix with
           | Ok (image, rep) ->
@@ -758,15 +789,21 @@ let run ?(pool = Par.Pool.sequential) ?on_complete ?on_flush t spec =
               * stream.s_header.Jpeg2000.Codestream.height
               * stream.s_header.Jpeg2000.Codestream.components
             in
-            let service_ps =
-              (ps_per_coded_byte * String.length prefix)
-              + (ps_per_sample * out_samples)
-              + (ps_per_out_sample * out_samples)
-            in
+            let entropy_ps = ps_per_coded_byte * String.length prefix in
+            let reconstruct_ps = ps_per_sample * out_samples in
+            let assemble_ps = ps_per_out_sample * out_samples in
+            let service_ps = entropy_ps + reconstruct_ps + assemble_ps in
             let start = !cursor in
             cursor := !cursor + service_ps;
             let completion =
-              finish ~start ~service_ps ~target_label:"flush" ~image
+              finish ~start ~service_ps
+                ~stages:
+                  [
+                    ("entropy", entropy_ps);
+                    ("reconstruct", reconstruct_ps);
+                    ("assemble", assemble_ps);
+                  ]
+                ~target_label:"flush" ~image
             in
             (match on_flush with Some f -> f r ~prefix image | None -> ());
             chain ~not_before:completion
@@ -776,30 +813,37 @@ let run ?(pool = Par.Pool.sequential) ?on_complete ?on_flush t spec =
             incr dropped;
             Telemetry.Sink.incr "serve.dropped";
             Telemetry.Span.instant ~ts_ps:batch_start ~track:sched_track
-              ~cat:"ingest"
-              ~args:[ ("id", Telemetry.Event.Int r.Request.id) ]
-              "flush-failed";
+              ~cat:"ingest" ~args:(trace_args r) "flush-failed";
             chain ~not_before:batch_start)
         | `Needs needs ->
           note_ingest q ~end_ps:q.q_ready_ps;
-          let decode_ps =
-            List.fold_left
-              (fun acc (_, src) ->
-                match src with
-                | `Hit _ | `Shared _ -> acc + ps_per_hit
-                | `Fresh si ->
-                  let st = snd staged.(si) in
-                  acc
+          (* Same cost model as before, split by stage: cache lookups,
+             entropy (T1) decode of freshly staged tiles, subband
+             reconstruction, output assembly. *)
+          let cache_ps = ref 0 and entropy_ps = ref 0 in
+          let reconstruct_ps = ref 0 in
+          List.iter
+            (fun (_, src) ->
+              match src with
+              | `Hit _ | `Shared _ -> cache_ps := !cache_ps + ps_per_hit
+              | `Fresh si ->
+                let st = snd staged.(si) in
+                entropy_ps :=
+                  !entropy_ps
                   + (ps_per_block * Jpeg2000.Decoder.staged_jobs st)
-                  + (ps_per_coded_byte * Jpeg2000.Decoder.staged_coded_bytes st)
+                  + (ps_per_coded_byte * Jpeg2000.Decoder.staged_coded_bytes st);
+                reconstruct_ps :=
+                  !reconstruct_ps
                   + (ps_per_sample * Jpeg2000.Decoder.staged_samples st))
-              0 needs
-          in
+            needs;
           let ow, oh = output_dims stream r.Request.target in
           let out_samples =
             ow * oh * stream.s_header.Jpeg2000.Codestream.components
           in
-          let service_ps = decode_ps + (ps_per_out_sample * out_samples) in
+          let assemble_ps = ps_per_out_sample * out_samples in
+          let service_ps =
+            !cache_ps + !entropy_ps + !reconstruct_ps + assemble_ps
+          in
           let start = !cursor in
           cursor := !cursor + service_ps;
           let image =
@@ -808,6 +852,13 @@ let run ?(pool = Par.Pool.sequential) ?on_complete ?on_flush t spec =
           in
           let completion =
             finish ~start ~service_ps
+              ~stages:
+                [
+                  ("cache", !cache_ps);
+                  ("entropy", !entropy_ps);
+                  ("reconstruct", !reconstruct_ps);
+                  ("assemble", assemble_ps);
+                ]
               ~target_label:
                 (Format.asprintf "%a" Request.pp_target r.Request.target)
               ~image

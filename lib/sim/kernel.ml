@@ -94,20 +94,51 @@ let spawn t ?name body =
      current label, so primitive channels can attribute writes to a
      driver (the delta-race detector keys on this). The telemetry
      sink's context mirrors the label so spans emitted from library
-     code land on the running process's track. *)
+     code land on the running process's track.
+
+     This wrapper runs once per process wakeup — the hottest telemetry
+     path in the kernel — so the label option and the wakeup counter
+     key are interned here, and the epilogue is inlined rather than a
+     [Fun.protect] closure: with a sink installed a slice costs two
+     sink loads and a counter bump, with no per-slice allocation. *)
+  let some_label = Some label in
+  let wakeups_key = "process." ^ label ^ ".wakeups" in
+  (* The wakeup counter's live cell, cached per (process, sink) so a
+     slice bumps a ref instead of hashing the key; invalidated when a
+     different sink is installed between slices. *)
+  let cached_cell : (Telemetry.Sink.t * int ref) option ref = ref None in
   let with_label f () =
     let prev = t.current_label in
-    t.current_label <- Some label;
-    if Telemetry.Sink.enabled () then begin
-      Telemetry.Sink.set_current_context (Some label);
-      Telemetry.Sink.incr ("process." ^ label ^ ".wakeups")
-    end;
-    Fun.protect
-      ~finally:(fun () ->
-        t.current_label <- prev;
-        if Telemetry.Sink.enabled () then
-          Telemetry.Sink.set_current_context prev)
-      f
+    t.current_label <- some_label;
+    let sink = Telemetry.Sink.active () in
+    (match sink with
+    | None -> ()
+    | Some s ->
+      Telemetry.Sink.set_context s some_label;
+      let cell =
+        match !cached_cell with
+        | Some (s', r) when s' == s -> r
+        | Some _ | None ->
+          let r =
+            Telemetry.Metrics.counter_ref (Telemetry.Sink.metrics s)
+              wakeups_key
+          in
+          cached_cell := Some (s, r);
+          r
+      in
+      Stdlib.incr cell);
+    match f () with
+    | () -> (
+      t.current_label <- prev;
+      match sink with
+      | None -> ()
+      | Some s -> Telemetry.Sink.set_context s prev)
+    | exception exn ->
+      t.current_label <- prev;
+      (match sink with
+      | None -> ()
+      | Some s -> Telemetry.Sink.set_context s prev);
+      raise exn
   in
   let finished () =
     t.live <- t.live - 1;

@@ -4,6 +4,7 @@ type dist = {
   min : int;
   max : int;
   buckets : (int * int) list; (* bucket lower bound, sample count *)
+  exemplars : (int * Metrics.exemplar) list; (* bucket lower bound *)
 }
 
 type t = {
@@ -28,6 +29,10 @@ let of_metrics m =
       min = (if d.Metrics.d_count = 0 then 0 else d.Metrics.d_min);
       max = (if d.Metrics.d_count = 0 then 0 else d.Metrics.d_max);
       buckets = List.rev !buckets;
+      exemplars =
+        List.map
+          (fun (i, e) -> (fst (Metrics.bucket_bounds i), e))
+          (Metrics.exemplars d);
     }
   in
   {
@@ -50,9 +55,42 @@ let counter_sum t ~prefix =
 
 let dist_sum t key = match dist t key with Some d -> d.sum | None -> 0
 
+(* Lower bound of the bucket holding the q-th quantile sample, by
+   cumulative count over the (sorted, non-empty) bucket list. *)
+let quantile_bucket d q =
+  if d.count = 0 then None
+  else
+    let rank =
+      Stdlib.max 1 (int_of_float (Float.round (q *. float_of_int d.count)))
+    in
+    let rec find seen = function
+      | [] -> None
+      | (lo, n) :: rest ->
+        if seen + n >= rank then Some lo else find (seen + n) rest
+    in
+    find 0 d.buckets
+
+(* The exemplar for the quantile bucket; when that exact bucket never
+   captured one, fall back to the nearest populated bucket below, then
+   above — deterministic either way. *)
+let quantile_exemplar d q =
+  match quantile_bucket d q with
+  | None -> None
+  | Some lo -> (
+    match List.assoc_opt lo d.exemplars with
+    | Some e -> Some e
+    | None ->
+      let below, above =
+        List.partition (fun (b, _) -> b < lo) d.exemplars
+      in
+      (match (List.rev below, above) with
+      | (_, e) :: _, _ -> Some e
+      | [], (_, e) :: _ -> Some e
+      | [], [] -> None))
+
 let dist_to_json d =
   Json.Obj
-    [
+    ([
       ("count", Json.Int d.count);
       ("sum", Json.Int d.sum);
       ("min", Json.Int d.min);
@@ -66,6 +104,23 @@ let dist_to_json d =
              (fun (lo, n) -> Json.List [ Json.Int lo; Json.Int n ])
              d.buckets) );
     ]
+    @
+    if d.exemplars = [] then []
+    else
+      [
+        ( "exemplars",
+          Json.List
+            (List.map
+               (fun (lo, e) ->
+                 Json.Obj
+                   [
+                     ("bucket", Json.Int lo);
+                     ("value", Json.Int e.Metrics.ex_value);
+                     ("id", Json.Int e.Metrics.ex_id);
+                     ("trace", Json.Str e.Metrics.ex_trace);
+                   ])
+               d.exemplars) );
+      ])
 
 let to_json t =
   let fields f xs = Json.Obj (List.map (fun (k, v) -> (k, f v)) xs) in

@@ -9,6 +9,8 @@ type dist = {
   max : int;
   buckets : (int * int) list;
       (** (bucket lower bound, sample count), non-empty buckets only *)
+  exemplars : (int * Metrics.exemplar) list;
+      (** (bucket lower bound, exemplar), buckets that captured one *)
 }
 
 type t = {
@@ -35,6 +37,17 @@ val counter_sum : t -> prefix:string -> int
 
 val dist_sum : t -> string -> int
 (** Sum of a histogram's samples, 0 when absent. *)
+
+val quantile_bucket : dist -> float -> int option
+(** Lower bound of the bucket holding the [q]-th quantile sample
+    (cumulative count over the log2 buckets); [None] on an empty
+    histogram. *)
+
+val quantile_exemplar : dist -> float -> Metrics.exemplar option
+(** The exemplar captured in [quantile_bucket]'s bucket — so
+    [quantile_exemplar d 0.99] links a p99 line to a concrete request.
+    Falls back to the nearest populated exemplar bucket below, then
+    above. *)
 
 val to_json : t -> Json.t
 val pp : Format.formatter -> t -> unit

@@ -45,7 +45,17 @@ let events t = List.of_seq (Queue.to_seq t.events)
 let event_count t = Queue.length t.events
 let dropped t = t.dropped
 let metrics t = t.metrics
-let report t = Report.of_metrics t.metrics
+let report t =
+  (* A full ring drops silently at capacity; surface the count so
+     reports (and the CLI) can warn that the trace is incomplete. *)
+  let r = Report.of_metrics t.metrics in
+  if t.dropped = 0 then r
+  else
+    let counters =
+      ("telemetry.dropped_events", t.dropped) :: r.Report.counters
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    { r with Report.counters }
 
 let context t = t.context
 let set_context t label = t.context <- label
@@ -120,10 +130,10 @@ let incr ?by key =
   | None -> ()
   | Some t -> Metrics.incr t.metrics ?by key
 
-let observe key v =
+let observe ?exemplar key v =
   match Domain.DLS.get current with
   | None -> ()
-  | Some t -> Metrics.observe t.metrics key v
+  | Some t -> Metrics.observe t.metrics ?exemplar key v
 
 let set_gauge key v =
   match Domain.DLS.get current with

@@ -46,7 +46,10 @@ val dropped : t -> int
 (** Events discarded because of [?capacity]. *)
 
 val metrics : t -> Metrics.t
+
 val report : t -> Report.t
+(** Snapshot of the metrics; when the ring has discarded events the
+    snapshot gains a [telemetry.dropped_events] gauge. *)
 
 val context : t -> string option
 (** The current default track, mirrored from the running simulation
@@ -82,6 +85,6 @@ val open_depth : t -> string -> int
 
 val emit : Event.t -> unit
 val incr : ?by:int -> string -> unit
-val observe : string -> int -> unit
+val observe : ?exemplar:int * string -> string -> int -> unit
 val set_gauge : string -> int -> unit
 val set_current_context : string option -> unit

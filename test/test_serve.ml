@@ -395,6 +395,88 @@ let test_ingest_clean_streaming_serves_all () =
       (i.Serve.Service.ing_bytes > 0)
   | None -> Alcotest.fail "report lacks ingest stats"
 
+(* -- profiling ------------------------------------------------------- *)
+
+let test_profile_jobs_and_rerun_identical () =
+  (* The cost tree is built from virtual-time spans emitted on the
+     coordinating domain, so the collapsed flamegraph text must be
+     byte-identical across worker counts and across reruns. *)
+  let spec = spec_exn "open:n=24,rate=600,seed=11" in
+  let run_with jobs =
+    let service = Serve.Service.create (corpus ()) in
+    let sink, _report =
+      Telemetry.Sink.with_sink (fun () ->
+          Par.Pool.with_jobs jobs (fun pool ->
+              Serve.Service.run ~pool service spec))
+    in
+    Telemetry.Profile.collapsed
+      (Telemetry.Profile.of_events (Telemetry.Sink.events sink))
+  in
+  let a = run_with 1 in
+  Alcotest.(check bool) "tree is non-trivial" true (String.length a > 1);
+  Alcotest.(check string) "jobs=2 byte-identical" a (run_with 2);
+  Alcotest.(check string) "jobs=4 byte-identical" a (run_with 4);
+  Alcotest.(check string) "rerun byte-identical" a (run_with 1)
+
+let test_profile_stage_spans_tile_requests () =
+  (* Stage child spans (cache/entropy/reconstruct/assemble) must tile
+     each request span exactly: the tree invariant holds and the
+     request nodes carry no unattributed self time. *)
+  let service = Serve.Service.create (corpus ()) in
+  let sink, _ =
+    Telemetry.Sink.with_sink (fun () ->
+        Serve.Service.run service (spec_exn "open:n=30,rate=600,seed=21"))
+  in
+  let p = Telemetry.Profile.of_events (Telemetry.Sink.events sink) in
+  Alcotest.(check bool) "invariant" true (Telemetry.Profile.invariant p);
+  match Telemetry.Profile.find p "serve.exec;request" with
+  | None -> Alcotest.fail "no request node under serve.exec"
+  | Some n ->
+    Alcotest.(check bool) "requests profiled" true
+      (n.Telemetry.Profile.count > 0);
+    Alcotest.(check int) "stages tile the request span exactly" 0
+      n.Telemetry.Profile.self_ps;
+    Alcotest.(check bool) "stage children present" true
+      (List.exists
+         (fun c -> c.Telemetry.Profile.name = "entropy")
+         n.Telemetry.Profile.children)
+
+let test_profile_p99_exemplar_resolves () =
+  (* The latency histogram's tail exemplar must name a request whose
+     trace id recomputes from (seed, id) — the link from a p99 line
+     back to that request's spans. *)
+  let spec = spec_exn "open:n=30,rate=600,seed=21" in
+  let service = Serve.Service.create (corpus ()) in
+  let sink, _ =
+    Telemetry.Sink.with_sink (fun () -> Serve.Service.run service spec)
+  in
+  let report = Telemetry.Sink.report sink in
+  match Telemetry.Report.dist report "serve.latency_us" with
+  | None -> Alcotest.fail "no serve.latency_us histogram"
+  | Some d -> (
+    match Telemetry.Report.quantile_exemplar d 0.99 with
+    | None -> Alcotest.fail "p99 exemplar missing"
+    | Some e ->
+      let id = e.Telemetry.Metrics.ex_id in
+      let expected =
+        Serve.Request.trace_to_string
+          (Serve.Request.trace_id ~seed:spec.Serve.Request.seed id)
+      in
+      Alcotest.(check string) "exemplar trace matches trace_id(seed, id)"
+        expected e.Telemetry.Metrics.ex_trace;
+      (* And that trace id is attached to the request's exec span. *)
+      let tagged =
+        List.exists
+          (fun ev ->
+            List.exists
+              (fun (k, v) ->
+                k = "trace"
+                && v = Telemetry.Event.Str e.Telemetry.Metrics.ex_trace)
+              ev.Telemetry.Event.args)
+          (Telemetry.Sink.events sink)
+      in
+      Alcotest.(check bool) "trace id appears in span args" true tagged)
+
 let test_policy_names_roundtrip () =
   List.iter
     (fun p ->
@@ -440,6 +522,15 @@ let () =
           Alcotest.test_case "drop-oldest" `Quick test_policy_drop_oldest;
           Alcotest.test_case "degrade" `Quick test_policy_degrade;
           Alcotest.test_case "names" `Quick test_policy_names_roundtrip;
+        ] );
+      ( "profiling",
+        [
+          Alcotest.test_case "collapsed tree jobs/rerun invariant" `Quick
+            test_profile_jobs_and_rerun_identical;
+          Alcotest.test_case "stage spans tile requests" `Quick
+            test_profile_stage_spans_tile_requests;
+          Alcotest.test_case "p99 exemplar resolves to a trace" `Quick
+            test_profile_p99_exemplar_resolves;
         ] );
       ( "ingest",
         [

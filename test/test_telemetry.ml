@@ -35,6 +35,59 @@ let test_json_nested () =
   Alcotest.(check string) "nested" {|{"xs":[1,2],"o":{}}|}
     (Telemetry.Json.to_string v)
 
+let test_json_parse_roundtrip () =
+  let docs =
+    [
+      Telemetry.Json.Null;
+      Telemetry.Json.Bool false;
+      Telemetry.Json.Int (-7);
+      Telemetry.Json.Float 2.5;
+      Telemetry.Json.Str "a\"b\\c\nd";
+      Telemetry.Json.List
+        [ Telemetry.Json.Int 1; Telemetry.Json.Str "x"; Telemetry.Json.Null ];
+      Telemetry.Json.Obj
+        [
+          ("k", Telemetry.Json.List []);
+          ("o", Telemetry.Json.Obj [ ("n", Telemetry.Json.Int 3) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = Telemetry.Json.to_string v in
+      match Telemetry.Json.parse s with
+      | Ok v' -> Alcotest.(check bool) s true (v = v')
+      | Error e -> Alcotest.failf "parse %s: %s" s e)
+    docs
+
+let test_json_parse_errors () =
+  let rejected s =
+    match Telemetry.Json.parse s with Ok _ -> false | Error _ -> true
+  in
+  List.iter
+    (fun s -> Alcotest.(check bool) ("rejects " ^ s) true (rejected s))
+    [ ""; "{"; "[1,]"; "nul"; {|{"a":1|}; "1 2"; {|"unterminated|} ]
+
+let test_json_accessors () =
+  match Telemetry.Json.parse {|{"a":{"b":[1,2.5,"s"]},"n":4}|} with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok v ->
+    let open Telemetry.Json in
+    Alcotest.(check (option int)) "int" (Some 4)
+      (Option.bind (member "n" v) to_int_opt);
+    Alcotest.(check (option (float 0.))) "int as float" (Some 4.)
+      (Option.bind (member "n" v) to_float_opt);
+    let xs =
+      Option.bind (member "a" v) (member "b")
+      |> Fun.flip Option.bind to_list_opt
+      |> Option.value ~default:[]
+    in
+    Alcotest.(check int) "list length" 3 (List.length xs);
+    Alcotest.(check (option string)) "string" (Some "s")
+      (to_string_opt (List.nth xs 2));
+    Alcotest.(check (option int)) "missing member" None
+      (Option.bind (member "zz" v) to_int_opt)
+
 (* -- Metrics -------------------------------------------------------- *)
 
 let test_metrics_counters_gauges () =
@@ -73,6 +126,82 @@ let test_metrics_buckets () =
   let lo, hi = Telemetry.Metrics.bucket_bounds 3 in
   Alcotest.(check (pair int int)) "bounds 3" (4, 8) (lo, hi)
 
+let test_metrics_exemplars () =
+  let m = Telemetry.Metrics.create () in
+  Telemetry.Metrics.observe m "d" 100;
+  Alcotest.(check int) "no exemplar captured without one" 0
+    (match Telemetry.Metrics.dists m with
+    | [ (_, d) ] -> List.length (Telemetry.Metrics.exemplars d)
+    | _ -> -1);
+  (* Same bucket [64,128): the largest sample wins, first wins a tie. *)
+  Telemetry.Metrics.observe m ~exemplar:(1, "t1") "d" 90;
+  Telemetry.Metrics.observe m ~exemplar:(2, "t2") "d" 120;
+  Telemetry.Metrics.observe m ~exemplar:(3, "t3") "d" 120;
+  Telemetry.Metrics.observe m ~exemplar:(4, "t4") "d" 70;
+  (* A different bucket keeps its own exemplar. *)
+  Telemetry.Metrics.observe m ~exemplar:(5, "t5") "d" 3;
+  match Telemetry.Metrics.dists m with
+  | [ ("d", d) ] -> (
+    match Telemetry.Metrics.exemplars d with
+    | [ (b_small, small); (b_large, large) ] ->
+      Alcotest.(check int) "small bucket" (Telemetry.Metrics.bucket_index 3)
+        b_small;
+      Alcotest.(check int) "small id" 5 small.Telemetry.Metrics.ex_id;
+      Alcotest.(check int) "large bucket" (Telemetry.Metrics.bucket_index 120)
+        b_large;
+      Alcotest.(check int) "largest sample wins" 120
+        large.Telemetry.Metrics.ex_value;
+      Alcotest.(check int) "first occurrence wins the tie" 2
+        large.Telemetry.Metrics.ex_id;
+      Alcotest.(check string) "trace carried" "t2"
+        large.Telemetry.Metrics.ex_trace
+    | ex -> Alcotest.failf "expected 2 exemplars, got %d" (List.length ex))
+  | other -> Alcotest.failf "unexpected dists (%d)" (List.length other)
+
+let test_report_quantiles_and_exemplars () =
+  let m = Telemetry.Metrics.create () in
+  (* 99 small samples and one huge one: p50 sits low, p99 lands on the
+     big sample's bucket and resolves to its exemplar. *)
+  for i = 1 to 99 do
+    Telemetry.Metrics.observe m ~exemplar:(i, "lo") "lat" 10
+  done;
+  Telemetry.Metrics.observe m ~exemplar:(999, "hi") "lat" 5000;
+  let r = Telemetry.Report.of_metrics m in
+  match Telemetry.Report.dist r "lat" with
+  | None -> Alcotest.fail "dist missing"
+  | Some d ->
+    let lo_bound, _ = Telemetry.Metrics.bucket_bounds (Telemetry.Metrics.bucket_index 10) in
+    let hi_bound, _ = Telemetry.Metrics.bucket_bounds (Telemetry.Metrics.bucket_index 5000) in
+    Alcotest.(check (option int)) "p50 bucket" (Some lo_bound)
+      (Telemetry.Report.quantile_bucket d 0.5);
+    Alcotest.(check (option int)) "p99 bucket... p100" (Some hi_bound)
+      (Telemetry.Report.quantile_bucket d 1.0);
+    (match Telemetry.Report.quantile_exemplar d 1.0 with
+    | Some e ->
+      Alcotest.(check int) "p100 exemplar id" 999 e.Telemetry.Metrics.ex_id;
+      Alcotest.(check string) "p100 exemplar trace" "hi"
+        e.Telemetry.Metrics.ex_trace
+    | None -> Alcotest.fail "p100 exemplar missing");
+    (* Exemplars survive the JSON export. *)
+    let s = Telemetry.Json.to_string (Telemetry.Report.to_json r) in
+    Alcotest.(check bool) "exemplars in json" true
+      (Str_util.contains s {|"exemplars"|})
+
+let test_report_dropped_events_counter () =
+  let sink, () =
+    Telemetry.Sink.with_sink ~capacity:3 (fun () ->
+        for i = 1 to 10 do
+          Telemetry.Span.instant ~ts_ps:i ~track:"t" "e"
+        done)
+  in
+  let r = Telemetry.Sink.report sink in
+  Alcotest.(check int) "dropped surfaces as a counter" 7
+    (Telemetry.Report.counter r "telemetry.dropped_events");
+  (* Reporting twice must not double-count. *)
+  Alcotest.(check int) "stable across reports" 7
+    (Telemetry.Report.counter (Telemetry.Sink.report sink)
+       "telemetry.dropped_events")
+
 (* -- Event ---------------------------------------------------------- *)
 
 let span ?(track = "t") ?(name = "s") ?(cat = "c") ts dur =
@@ -95,6 +224,128 @@ let test_event_union () =
     (Telemetry.Event.union_ps [ span 0 10; span 2 3 ]);
   Alcotest.(check int) "adjacent" 20
     (Telemetry.Event.union_ps [ span 0 10; span 10 10 ])
+
+(* -- Profile -------------------------------------------------------- *)
+
+let test_profile_nesting_and_merge () =
+  let events =
+    [
+      span ~track:"t" ~name:"outer" 0 100;
+      span ~track:"t" ~name:"a" 10 20;
+      span ~track:"t" ~name:"a" 40 10;
+      span ~track:"t" ~name:"b" 60 5;
+      span ~track:"t" ~name:"leaf" 12 4;
+      span ~track:"u" ~name:"x" 0 7;
+    ]
+  in
+  let p = Telemetry.Profile.of_events events in
+  Alcotest.(check (list string)) "tracks sorted" [ "t"; "u" ]
+    (Telemetry.Profile.tracks p);
+  Alcotest.(check bool) "invariant" true (Telemetry.Profile.invariant p);
+  Alcotest.(check int) "total over roots" 107 (Telemetry.Profile.total_ps p);
+  let node path =
+    match Telemetry.Profile.find p path with
+    | Some n -> n
+    | None -> Alcotest.failf "missing node %s" path
+  in
+  let outer = node "t;outer" in
+  Alcotest.(check int) "outer total" 100 outer.Telemetry.Profile.total_ps;
+  Alcotest.(check int) "outer self excludes children" 65
+    outer.Telemetry.Profile.self_ps;
+  let a = node "t;outer;a" in
+  Alcotest.(check int) "same-name siblings merge: count" 2
+    a.Telemetry.Profile.count;
+  Alcotest.(check int) "merged total" 30 a.Telemetry.Profile.total_ps;
+  Alcotest.(check int) "merged self excludes grandchild" 26
+    a.Telemetry.Profile.self_ps;
+  Alcotest.(check int) "nested leaf" 4
+    (node "t;outer;a;leaf").Telemetry.Profile.total_ps;
+  Alcotest.(check (option string)) "absent path" None
+    (Option.map
+       (fun n -> n.Telemetry.Profile.name)
+       (Telemetry.Profile.find p "t;outer;zz"))
+
+let test_profile_collapsed_and_top () =
+  let events =
+    [ span ~track:"t" ~name:"outer" 0 100; span ~track:"t" ~name:"a" 10 20 ]
+  in
+  let p = Telemetry.Profile.of_events events in
+  Alcotest.(check string) "collapsed lines sorted, newline-terminated"
+    "t;outer 80\nt;outer;a 20\n"
+    (Telemetry.Profile.collapsed p);
+  Alcotest.(check (list (pair string int))) "top_self self-desc"
+    [ ("t;outer", 80); ("t;outer;a", 20) ]
+    (Telemetry.Profile.top_self ~n:5 p);
+  Alcotest.(check (list (pair string int))) "top_self truncates"
+    [ ("t;outer", 80) ]
+    (Telemetry.Profile.top_self ~n:1 p)
+
+let test_profile_synthetic () =
+  let p = Telemetry.Profile.of_events [ span ~track:"t" ~name:"s" 0 10 ] in
+  let p =
+    Telemetry.Profile.add_synthetic p ~track:"t1"
+      [ ([ "cleanup" ], 500, 3); ([ "refine" ], 200, 1) ]
+  in
+  Alcotest.(check (list string)) "synthetic track grafted" [ "t"; "t1" ]
+    (Telemetry.Profile.tracks p);
+  Alcotest.(check bool) "invariant" true (Telemetry.Profile.invariant p);
+  Alcotest.(check int) "leaf self" 500
+    (match Telemetry.Profile.find p "t1;cleanup" with
+    | Some n -> n.Telemetry.Profile.self_ps
+    | None -> -1);
+  (* Re-grafting the same track replaces it rather than accumulating. *)
+  let p = Telemetry.Profile.add_synthetic p ~track:"t1" [ ([ "cleanup" ], 9, 1) ] in
+  Alcotest.(check int) "replaced" 9
+    (match Telemetry.Profile.find p "t1;cleanup" with
+    | Some n -> n.Telemetry.Profile.self_ps
+    | None -> -1)
+
+(* Random well-nested span forest: recursively carve each interval into
+   disjoint child sub-intervals, drawing names from a small pool so
+   same-name merges happen. Returns the events and the exact total of
+   the top-level spans. *)
+let gen_nested_spans seed =
+  let rng = Faults.Rng.create seed in
+  let events = ref [] in
+  let rec go depth start len =
+    let name = Printf.sprintf "n%d" (Faults.Rng.int rng 4) in
+    events := span ~track:"t" ~name start len :: !events;
+    if depth < 4 && len > 6 then begin
+      let pos = ref (start + Faults.Rng.int rng 3) in
+      let stop = start + len in
+      for _ = 1 to Faults.Rng.int rng 4 do
+        let room = stop - !pos in
+        if room > 2 then begin
+          let child_len = 1 + Faults.Rng.int rng (room - 1) in
+          go (depth + 1) !pos child_len;
+          pos := !pos + child_len + Faults.Rng.int rng 3
+        end
+      done
+    end
+  in
+  let pos = ref 0 in
+  let top_total = ref 0 in
+  for _ = 1 to 1 + Faults.Rng.int rng 4 do
+    let len = 8 + Faults.Rng.int rng 120 in
+    go 0 !pos len;
+    top_total := !top_total + len;
+    pos := !pos + len + 1 + Faults.Rng.int rng 6
+  done;
+  (!events, !top_total)
+
+let prop_profile_tree_invariant =
+  QCheck.Test.make ~name:"cost tree: total = self + sum of children" ~count:200
+    QCheck.small_int (fun seed ->
+      let events, top_total = gen_nested_spans seed in
+      let p = Telemetry.Profile.of_events events in
+      (* The invariant must hold on every node, the track total must be
+         exactly the top-level spans' total, and the collapsed export
+         must not depend on event order. *)
+      Telemetry.Profile.invariant p
+      && Telemetry.Profile.total_ps p = top_total
+      && Telemetry.Profile.collapsed p
+         = Telemetry.Profile.collapsed
+             (Telemetry.Profile.of_events (List.rev events)))
 
 (* -- Sink ----------------------------------------------------------- *)
 
@@ -341,6 +592,9 @@ let () =
           Alcotest.test_case "scalars" `Quick test_json_scalars;
           Alcotest.test_case "strings" `Quick test_json_strings;
           Alcotest.test_case "nested" `Quick test_json_nested;
+          Alcotest.test_case "parse roundtrip" `Quick test_json_parse_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
         ] );
       ( "metrics",
         [
@@ -348,8 +602,22 @@ let () =
             test_metrics_counters_gauges;
           Alcotest.test_case "dist" `Quick test_metrics_dist;
           Alcotest.test_case "buckets" `Quick test_metrics_buckets;
+          Alcotest.test_case "exemplars" `Quick test_metrics_exemplars;
+          Alcotest.test_case "report quantiles and exemplars" `Quick
+            test_report_quantiles_and_exemplars;
+          Alcotest.test_case "dropped events counter" `Quick
+            test_report_dropped_events_counter;
         ] );
       ("event", [ Alcotest.test_case "interval union" `Quick test_event_union ]);
+      ( "profile",
+        [
+          Alcotest.test_case "nesting and merge" `Quick
+            test_profile_nesting_and_merge;
+          Alcotest.test_case "collapsed and top_self" `Quick
+            test_profile_collapsed_and_top;
+          Alcotest.test_case "synthetic tracks" `Quick test_profile_synthetic;
+          QCheck_alcotest.to_alcotest prop_profile_tree_invariant;
+        ] );
       ( "sink",
         [
           Alcotest.test_case "disabled no-ops" `Quick test_sink_disabled_noops;
