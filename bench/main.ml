@@ -41,6 +41,12 @@ let jobs =
 
 let par_pool = Par.Pool.of_jobs jobs
 
+(* Fixed-width pools behind the pinned scaling rows (j2k_decode_jobs2,
+   serve_warm_32req_jobs4). Reuse [par_pool] when --jobs already is
+   that width so a row never exists twice under one name. *)
+let pool2 = if jobs = 2 then par_pool else Par.Pool.of_jobs 2
+let pool4 = if jobs = 4 then par_pool else Par.Pool.of_jobs 4
+
 let lossless = Jpeg2000.Codestream.Lossless
 let lossy = Jpeg2000.Codestream.Lossy
 
@@ -171,6 +177,15 @@ let serve_cold_service =
 let serve_warm_service = Serve.Service.create [| j2k_stream |]
 let serve_run service () = ignore (Serve.Service.run service serve_spec)
 
+(* The warm serving path on a 4-domain pool: the batch scheduler's
+   coalesced Pool.map decodes staged jobs in parallel. A dedicated
+   service so cache warmth is not shared with the sequential warm
+   row. *)
+let serve_warm_service_jobs4 = Serve.Service.create [| j2k_stream |]
+
+let serve_run_pool pool service () =
+  ignore (Serve.Service.run ~pool service serve_spec)
+
 (* Streaming-ingest rows: the same service fed chunk-by-chunk on the
    virtual clock. Clean delivery prices the reassembly/readiness
    machinery alone; the faulty row adds loss + stall jitter and so
@@ -223,6 +238,9 @@ let artefact_tests =
     Test.make ~name:"table2_synthesis" (Staged.stage run_table2);
   ]
 
+(* The jobs1 rows are always pinned; the --jobs width adds its derived
+   rows only when it differs from a pinned width, so no name ever
+   appears twice (Bechamel keys rows by name). *)
 let substrate_tests =
   [
     Test.make ~name:"kernel_ping_pong_1k" (Staged.stage kernel_ping_pong);
@@ -236,20 +254,32 @@ let substrate_tests =
       (Staged.stage (j2k_decode Par.Pool.sequential));
     Test.make ~name:"j2k_decode_jobs1_profiled"
       (Staged.stage (j2k_decode_profiled Par.Pool.sequential));
-    Test.make
-      ~name:(Printf.sprintf "j2k_decode_jobs%d" jobs)
-      (Staged.stage (j2k_decode par_pool));
+    Test.make ~name:"j2k_decode_jobs2" (Staged.stage (j2k_decode pool2));
     Test.make ~name:"sweep_9v_jobs1" (Staged.stage (sweep_9v Par.Pool.sequential));
-    Test.make
-      ~name:(Printf.sprintf "sweep_9v_jobs%d" jobs)
-      (Staged.stage (sweep_9v par_pool));
     Test.make ~name:"serve_cold_32req" (Staged.stage (serve_run serve_cold_service));
     Test.make ~name:"serve_warm_32req" (Staged.stage (serve_run serve_warm_service));
+    Test.make ~name:"serve_warm_32req_jobs4"
+      (Staged.stage (serve_run_pool pool4 serve_warm_service_jobs4));
     Test.make ~name:"serve_ingest_clean_24req"
       (Staged.stage (serve_ingest_run serve_ingest_clean_service));
     Test.make ~name:"serve_ingest_faulty_24req"
       (Staged.stage (serve_ingest_run serve_ingest_faulty_service));
   ]
+  @ (if jobs = 1 || jobs = 2 then []
+     else
+       [
+         Test.make
+           ~name:(Printf.sprintf "j2k_decode_jobs%d" jobs)
+           (Staged.stage (j2k_decode par_pool));
+       ])
+  @
+  if jobs = 1 then []
+  else
+    [
+      Test.make
+        ~name:(Printf.sprintf "sweep_9v_jobs%d" jobs)
+        (Staged.stage (sweep_9v par_pool));
+    ]
 
 let ablation_tests =
   [
@@ -268,6 +298,17 @@ let tests =
     (if quick then substrate_tests
      else artefact_tests @ substrate_tests @ ablation_tests)
 
+(* Each row is measured as the median of [measurement_passes]
+   independent OLS estimates, after one throwaway warm-up pass. A
+   single estimate is at the mercy of whatever the host did during
+   that one quota window — the traced ping-pong row has measured
+   {e faster} than the untraced one on single estimates — and a gate
+   comparing two such numbers passes or fails on noise. The warm-up
+   absorbs first-touch effects (lazy code, allocator growth, cache
+   fills shared services accumulate) so pass 1 measures the same
+   steady state as pass 3. *)
+let measurement_passes = 3
+
 let benchmark () =
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -277,12 +318,13 @@ let benchmark () =
     Benchmark.cfg ~limit:(if quick then 10 else 50) ~quota ~kde:None ()
   in
   let instances = Instance.[ monotonic_clock ] in
-  let raw = Benchmark.all cfg instances tests in
-  List.map (fun instance -> Analyze.all ols instance raw) instances
+  let warm_cfg = Benchmark.cfg ~limit:1 ~quota:(Time.second 0.01) ~kde:None () in
+  ignore (Benchmark.all warm_cfg instances tests);
+  List.init measurement_passes (fun _ ->
+      let raw = Benchmark.all cfg instances tests in
+      List.map (fun instance -> Analyze.all ols instance raw) instances)
 
-(* (benchmark name, ns per run) rows behind both the text table and
-   the JSON artefact. *)
-let bench_rows results =
+let pass_rows results =
   List.concat_map
     (fun tbl ->
       Hashtbl.fold
@@ -296,6 +338,25 @@ let bench_rows results =
         tbl []
       |> List.sort (fun (a, _) (b, _) -> String.compare a b))
     results
+
+let median values =
+  match
+    List.sort Float.compare
+      (List.filter (fun v -> not (Float.is_nan v)) values)
+  with
+  | [] -> Float.nan
+  | sorted -> List.nth sorted (List.length sorted / 2)
+
+(* (benchmark name, median ns per run) rows behind both the text table
+   and the JSON artefact. *)
+let bench_rows passes =
+  match List.map pass_rows passes with
+  | [] -> []
+  | first :: _ as per_pass ->
+    List.map
+      (fun (name, _) ->
+        (name, median (List.filter_map (List.assoc_opt name) per_pass)))
+      first
 
 (* OLS estimate of the row whose (grouped) name ends with [suffix]. *)
 let row_ns rows suffix =
@@ -332,14 +393,92 @@ let traced_overhead_gate rows =
     Printf.printf "\ntraced-kernel overhead gate: rows missing - skipped\n";
     false
 
+(* -- parallel-scaling gate -------------------------------------------
+
+   The point of the flat-plane decode and the work-stealing pool is
+   that domains stop serialising on the minor collector; this gate
+   makes CI fail if that win regresses. Enforced only when the run is
+   at the pinned width (--jobs 4) AND the host actually has that many
+   cores — on fewer cores the jobsN rows mostly measure multicore-GC
+   overhead and a wall-clock speedup is not physically available, so
+   the gate reports its numbers but does not fail. *)
+let scaling_gate_jobs = 4
+let scaling_decode_speedup_min = 2.5
+let scaling_sweep_ratio_max = 1.05
+
+type scaling = {
+  sc_cores : int;
+  sc_enforced : bool;
+  sc_decode_speedup : float option; (* jobs1 / jobsN *)
+  sc_sweep_ratio : float option; (* jobsN / jobs1 *)
+}
+
+let scaling_measure rows =
+  let ratio num den =
+    match (row_ns rows num, row_ns rows den) with
+    | Some n, Some d when d > 0.0 -> Some (n /. d)
+    | _ -> None
+  in
+  let jn name = Printf.sprintf "%s_jobs%d" name jobs in
+  {
+    sc_cores = Domain.recommended_domain_count ();
+    sc_enforced =
+      jobs = scaling_gate_jobs && Domain.recommended_domain_count () >= jobs;
+    sc_decode_speedup = ratio "j2k_decode_jobs1" (jn "j2k_decode");
+    sc_sweep_ratio = ratio (jn "sweep_9v") "sweep_9v_jobs1";
+  }
+
+(* Returns true on an enforced breach. *)
+let scaling_gate sc =
+  let pp_opt = function
+    | Some v -> Printf.sprintf "%.3fx" v
+    | None -> "n/a"
+  in
+  let decode_breach =
+    match sc.sc_decode_speedup with
+    | Some s -> s < scaling_decode_speedup_min
+    | None -> jobs = scaling_gate_jobs (* required rows missing *)
+  in
+  let sweep_breach =
+    match sc.sc_sweep_ratio with
+    | Some r -> r > scaling_sweep_ratio_max
+    | None -> jobs = scaling_gate_jobs
+  in
+  let breach = sc.sc_enforced && (decode_breach || sweep_breach) in
+  Printf.printf
+    "parallel-scaling gate (jobs=%d, cores=%d): decode speedup %s (min \
+     %.2fx), sweep ratio %s (max %.2fx) - %s\n"
+    jobs sc.sc_cores
+    (pp_opt sc.sc_decode_speedup)
+    scaling_decode_speedup_min
+    (pp_opt sc.sc_sweep_ratio)
+    scaling_sweep_ratio_max
+    (if breach then "FAIL"
+     else if sc.sc_enforced then "ok"
+     else "not enforced");
+  breach
+
 let print_bench_results rows =
   Printf.printf "Benchmark (wall-clock per regeneration, OLS estimate):\n";
   List.iter
     (fun (name, ns) -> Printf.printf "  %-42s %12.3f ms\n" name (ns /. 1e6))
     rows
 
-let write_results_json path rows =
+let write_results_json path sc rows =
   let open Telemetry.Json in
+  let scaling_json =
+    let opt = function Some v -> Float v | None -> Null in
+    Obj
+      [
+        ("jobs", Int jobs);
+        ("cores", Int sc.sc_cores);
+        ("decode_speedup", opt sc.sc_decode_speedup);
+        ("sweep_ratio", opt sc.sc_sweep_ratio);
+        ("decode_speedup_min", Float scaling_decode_speedup_min);
+        ("sweep_ratio_max", Float scaling_sweep_ratio_max);
+        ("enforced", Bool sc.sc_enforced);
+      ]
+  in
   let bench_json =
     List.map
       (fun (name, ns) ->
@@ -473,6 +612,7 @@ let write_results_json path rows =
        [
          ("quick", Bool quick);
          ("jobs", Int jobs);
+         ("scaling", scaling_json);
          ("benchmarks", List bench_json);
          ( "serve",
            Obj
@@ -554,11 +694,13 @@ let print_ablations () =
 
 let () =
   Analysis.Lint.install ();
-  let results = benchmark () in
-  let rows = bench_rows results in
+  let passes = benchmark () in
+  let rows = bench_rows passes in
   print_bench_results rows;
   let overhead_breach = traced_overhead_gate rows in
-  write_results_json "BENCH_results.json" rows;
+  let sc = scaling_measure rows in
+  let scaling_breach = scaling_gate sc in
+  write_results_json "BENCH_results.json" sc rows;
   if not quick then begin
     print_newline ();
     print_string (Models.Tables.figure1 ~payload:false ());
@@ -568,5 +710,7 @@ let () =
     print_string (Models.Tables.relations_report ~payload:false ());
     print_ablations ()
   end;
+  if pool2 != par_pool then Par.Pool.shutdown pool2;
+  if pool4 != par_pool then Par.Pool.shutdown pool4;
   Par.Pool.shutdown par_pool;
-  if overhead_breach then exit 1
+  if overhead_breach || scaling_breach then exit 1

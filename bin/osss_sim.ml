@@ -585,6 +585,24 @@ let profile_cmd =
               ms_of_self_ps n.Telemetry.Profile.total_ps))
     in
     let top = Telemetry.Profile.top_self ~n:3 profile in
+    (* Scheduling balance of the serve run's pool maps. The counter
+       family is deterministic except [steals] (which chunk ran where
+       depends on the schedule) — that is why this lands in
+       profile.json, which is informational, and never in the
+       byte-diffed profile.folded. *)
+    let sched_json =
+      let open Telemetry.Json in
+      let c name = Telemetry.Report.counter sreport ("par.map." ^ name) in
+      Obj
+        [
+          ("jobs", Int jobs);
+          ("map_calls", Int (c "calls"));
+          ("map_jobs", Int (c "jobs"));
+          ("sequential", Int (c "sequential"));
+          ("chunks", Int (c "chunks"));
+          ("steals", Int (c "steals"));
+        ]
+    in
     let profile_json =
       let open Telemetry.Json in
       Obj
@@ -592,6 +610,7 @@ let profile_cmd =
           ("version", Str version_name);
           ("workload", Str (Serve.Request.spec_to_string spec));
           ("streams", Int streams);
+          ("sched", sched_json);
           ( "metrics",
             Obj
               [

@@ -23,7 +23,15 @@ let parse = Codestream.parse
    run on a [Par.Pool] in any schedule and the merged coefficients are
    identical to the sequential decode. The flattening also de-lists
    the hot path: segments, grids and blocks are walked as arrays, not
-   by [List.map2]/[List.length] per tile. *)
+   by [List.map2]/[List.length] per tile.
+
+   Two representations share that job structure. The {e boxed} path
+   (the original, kept for one release behind [?flat:false] as the
+   bit-identity cross-check, mirroring T1's [?lut]) decodes every
+   block into a fresh [int array] and merges by index. The {e flat}
+   path decodes through per-domain scratch state into one off-heap
+   {!Plane} per component — no per-block allocation, so parallel
+   decodes stop serialising on the minor collector. *)
 
 type block_job = {
   bj_slot : int; (* (component, band) slot index *)
@@ -47,9 +55,8 @@ type band_slot = {
    structure and that geometry. *)
 let tile_jobs ~fail ?max_passes header tile =
   let bands =
-    Array.of_list
-      (Subband.decompose ~width:tile.Codestream.tile_w
-         ~height:tile.Codestream.tile_h ~levels:header.Codestream.levels)
+    Subband.decompose_array ~width:tile.Codestream.tile_w
+      ~height:tile.Codestream.tile_h ~levels:header.Codestream.levels
   in
   let nbands = Array.length bands in
   let grids =
@@ -234,51 +241,11 @@ let inverse_colour_and_shift header tile domain =
       Array.map (fun data -> { Image.width = w; height = h; data }) int_planes;
   }
 
-let decode_tile ?max_passes ?(pool = Par.Pool.sequential) header tile =
-  entropy_decode_tile ?max_passes ~pool header tile
-  |> dequantise header
-  |> inverse_wavelet ~pool header
-  |> inverse_colour_and_shift header tile
+(* -- reduced-resolution view ----------------------------------------
 
-let decode_region ?(pool = Par.Pool.sequential) ~x ~y ~w ~h data =
-  let stream = parse data in
-  let header = stream.Codestream.header in
-  if w <= 0 || h <= 0 then invalid_arg "Decoder.decode_region: empty window";
-  if
-    x < 0 || y < 0
-    || x + w > header.Codestream.width
-    || y + h > header.Codestream.height
-  then invalid_arg "Decoder.decode_region: window outside the image";
-  let intersects tile =
-    tile.Codestream.tile_x0 < x + w
-    && tile.Codestream.tile_x0 + tile.Codestream.tile_w > x
-    && tile.Codestream.tile_y0 < y + h
-    && tile.Codestream.tile_y0 + tile.Codestream.tile_h > y
-  in
-  let needed = Array.of_list (List.filter intersects stream.Codestream.tiles) in
-  let region = Image.create ~width:w ~height:h ~components:header.Codestream.components
-      ~bit_depth:header.Codestream.bit_depth () in
-  let decoded = Par.Pool.map pool needed (fun seg -> decode_tile ~pool header seg) in
-  Array.iter
-    (fun tile ->
-      Array.iteri
-        (fun c sub ->
-          let plane = region.Image.planes.(c) in
-          for ty = 0 to sub.Image.height - 1 do
-            for tx = 0 to sub.Image.width - 1 do
-              let gx = tile.Tile.x0 + tx and gy = tile.Tile.y0 + ty in
-              if gx >= x && gx < x + w && gy >= y && gy < y + h then
-                Image.plane_set plane ~x:(gx - x) ~y:(gy - y)
-                  (Image.plane_get sub ~x:tx ~y:ty)
-            done
-          done)
-        tile.Tile.planes)
-    decoded;
-  region
-
-(* Reduced-resolution decode: keep only the bands with
-   level > discard (they occupy the top-left low-resolution corner of
-   the Mallat layout), then invert the remaining levels. *)
+   Keep only the bands with level > discard (they occupy the top-left
+   low-resolution corner of the Mallat layout), then invert the
+   remaining levels. *)
 let reduced_size n d =
   let rec shrink n k = if k = 0 then n else shrink (Subband.low_size n) (k - 1) in
   shrink n d
@@ -344,17 +311,252 @@ let compensate_k ~discard domain =
         ms
     end
 
-let decode_tile_reduced ?(pool = Par.Pool.sequential) header ~discard tile =
-  let reduced_header, reduced_tile = reduced_view header ~discard tile in
-  let domain =
-    entropy_decode_tile ~pool reduced_header reduced_tile
-    |> dequantise reduced_header
-  in
-  compensate_k ~discard domain;
-  inverse_wavelet ~pool reduced_header domain
-  |> inverse_colour_and_shift reduced_header reduced_tile
+(* Blocks whose advertised plane count exceeds any plausible magnitude
+   are refused up front on the robust paths (a corrupted count would
+   otherwise cost 3 passes per bogus plane before failing). *)
+let max_robust_planes = 30
 
-let decode_reduced ?(pool = Par.Pool.sequential) ~discard_levels data =
+(* -- flat decode path ------------------------------------------------
+
+   The same job structure as [tile_jobs], decoded into one off-heap
+   {!Plane} per component (Mallat layout, absolute band coordinates)
+   through T1's per-domain scratch state. Worker domains write
+   disjoint rectangles of the shared planes — race-free, and
+   deterministic because where a block lands depends only on the job,
+   never on the schedule. A block decode that raises blits nothing,
+   so its rectangle simply stays zero: exactly the concealment the
+   robust path wants. *)
+
+type flat_job = {
+  fj_comp : int;
+  fj_x0 : int; (* absolute position in the component's Mallat plane *)
+  fj_y0 : int;
+  fj_w : int;
+  fj_h : int;
+  fj_planes : int;
+  fj_orientation : Subband.orientation;
+  fj_passes : string list;
+}
+
+type flat_tile = {
+  ft_bands : Subband.band array;
+  ft_planes : Plane.t array; (* one per component, tile_w x tile_h *)
+  ft_jobs : flat_job array;
+}
+
+let flat_tile_jobs ~fail ?max_passes header tile =
+  let bands =
+    Subband.decompose_array ~width:tile.Codestream.tile_w
+      ~height:tile.Codestream.tile_h ~levels:header.Codestream.levels
+  in
+  let nbands = Array.length bands in
+  let grids =
+    Array.map
+      (fun (band : Subband.band) ->
+        Array.of_list
+          (Codestream.block_grid ~code_block:header.Codestream.code_block
+             ~w:band.Subband.w ~h:band.Subband.h))
+      bands
+  in
+  let planes =
+    Array.map
+      (fun _ ->
+        Plane.create ~w:tile.Codestream.tile_w ~h:tile.Codestream.tile_h)
+      tile.Codestream.comps
+  in
+  let jobs = ref [] in
+  Array.iteri
+    (fun ci segments ->
+      let segs = Array.of_list segments in
+      if Array.length segs <> nbands then fail "band count mismatch";
+      Array.iteri
+        (fun bi (seg : Codestream.band_segment) ->
+          let band = bands.(bi) in
+          if
+            band.Subband.w <> seg.Codestream.seg_w
+            || band.Subband.h <> seg.Codestream.seg_h
+            || band.Subband.orientation <> seg.Codestream.seg_orientation
+          then fail "band geometry mismatch";
+          let grid = grids.(bi) in
+          let blocks = Array.of_list seg.Codestream.seg_blocks in
+          if Array.length grid <> Array.length blocks then
+            fail "code-block count mismatch";
+          Array.iteri
+            (fun k (x0, y0, w, h) ->
+              let blk = blocks.(k) in
+              let passes =
+                match max_passes with
+                | None -> blk.Codestream.blk_passes
+                | Some n ->
+                  List.filteri (fun i _ -> i < n) blk.Codestream.blk_passes
+              in
+              jobs :=
+                {
+                  fj_comp = ci;
+                  fj_x0 = band.Subband.x0 + x0;
+                  fj_y0 = band.Subband.y0 + y0;
+                  fj_w = w;
+                  fj_h = h;
+                  fj_planes = blk.Codestream.blk_planes;
+                  fj_orientation = band.Subband.orientation;
+                  fj_passes = passes;
+                }
+                :: !jobs)
+            grid)
+        segs)
+    tile.Codestream.comps;
+  {
+    ft_bands = bands;
+    ft_planes = planes;
+    ft_jobs = Array.of_list (List.rev !jobs);
+  }
+
+(* One flat job: scratch-decode the block on this domain and blit it
+   into its component plane. *)
+let decode_flat_job ft j =
+  let block =
+    T1.decode_block_scalable_scratch ~orientation:j.fj_orientation ~w:j.fj_w
+      ~h:j.fj_h ~planes:j.fj_planes j.fj_passes
+  in
+  Plane.blit_block ft.ft_planes.(j.fj_comp) ~x0:j.fj_x0 ~y0:j.fj_y0 ~w:j.fj_w
+    ~h:j.fj_h block
+
+(* Containment semantics of the robust path: [false] marks a block
+   whose codeword no longer decodes; its rectangle stays zero. *)
+let decode_flat_job_robust ft j =
+  if j.fj_planes > max_robust_planes then false
+  else
+    match decode_flat_job ft j with
+    | () -> true
+    | exception (Failure _ | Invalid_argument _ | Exit | Not_found) -> false
+
+let flat_entropy ?max_passes ~pool header tile =
+  let fail msg = failwith ("Decoder: " ^ msg) in
+  let ft = flat_tile_jobs ~fail ?max_passes header tile in
+  Par.Pool.iter pool ft.ft_jobs (decode_flat_job ft);
+  ft
+
+(* IQ over one band rectangle of a flat plane — [Quant.dequantise]
+   per coefficient, without the boxed intermediate array. *)
+let dequantise_flat_band m plane ~step (band : Subband.band) =
+  for y = 0 to band.Subband.h - 1 do
+    for x = 0 to band.Subband.w - 1 do
+      let q =
+        Plane.get plane ~x:(band.Subband.x0 + x) ~y:(band.Subband.y0 + y)
+      in
+      Dwt97.matrix_set m
+        ~x:(band.Subband.x0 + x)
+        ~y:(band.Subband.y0 + y)
+        (Quant.dequantise_one ~step q)
+    done
+  done
+
+(* The remaining stages over flat planes: IQ, K compensation, in-place
+   IDWT, colour/DC-shift — step for step the boxed
+   [dequantise] / [compensate_k] / [inverse_wavelet] /
+   [inverse_colour_and_shift] chain, so the two paths agree bit for
+   bit. *)
+let finish_flat ?(pool = Par.Pool.sequential) ~discard header tile ft =
+  let w = tile.Codestream.tile_w and h = tile.Codestream.tile_h in
+  let levels = header.Codestream.levels in
+  match header.Codestream.mode with
+  | Codestream.Lossless ->
+    Par.Pool.iter pool ft.ft_planes (fun p -> Dwt53.inverse_flat p ~levels);
+    inverse_colour_and_shift header tile
+      (Ints
+         (Array.map
+            (fun p -> { Image.width = w; height = h; data = Plane.to_array p })
+            ft.ft_planes))
+  | Codestream.Lossy ->
+    let ms =
+      Array.map
+        (fun plane ->
+          let m = Dwt97.matrix_create ~w ~h in
+          Array.iter
+            (fun (band : Subband.band) ->
+              if band.Subband.w > 0 && band.Subband.h > 0 then begin
+                let step =
+                  Quant.step_for ~base_step:header.Codestream.base_step ~levels
+                    ~level:band.Subband.level band.Subband.orientation
+                in
+                dequantise_flat_band m plane ~step band
+              end)
+            ft.ft_bands;
+          m)
+        ft.ft_planes
+    in
+    compensate_k ~discard (Floats ms);
+    Par.Pool.iter pool ms (fun m -> Dwt97.inverse_ip m ~levels);
+    inverse_colour_and_shift header tile (Floats ms)
+
+(* -- whole-tile / whole-image decode -------------------------------- *)
+
+let decode_tile ?max_passes ?(pool = Par.Pool.sequential) ?(flat = true) header
+    tile =
+  if flat then
+    finish_flat ~pool ~discard:0 header tile
+      (flat_entropy ?max_passes ~pool header tile)
+  else
+    entropy_decode_tile ?max_passes ~pool header tile
+    |> dequantise header
+    |> inverse_wavelet ~pool header
+    |> inverse_colour_and_shift header tile
+
+let decode_region ?(pool = Par.Pool.sequential) ?flat ~x ~y ~w ~h data =
+  let stream = parse data in
+  let header = stream.Codestream.header in
+  if w <= 0 || h <= 0 then invalid_arg "Decoder.decode_region: empty window";
+  if
+    x < 0 || y < 0
+    || x + w > header.Codestream.width
+    || y + h > header.Codestream.height
+  then invalid_arg "Decoder.decode_region: window outside the image";
+  let intersects tile =
+    tile.Codestream.tile_x0 < x + w
+    && tile.Codestream.tile_x0 + tile.Codestream.tile_w > x
+    && tile.Codestream.tile_y0 < y + h
+    && tile.Codestream.tile_y0 + tile.Codestream.tile_h > y
+  in
+  let needed = Array.of_list (List.filter intersects stream.Codestream.tiles) in
+  let region = Image.create ~width:w ~height:h ~components:header.Codestream.components
+      ~bit_depth:header.Codestream.bit_depth () in
+  let decoded =
+    Par.Pool.map pool needed (fun seg -> decode_tile ~pool ?flat header seg)
+  in
+  Array.iter
+    (fun tile ->
+      Array.iteri
+        (fun c sub ->
+          let plane = region.Image.planes.(c) in
+          for ty = 0 to sub.Image.height - 1 do
+            for tx = 0 to sub.Image.width - 1 do
+              let gx = tile.Tile.x0 + tx and gy = tile.Tile.y0 + ty in
+              if gx >= x && gx < x + w && gy >= y && gy < y + h then
+                Image.plane_set plane ~x:(gx - x) ~y:(gy - y)
+                  (Image.plane_get sub ~x:tx ~y:ty)
+            done
+          done)
+        tile.Tile.planes)
+    decoded;
+  region
+
+let decode_tile_reduced ?(pool = Par.Pool.sequential) ?(flat = true) header
+    ~discard tile =
+  let reduced_header, reduced_tile = reduced_view header ~discard tile in
+  if flat then
+    finish_flat ~pool ~discard reduced_header reduced_tile
+      (flat_entropy ~pool reduced_header reduced_tile)
+  else begin
+    let domain =
+      entropy_decode_tile ~pool reduced_header reduced_tile
+      |> dequantise reduced_header
+    in
+    compensate_k ~discard domain;
+    inverse_wavelet ~pool reduced_header domain
+    |> inverse_colour_and_shift reduced_header reduced_tile
+  end
+
+let decode_reduced ?(pool = Par.Pool.sequential) ?flat ~discard_levels data =
   let stream = parse data in
   let header = stream.Codestream.header in
   if discard_levels < 0 || discard_levels > header.Codestream.levels then
@@ -367,7 +569,7 @@ let decode_reduced ?(pool = Par.Pool.sequential) ~discard_levels data =
     Array.to_list
       (Par.Pool.map pool
          (Array.of_list stream.Codestream.tiles)
-         (decode_tile_reduced ~pool header ~discard:discard_levels))
+         (decode_tile_reduced ~pool ?flat header ~discard:discard_levels))
   in
   Tile.assemble
     ~width:(reduced_size header.Codestream.width discard_levels)
@@ -375,24 +577,24 @@ let decode_reduced ?(pool = Par.Pool.sequential) ~discard_levels data =
     ~components:header.Codestream.components
     ~bit_depth:header.Codestream.bit_depth tiles
 
-let decode_with ?max_passes ?(pool = Par.Pool.sequential) data =
+let decode_with ?max_passes ?(pool = Par.Pool.sequential) ?flat data =
   let stream = parse data in
   let header = stream.Codestream.header in
   let tiles =
     Array.to_list
       (Par.Pool.map pool
          (Array.of_list stream.Codestream.tiles)
-         (decode_tile ?max_passes ~pool header))
+         (decode_tile ?max_passes ~pool ?flat header))
   in
   Tile.assemble ~width:header.Codestream.width ~height:header.Codestream.height
     ~components:header.Codestream.components ~bit_depth:header.Codestream.bit_depth
     tiles
 
-let decode ?pool data = decode_with ?pool data
+let decode ?pool ?flat data = decode_with ?pool ?flat data
 
-let decode_progressive ?pool ~max_passes data =
+let decode_progressive ?pool ?flat ~max_passes data =
   if max_passes < 0 then invalid_arg "Decoder.decode_progressive: max_passes";
-  decode_with ~max_passes ?pool data
+  decode_with ~max_passes ?pool ?flat data
 
 (* -- graceful degradation ------------------------------------------- *)
 
@@ -417,7 +619,6 @@ let pp_report ppf r =
    error-resilience strategy) instead of poisoning the tile. Returns
    [None] when the tile's structure itself is inconsistent with the
    header geometry and the whole tile must be concealed. *)
-let max_robust_planes = 30
 
 let entropy_decode_tile_robust ?(pool = Par.Pool.sequential) header tile =
   match tile_jobs ~fail:(fun _ -> raise Exit) header tile with
@@ -527,22 +728,35 @@ let missing_tiles (header : Codestream.header) present =
 (* The robust body over an explicit tile population: [present] tiles
    decode with per-block containment, [missing] ones are concealed
    whole. *)
-let decode_robust_tiles ~pool header ~present ~missing =
+let decode_robust_tiles ~pool ~flat header ~present ~missing =
   let decode_one tile =
     (* (tile image, concealed blocks, concealed tiles, total blocks):
        per-tile results stay pure so the fan-out over tiles cannot
        race on the report counters. *)
     let total = tile_block_count header tile in
-    match entropy_decode_tile_robust ~pool header tile with
-    | Some (ed, concealed) ->
-      (match
-         dequantise header ed |> inverse_wavelet header
-         |> inverse_colour_and_shift header tile
-       with
-      | t -> (t, concealed, 0, total)
-      | exception (Failure _ | Invalid_argument _) ->
-        (concealed_tile header tile, concealed, 1, total))
-    | None -> (concealed_tile header tile, 0, 1, total)
+    if flat then
+      match flat_tile_jobs ~fail:(fun _ -> raise Exit) header tile with
+      | exception Exit -> (concealed_tile header tile, 0, 1, total)
+      | ft -> (
+        let oks = Par.Pool.map pool ft.ft_jobs (decode_flat_job_robust ft) in
+        let concealed =
+          Array.fold_left (fun acc ok -> if ok then acc else acc + 1) 0 oks
+        in
+        match finish_flat ~discard:0 header tile ft with
+        | t -> (t, concealed, 0, total)
+        | exception (Failure _ | Invalid_argument _) ->
+          (concealed_tile header tile, concealed, 1, total))
+    else
+      match entropy_decode_tile_robust ~pool header tile with
+      | Some (ed, concealed) -> (
+        match
+          dequantise header ed |> inverse_wavelet header
+          |> inverse_colour_and_shift header tile
+        with
+        | t -> (t, concealed, 0, total)
+        | exception (Failure _ | Invalid_argument _) ->
+          (concealed_tile header tile, concealed, 1, total))
+      | None -> (concealed_tile header tile, 0, 1, total)
   in
   let results = Par.Pool.map pool (Array.of_list present) decode_one in
   let concealed_blocks = ref 0 and concealed_tiles = ref 0 in
@@ -581,10 +795,10 @@ let decode_robust_tiles ~pool header ~present ~missing =
         total_tiles = List.length present + List.length missing;
       } )
 
-let decode_robust ?(pool = Par.Pool.sequential) data =
+let decode_robust ?(pool = Par.Pool.sequential) ?(flat = true) data =
   match Codestream.parse_result data with
   | Ok stream ->
-    decode_robust_tiles ~pool stream.Codestream.header
+    decode_robust_tiles ~pool ~flat stream.Codestream.header
       ~present:stream.Codestream.tiles ~missing:[]
   | Error (Codestream.Truncated _ as e) -> (
     (* A truncated stream is the signature of a stalled or lossy
@@ -600,7 +814,7 @@ let decode_robust ?(pool = Par.Pool.sequential) data =
     | None -> Error e
     | Some header ->
       let present = List.init (Stream.tiles_ready s) (Stream.tile s) in
-      decode_robust_tiles ~pool header ~present
+      decode_robust_tiles ~pool ~flat header ~present
         ~missing:(missing_tiles header present))
   | Error e -> Error e
 
@@ -611,19 +825,27 @@ let psnr_impact ~reference (image, report) =
 
 (* A tile split into its independent entropy-decode jobs but not yet
    decoded: the serving layer's batch scheduler collects the jobs of
-   many tiles across many requests into one array, runs them on a
-   single [Par.Pool.map], and finishes each tile from its slice of
+   many tiles across many requests into one array and runs them on a
+   single [Par.Pool] batch, and finishes each tile from its slice of
    the results. The staged pipeline performs exactly the steps of
    [decode_tile] / [decode_tile_reduced], so a finished tile is
-   bit-identical to the monolithic per-tile decode. *)
+   bit-identical to the monolithic per-tile decode.
+
+   The coefficients live in the flat planes of [flat_tile]. Two job
+   protocols share them: [staged_run] decodes job [i] directly into
+   the staged tile's planes (in place, no allocation — disjoint
+   rectangles keep concurrent jobs of any staged tiles race-free) and
+   [finish_staged_ok] only counts the concealments; the older
+   [staged_job]/[finish_staged] pair returns each block as a fresh
+   array and blits at finish time. Both orders write the same
+   rectangles with the same values, so they are interchangeable bit
+   for bit. *)
 
 type staged = {
   st_header : Codestream.header;  (* effective (reduced) header *)
   st_tile : Codestream.tile_segment;  (* effective (reduced) segment *)
   st_discard : int;
-  st_nbands : int;
-  st_slots : band_slot array;
-  st_jobs : block_job array;
+  st_flat : flat_tile;
 }
 
 let stage_tile ?max_passes ?(discard = 0) header tile =
@@ -631,17 +853,10 @@ let stage_tile ?max_passes ?(discard = 0) header tile =
     invalid_arg "Decoder.stage_tile: discard";
   let st_header, st_tile = reduced_view header ~discard tile in
   let fail msg = failwith ("Decoder: " ^ msg) in
-  let nbands, slots, jobs = tile_jobs ~fail ?max_passes st_header st_tile in
-  {
-    st_header;
-    st_tile;
-    st_discard = discard;
-    st_nbands = nbands;
-    st_slots = slots;
-    st_jobs = jobs;
-  }
+  let st_flat = flat_tile_jobs ~fail ?max_passes st_header st_tile in
+  { st_header; st_tile; st_discard = discard; st_flat }
 
-let staged_jobs st = Array.length st.st_jobs
+let staged_jobs st = Array.length st.st_flat.ft_jobs
 
 let staged_coded_bytes st = Codestream.segment_bytes st.st_tile
 
@@ -656,13 +871,12 @@ let staged_block_classes st =
   let blocks = Array.make 4 0 and bytes = Array.make 4 0 in
   Array.iter
     (fun j ->
-      let o = st.st_slots.(j.bj_slot).sl_band.Subband.orientation in
-      let i = Subband.orientation_code o in
+      let i = Subband.orientation_code j.fj_orientation in
       blocks.(i) <- blocks.(i) + 1;
       bytes.(i) <-
         bytes.(i)
-        + List.fold_left (fun acc p -> acc + String.length p) 0 j.bj_passes)
-    st.st_jobs;
+        + List.fold_left (fun acc p -> acc + String.length p) 0 j.fj_passes)
+    st.st_flat.ft_jobs;
   List.filter_map
     (fun i ->
       if blocks.(i) = 0 then None
@@ -677,42 +891,42 @@ let staged_block_classes st =
         Some (name, blocks.(i), bytes.(i)))
     [ 0; 1; 2; 3 ]
 
-(* Pure per-job decode with the containment semantics of the robust
-   path: [None] marks a block whose codeword no longer decodes. Only
-   [st_slots] orientations are read, so any number of jobs of any
-   staged tiles may run concurrently on pool workers. *)
+let staged_run st i = decode_flat_job_robust st.st_flat st.st_flat.ft_jobs.(i)
+
+let check_result_count st n =
+  if n <> Array.length st.st_flat.ft_jobs then
+    invalid_arg "Decoder.finish_staged: result count mismatch"
+
+let finish_staged_ok st ok =
+  check_result_count st (Array.length ok);
+  let concealed =
+    Array.fold_left (fun acc o -> if o then acc else acc + 1) 0 ok
+  in
+  ( finish_flat ~discard:st.st_discard st.st_header st.st_tile st.st_flat,
+    concealed )
+
+(* Compat protocol: pure per-job decode returning a fresh block. *)
 let staged_job st i =
-  let j = st.st_jobs.(i) in
-  if j.bj_planes > max_robust_planes then None
+  let j = st.st_flat.ft_jobs.(i) in
+  if j.fj_planes > max_robust_planes then None
   else
-    match decode_job st.st_slots j with
-    | block when Array.length block = j.bj_w * j.bj_h -> Some block
-    | _ -> None
+    match
+      T1.decode_block_scalable_scratch ~orientation:j.fj_orientation ~w:j.fj_w
+        ~h:j.fj_h ~planes:j.fj_planes j.fj_passes
+    with
+    | block -> Some (Array.sub block 0 (j.fj_w * j.fj_h))
     | exception (Failure _ | Invalid_argument _ | Exit | Not_found) -> None
 
 let finish_staged st results =
-  if Array.length results <> Array.length st.st_jobs then
-    invalid_arg "Decoder.finish_staged: result count mismatch";
+  check_result_count st (Array.length results);
   let concealed = ref 0 in
   Array.iteri
     (fun i j ->
       match results.(i) with
-      | Some block -> place_block st.st_slots j block
+      | Some block ->
+        Plane.blit_block st.st_flat.ft_planes.(j.fj_comp) ~x0:j.fj_x0
+          ~y0:j.fj_y0 ~w:j.fj_w ~h:j.fj_h block
       | None -> incr concealed (* the block's coefficients stay zero *))
-    st.st_jobs;
-  let decoded =
-    {
-      ed_tile = st.st_tile;
-      ed_comps =
-        comps_of_slots
-          ~ncomps:(Array.length st.st_tile.Codestream.comps)
-          ~nbands:st.st_nbands st.st_slots;
-    }
-  in
-  let domain = dequantise st.st_header decoded in
-  compensate_k ~discard:st.st_discard domain;
-  let tile =
-    inverse_wavelet st.st_header domain
-    |> inverse_colour_and_shift st.st_header st.st_tile
-  in
-  (tile, !concealed)
+    st.st_flat.ft_jobs;
+  ( finish_flat ~discard:st.st_discard st.st_header st.st_tile st.st_flat,
+    !concealed )

@@ -16,7 +16,22 @@
     blocks within a tile, planes in the IDWT, tiles in a full decode —
     takes an optional [?pool] ({!Par.Pool.t}, default
     {!Par.Pool.sequential}). Results are merged by index, so a decode
-    on any pool is bit-identical to the sequential one. *)
+    on any pool is bit-identical to the sequential one.
+
+    {b Memory layout.} The whole-image entry points decode through
+    {e flat} coefficient planes by default ([?flat:true]): each
+    component's coefficients live in one off-heap {!Plane} (Mallat
+    layout), code blocks decode through per-domain scratch state
+    ({!T1.decode_block_scalable_scratch}) and blit their rectangle
+    into the shared plane, and the inverse transforms run in place
+    ({!Dwt53.inverse_flat}, {!Dwt97.inverse_ip}). No per-block or
+    per-line allocation survives into the steady state, so parallel
+    decodes stop serialising on the minor collector's stop-the-world
+    synchronisation. [?flat:false] keeps the original boxed-array
+    path for one release as a bit-identity cross-check (the same
+    transition discipline as the T1 [?lut] flag); the two paths are
+    verified bit-identical by the property tests at every pool
+    width. *)
 
 type band_coeffs = {
   bc_band : Subband.band;
@@ -65,18 +80,23 @@ val inverse_colour_and_shift :
 val decode_tile :
   ?max_passes:int ->
   ?pool:Par.Pool.t ->
+  ?flat:bool ->
   Codestream.header ->
   Codestream.tile_segment ->
   Tile.t
-(** All tile stages composed. *)
+(** All tile stages composed. [?flat] (default [true]) selects the
+    flat-plane pipeline; [?flat:false] runs the boxed stage chain
+    ({!entropy_decode_tile} → {!dequantise} → {!inverse_wavelet} →
+    {!inverse_colour_and_shift}). Both produce bit-identical tiles. *)
 
-val decode : ?pool:Par.Pool.t -> string -> Image.t
+val decode : ?pool:Par.Pool.t -> ?flat:bool -> string -> Image.t
 (** Full decode of a codestream. Tiles fan out over [pool]; inside a
     worker the per-tile stages degrade to sequential (the pool is
     re-entrancy-safe), so a single-tile stream still parallelises
     over its code blocks when called from the main domain. *)
 
-val decode_progressive : ?pool:Par.Pool.t -> max_passes:int -> string -> Image.t
+val decode_progressive :
+  ?pool:Par.Pool.t -> ?flat:bool -> max_passes:int -> string -> Image.t
 (** Quality-scalable decode: every code block contributes only its
     first [max_passes] coding passes, as if the stream had been
     truncated at that pass boundary — fidelity increases
@@ -84,14 +104,22 @@ val decode_progressive : ?pool:Par.Pool.t -> max_passes:int -> string -> Image.t
     reconstruction once all passes are included. *)
 
 val decode_region :
-  ?pool:Par.Pool.t -> x:int -> y:int -> w:int -> h:int -> string -> Image.t
+  ?pool:Par.Pool.t ->
+  ?flat:bool ->
+  x:int ->
+  y:int ->
+  w:int ->
+  h:int ->
+  string ->
+  Image.t
 (** Region-of-interest decode: entropy-decodes only the tiles that
     intersect the requested window and crops the result to it — the
     random-access capability tiling exists for. Raises
     [Invalid_argument] if the window is empty or falls outside the
     image. *)
 
-val decode_reduced : ?pool:Par.Pool.t -> discard_levels:int -> string -> Image.t
+val decode_reduced :
+  ?pool:Par.Pool.t -> ?flat:bool -> discard_levels:int -> string -> Image.t
 (** Resolution-scalable decode: reconstructs the image at
     [1/2^discard_levels] of its dimensions by entropy-decoding only
     the coarser subbands and running fewer inverse-wavelet levels —
@@ -139,7 +167,10 @@ val entropy_decode_tile_robust :
     whole tile must be concealed. Never raises on any parsed tile. *)
 
 val decode_robust :
-  ?pool:Par.Pool.t -> string -> (Image.t * report, Codestream.error) result
+  ?pool:Par.Pool.t ->
+  ?flat:bool ->
+  string ->
+  (Image.t * report, Codestream.error) result
 (** Total decode of arbitrary bytes: [Error] iff the codestream
     framing is invalid, otherwise a full-size image with damage
     confined and reported. [decode_robust (emit s)] of a well-formed
@@ -200,11 +231,32 @@ val staged_block_classes : staged -> (string * int * int) list
     profiler's T1 cost attribution. Pure function of the segment
     structure. *)
 
+val staged_run : staged -> int -> bool
+(** Decodes job [i] through this domain's scratch state straight into
+    the staged tile's flat coefficient planes — the in-place protocol
+    the serving layer uses. Jobs write disjoint rectangles, so any
+    number of jobs of any staged tiles may run concurrently on pool
+    workers. [false] marks a damaged block (containment, as in
+    {!entropy_decode_tile_robust}): its rectangle stays zero and it
+    must be counted via {!finish_staged_ok}. On a well-formed stream
+    every job returns [true]. *)
+
+val finish_staged_ok : staged -> bool array -> Tile.t * int
+(** Finishes a tile whose jobs ran through {!staged_run}: runs IQ,
+    IDWT and ICT/DC-shift over the in-place planes and returns the
+    tile with the concealed-block count (the [false] entries). Raises
+    [Invalid_argument] if the result count does not match
+    {!staged_jobs}. *)
+
 val staged_job : staged -> int -> int array option
-(** Decodes job [i]. Pure with respect to shared state — jobs of any
-    staged tiles may run concurrently on pool workers. [None] marks a
-    damaged block (containment, as in {!entropy_decode_tile_robust});
-    on a well-formed stream every job is [Some]. *)
+(** Compat protocol: decodes job [i] into a fresh array without
+    touching the staged planes. Pure with respect to shared state —
+    jobs of any staged tiles may run concurrently on pool workers.
+    [None] marks a damaged block (containment, as in
+    {!entropy_decode_tile_robust}); on a well-formed stream every job
+    is [Some]. [{!staged_job} + {!finish_staged}] and [{!staged_run} +
+    {!finish_staged_ok}] write the same rectangles with the same
+    values and are interchangeable bit for bit. *)
 
 val finish_staged : staged -> int array option array -> Tile.t * int
 (** Places the job results (in job order), conceals [None] blocks,

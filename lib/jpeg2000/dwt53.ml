@@ -94,3 +94,75 @@ let inverse_plane plane ~levels =
   List.iter
     (fun (w, h) -> inverse_level plane ~w ~h)
     (sizes 0 plane.Image.width plane.Image.height [])
+
+(* -- in-place inverse over a flat plane ------------------------------
+
+   The same lifting arithmetic as [inverse_1d] (integer, so the
+   result is bit-identical), but reading and writing a {!Plane}
+   directly through two per-domain scratch lines instead of
+   allocating [Array.init] rows/columns and intermediate arrays per
+   line — on the parallel path those per-line allocations are minor-
+   heap churn every worker domain pays. *)
+
+(* [even.(i)] of a line whose [n]-prefix sits in [line]; shared by
+   the row and column passes below. *)
+let flat_even line even n =
+  let nl = (n + 1) / 2 and nh = n / 2 in
+  for i = 0 to nl - 1 do
+    let dm = line.(nl + (if i = 0 then 0 else i - 1)) in
+    let d0 = line.(nl + (if i >= nh then nh - 1 else i)) in
+    even.(i) <- line.(i) - ((dm + d0 + 2) asr 2)
+  done
+
+let inverse_level_flat p ~w ~h =
+  let pw = Plane.width p in
+  let line = Plane.Scratch.ints (Stdlib.max w h) in
+  let even = Plane.Scratch.ints2 ((Stdlib.max w h / 2) + 1) in
+  (* Columns first, then rows — the order of [inverse_level]. *)
+  if h > 1 then begin
+    let nl = (h + 1) / 2 and nh = h / 2 in
+    for x = 0 to w - 1 do
+      for i = 0 to h - 1 do
+        line.(i) <- Plane.unsafe_get p ((i * pw) + x)
+      done;
+      flat_even line even h;
+      for i = 0 to nl - 1 do
+        Plane.unsafe_set p ((2 * i * pw) + x) even.(i)
+      done;
+      for i = 0 to nh - 1 do
+        let e1 = if i + 1 >= nl then even.(nl - 1) else even.(i + 1) in
+        Plane.unsafe_set p
+          ((((2 * i) + 1) * pw) + x)
+          (line.(nl + i) + ((even.(i) + e1) asr 1))
+      done
+    done
+  end;
+  if w > 1 then begin
+    let nl = (w + 1) / 2 and nh = w / 2 in
+    for y = 0 to h - 1 do
+      let base = y * pw in
+      for i = 0 to w - 1 do
+        line.(i) <- Plane.unsafe_get p (base + i)
+      done;
+      flat_even line even w;
+      for i = 0 to nl - 1 do
+        Plane.unsafe_set p (base + (2 * i)) even.(i)
+      done;
+      for i = 0 to nh - 1 do
+        let e1 = if i + 1 >= nl then even.(nl - 1) else even.(i + 1) in
+        Plane.unsafe_set p
+          (base + (2 * i) + 1)
+          (line.(nl + i) + ((even.(i) + e1) asr 1))
+      done
+    done
+  end
+
+let inverse_flat p ~levels =
+  check_levels levels;
+  let rec sizes level w h acc =
+    if level = levels then acc
+    else sizes (level + 1) (Subband.low_size w) (Subband.low_size h) ((w, h) :: acc)
+  in
+  List.iter
+    (fun (w, h) -> inverse_level_flat p ~w ~h)
+    (sizes 0 (Plane.width p) (Plane.height p) [])

@@ -18,3 +18,9 @@ val forward_plane : Image.plane -> levels:int -> unit
     then columns per level, recursing on the LL quadrant). *)
 
 val inverse_plane : Image.plane -> levels:int -> unit
+
+val inverse_flat : Plane.t -> levels:int -> unit
+(** {!inverse_plane} over a flat {!Plane}, in place, using per-domain
+    scratch lines ({!Plane.Scratch}) instead of per-line allocation.
+    Integer lifting, so the coefficients are bit-identical to the
+    boxed path's. *)

@@ -121,3 +121,48 @@ let inverse m ~levels =
     else sizes (level + 1) (Subband.low_size w) (Subband.low_size h) ((w, h) :: acc)
   in
   List.iter (fun (w, h) -> inverse_level m ~w ~h) (sizes 0 m.mw m.mh [])
+
+(* -- in-place inverse over a per-domain scratch line -----------------
+
+   [inverse_1d] allocates a line copy per row/column (plus the
+   [Array.init]/[set_row] temporaries around it); this variant stages
+   each line in one [Plane.Scratch] float buffer instead. The
+   floating-point operations — K scaling on load, then the four
+   lifting steps via [lift] — run in exactly the order of
+   [inverse_1d], so the reconstruction is bit-identical. *)
+
+let inverse_line_ip m y n ~base ~stride =
+  let nl = (n + 1) / 2 and nh = n / 2 in
+  for i = 0 to nl - 1 do
+    y.(2 * i) <- m.values.(base + (i * stride)) *. kappa
+  done;
+  for i = 0 to nh - 1 do
+    y.((2 * i) + 1) <- m.values.(base + ((nl + i) * stride)) /. kappa
+  done;
+  lift y n ~parity:0 (-.delta);
+  lift y n ~parity:1 (-.gamma);
+  lift y n ~parity:0 (-.beta);
+  lift y n ~parity:1 (-.alpha);
+  for i = 0 to n - 1 do
+    m.values.(base + (i * stride)) <- y.(i)
+  done
+
+let inverse_level_ip m ~w ~h =
+  let y = Plane.Scratch.floats (Stdlib.max w h) in
+  (* Columns first, then rows — the order of [inverse_level]. *)
+  if h > 1 then
+    for x = 0 to w - 1 do
+      inverse_line_ip m y h ~base:x ~stride:m.mw
+    done;
+  if w > 1 then
+    for yr = 0 to h - 1 do
+      inverse_line_ip m y w ~base:(yr * m.mw) ~stride:1
+    done
+
+let inverse_ip m ~levels =
+  check_levels levels;
+  let rec sizes level w h acc =
+    if level = levels then acc
+    else sizes (level + 1) (Subband.low_size w) (Subband.low_size h) ((w, h) :: acc)
+  in
+  List.iter (fun (w, h) -> inverse_level_ip m ~w ~h) (sizes 0 m.mw m.mh [])

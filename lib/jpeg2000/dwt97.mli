@@ -26,3 +26,10 @@ val forward : matrix -> levels:int -> unit
 (** In-place multi-level 2-D decomposition, Mallat layout. *)
 
 val inverse : matrix -> levels:int -> unit
+
+val inverse_ip : matrix -> levels:int -> unit
+(** {!inverse} staged through one per-domain scratch line
+    ({!Plane.Scratch.floats}) instead of allocating per row/column.
+    The floating-point operations run in exactly the order of
+    {!inverse}, so the reconstruction is bit-identical — the property
+    the flat decode path's cross-check rests on. *)

@@ -9,6 +9,17 @@ let create_plane ~width ~height =
 let plane_get p ~x ~y = p.data.((y * p.width) + x)
 let plane_set p ~x ~y v = p.data.((y * p.width) + x) <- v
 
+let blit_row ~src ~src_x ~src_y ~dst ~dst_x ~dst_y ~len =
+  if
+    len < 0 || src_x < 0 || src_x + len > src.width || src_y < 0
+    || src_y >= src.height || dst_x < 0
+    || dst_x + len > dst.width
+    || dst_y < 0 || dst_y >= dst.height
+  then invalid_arg "Image.blit_row: row out of bounds";
+  Array.blit src.data ((src_y * src.width) + src_x) dst.data
+    ((dst_y * dst.width) + dst_x)
+    len
+
 let create ~width ~height ~components ?(bit_depth = 8) () =
   if components <= 0 then invalid_arg "Image.create: components";
   if bit_depth < 1 || bit_depth > 16 then invalid_arg "Image.create: bit_depth";

@@ -18,6 +18,19 @@ val create_plane : width:int -> height:int -> plane
 val plane_get : plane -> x:int -> y:int -> int
 val plane_set : plane -> x:int -> y:int -> int -> unit
 
+val blit_row :
+  src:plane ->
+  src_x:int ->
+  src_y:int ->
+  dst:plane ->
+  dst_x:int ->
+  dst_y:int ->
+  len:int ->
+  unit
+(** Copies [len] samples of one row — a single bounds check and an
+    [Array.blit], the tile split/assemble hot path. Raises
+    [Invalid_argument] if either row segment is out of bounds. *)
+
 val create : width:int -> height:int -> components:int -> ?bit_depth:int -> unit -> t
 val width : t -> int
 val height : t -> int

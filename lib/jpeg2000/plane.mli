@@ -1,0 +1,65 @@
+(** Flat, off-heap coefficient planes for the parallel decode path.
+
+    A plane is one native-int Bigarray per tile component, zero-filled
+    on creation. Worker domains blit decoded code-blocks into disjoint
+    rectangles of a shared plane ({!blit_block} checks the rectangle
+    once per block, so corrupted geometry fails loudly), and the
+    in-place wavelet transforms then run over the same storage. The
+    buffer lives outside the GC'd heap and is never scanned: a decode
+    over flat planes performs no per-block or per-line heap allocation,
+    which is what lets domains scale instead of serialising on the
+    stop-the-world minor collector.
+
+    Concurrent writes from several domains are safe exactly when their
+    rectangles are disjoint — the discipline the decoder's per-code-
+    block job structure guarantees. *)
+
+type t
+
+val create : w:int -> h:int -> t
+(** Zero-filled [w]x[h] plane. Raises [Invalid_argument] if a
+    dimension is not positive. *)
+
+val width : t -> int
+val height : t -> int
+
+val get : t -> x:int -> y:int -> int
+val set : t -> x:int -> y:int -> int -> unit
+(** Bounds-checked single-coefficient access ([Invalid_argument]
+    outside the plane). *)
+
+val unsafe_get : t -> int -> int
+val unsafe_set : t -> int -> int -> unit
+(** Row-major linear access for transform inner loops; bounds are the
+    caller's responsibility. *)
+
+val fill : t -> int -> unit
+
+val blit_block : t -> x0:int -> y0:int -> w:int -> h:int -> int array -> unit
+(** Writes the [w]x[h] row-major prefix of the array into the
+    rectangle at ([x0], [y0]). One bounds check per block; raises
+    [Invalid_argument] if the rectangle leaves the plane or the array
+    is too short. *)
+
+val to_array : t -> int array
+(** Row-major copy — the hand-off to the boxed colour/assemble
+    stages. *)
+
+val of_array : w:int -> h:int -> int array -> t
+(** Raises [Invalid_argument] unless the array has length [w * h]. *)
+
+(** Per-domain scratch buffers, keyed in [Domain.DLS].
+
+    Each function returns this domain's buffer for that key, grown
+    geometrically to at least the requested length (contents beyond
+    what the caller writes are unspecified — stale data from earlier
+    work items). A buffer is valid until the next request for the
+    {e same} key on the {e same} domain: [ints] and [ints2] may be
+    held simultaneously (the 5/3 inverse needs a source line and an
+    even-sample line), but no buffer may be retained across work
+    items. *)
+module Scratch : sig
+  val ints : int -> int array
+  val ints2 : int -> int array
+  val floats : int -> float array
+end

@@ -18,14 +18,14 @@ let quantise ~step values =
       if x < 0.0 then -q else q)
     values
 
+let dequantise_one ~step q =
+  if q = 0 then 0.0
+  else
+    let magnitude = (float_of_int (abs q) +. 0.5) *. step in
+    if q < 0 then -.magnitude else magnitude
+
 let dequantise ~step quantised =
   if step <= 0.0 then invalid_arg "Quant.dequantise: step";
-  Array.map
-    (fun q ->
-      if q = 0 then 0.0
-      else
-        let magnitude = (float_of_int (abs q) +. 0.5) *. step in
-        if q < 0 then -.magnitude else magnitude)
-    quantised
+  Array.map (dequantise_one ~step) quantised
 
 let max_error ~step = step

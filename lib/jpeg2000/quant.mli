@@ -20,6 +20,11 @@ val dequantise : step:float -> int array -> float array
 (** Mid-point reconstruction: 0 maps to 0, otherwise
     [sign(q) * (|q| + 0.5) * step]. *)
 
+val dequantise_one : step:float -> int -> float
+(** One coefficient of {!dequantise} — the flat decode path applies it
+    per band rectangle without materialising the boxed array. No step
+    validation (the caller obtained [step] from {!step_for}). *)
+
 val max_error : step:float -> float
 (** Upper bound of [|dequantise (quantise x) - x|]: one full step (the
     dead zone is two steps wide, centred reconstruction). *)

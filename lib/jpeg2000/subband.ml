@@ -33,6 +33,9 @@ let decompose ~width ~height ~levels =
   let ll = { level = levels; orientation = LL; x0 = 0; y0 = 0; w = llw; h = llh } in
   ll :: List.concat detail_groups
 
+let decompose_array ~width ~height ~levels =
+  Array.of_list (decompose ~width ~height ~levels)
+
 let gain_log2 = function LL -> 0 | HL -> 1 | LH -> 1 | HH -> 2
 
 let orientation_code = function LL -> 0 | HL -> 1 | LH -> 2 | HH -> 3

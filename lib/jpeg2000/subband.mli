@@ -27,6 +27,10 @@ val decompose : width:int -> height:int -> levels:int -> band list
     [w = 0] or [h = 0] so band order stays structural. Raises
     [Invalid_argument] if [levels < 0] or the size is not positive. *)
 
+val decompose_array : width:int -> height:int -> levels:int -> band array
+(** {!decompose} as an array — the form the decoder's job flattening
+    indexes by band number on the hot path. *)
+
 val gain_log2 : orientation -> int
 (** Log2 of the nominal subband gain used for quantisation-step
     scaling: LL 0, HL/LH 1, HH 2. *)

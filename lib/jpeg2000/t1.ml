@@ -333,11 +333,13 @@ let cleanup_pass b io ~plane =
   done
 
 (* End of a plane: every visited/became bit drops (padding cells
-   never carry them, so sweeping the whole array is safe). *)
+   never carry them, so sweeping the whole padded block is safe). The
+   sweep stops at the block's own extent — a scratch flags array may
+   be longer than this block needs. *)
 let clear_plane_flags b =
   let fl = b.flags in
   let keep = lnot (f_visited lor f_became) in
-  for i = 0 to Array.length fl - 1 do
+  for i = 0 to (b.stride * (b.h + 2)) - 1 do
     fl.(i) <- fl.(i) land keep
   done
 
@@ -511,3 +513,81 @@ let decode_block_scalable ?lut ~orientation ~w ~h ~planes segments =
     decode_passes (pass_schedule ~planes) segments;
     signed_result b magnitudes
   end
+
+(* -- per-domain scratch decode ----------------------------------------
+
+   The allocating entry points above pay one flags array, one
+   magnitude buffer, one result array and 19 context records per code
+   block — on the parallel decode path that per-block minor-heap churn
+   is what forces the domains to rendezvous at every collection. The
+   scratch variant keeps one decode state per domain in [Domain.DLS]
+   and re-initialises it in place ([Array.fill] + [Mq.reset_context]),
+   so a worker decodes an entire tile's blocks without allocating
+   anything but the per-pass MQ decoders. *)
+
+type scratch = {
+  mutable sc_flags : int array;
+  mutable sc_mag : int array;
+  sc_contexts : Mq.context array;
+}
+
+let scratch_key : scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { sc_flags = [||]; sc_mag = [||]; sc_contexts = fresh_contexts () })
+
+(* Back to the ISO Table D.7 initial states, in place. *)
+let reset_contexts ctxs =
+  for i = 0 to num_contexts - 1 do
+    let index =
+      if i = 0 then 4 else if i = ctx_rl then 3 else if i = ctx_uni then 46 else 0
+    in
+    Mq.reset_context ctxs.(i) ~index ~mps:0
+  done
+
+let scratch_blk ?(lut = true) ~orientation ~w ~h () =
+  if w <= 0 || h <= 0 then invalid_arg "T1: block size";
+  let s = Domain.DLS.get scratch_key in
+  let fn = (w + 2) * (h + 2) in
+  if Array.length s.sc_flags < fn then s.sc_flags <- Array.make fn 0
+  else Array.fill s.sc_flags 0 fn 0;
+  if Array.length s.sc_mag < w * h then s.sc_mag <- Array.make (w * h) 0
+  else Array.fill s.sc_mag 0 (w * h) 0;
+  reset_contexts s.sc_contexts;
+  ( {
+      w;
+      h;
+      stride = w + 2;
+      orientation;
+      lut;
+      flags = s.sc_flags;
+      zc_lut = zc_lut_for orientation;
+      contexts = s.sc_contexts;
+    },
+    s.sc_mag )
+
+let decode_block_scalable_scratch ?lut ~orientation ~w ~h ~planes segments =
+  check_dims ~w ~h (w * h);
+  let b, magnitudes = scratch_blk ?lut ~orientation ~w ~h () in
+  if planes > 0 then begin
+    let dec = ref (Mq.decoder "") in
+    let io = make_decoder_io b dec magnitudes w in
+    let rec decode_passes schedule segments =
+      match (schedule, segments) with
+      | _, [] | [], _ -> ()
+      | pass :: schedule, segment :: segments ->
+        dec := Mq.decoder segment;
+        run_pass b io pass;
+        decode_passes schedule segments
+    in
+    decode_passes (pass_schedule ~planes) segments;
+    (* Apply the signs in place: the buffer's w*h prefix becomes the
+       signed coefficient block. *)
+    for y = 0 to h - 1 do
+      let row = y * w and frow = ((y + 1) * b.stride) + 1 in
+      for x = 0 to w - 1 do
+        if b.flags.(frow + x) land f_sign <> 0 then
+          magnitudes.(row + x) <- -magnitudes.(row + x)
+      done
+    done
+  end;
+  magnitudes

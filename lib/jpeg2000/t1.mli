@@ -70,3 +70,23 @@ val decode_block_scalable :
   int array
 (** Decodes the given pass segments (a prefix of the encoder's list);
     with all of them the reconstruction is exact. *)
+
+val decode_block_scalable_scratch :
+  ?lut:bool ->
+  orientation:Subband.orientation ->
+  w:int ->
+  h:int ->
+  planes:int ->
+  string list ->
+  int array
+(** {!decode_block_scalable} into per-domain scratch state
+    ([Domain.DLS]): the flags array, magnitude buffer and MQ contexts
+    of the calling domain are re-initialised in place instead of
+    allocated, so decoding a stream of blocks performs no per-block
+    heap allocation. The returned array is that scratch buffer — its
+    [w * h] row-major prefix holds the signed coefficients, it may be
+    longer than [w * h], and it is only valid until the next scratch
+    decode on the same domain: callers must copy (blit) the block out
+    before decoding another. Decodes that raise leave no partial
+    output anywhere but the scratch buffer, so a failed block cannot
+    poison shared planes (the robust path's containment). *)

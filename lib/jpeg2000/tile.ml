@@ -16,10 +16,8 @@ let split image ~tile_w ~tile_h =
         (fun plane ->
           let sub = Image.create_plane ~width:w ~height:h in
           for y = 0 to h - 1 do
-            for x = 0 to w - 1 do
-              Image.plane_set sub ~x ~y
-                (Image.plane_get plane ~x:(x0 + x) ~y:(y0 + y))
-            done
+            Image.blit_row ~src:plane ~src_x:x0 ~src_y:(y0 + y) ~dst:sub
+              ~dst_x:0 ~dst_y:y ~len:w
           done;
           sub)
         image.Image.planes
@@ -46,10 +44,8 @@ let assemble ~width:image_w ~height:image_h ~components ?bit_depth tiles =
         (fun c sub ->
           let plane = image.Image.planes.(c) in
           for y = 0 to sub.Image.height - 1 do
-            for x = 0 to sub.Image.width - 1 do
-              Image.plane_set plane ~x:(tile.x0 + x) ~y:(tile.y0 + y)
-                (Image.plane_get sub ~x ~y)
-            done
+            Image.blit_row ~src:sub ~src_x:0 ~src_y:y ~dst:plane
+              ~dst_x:tile.x0 ~dst_y:(tile.y0 + y) ~len:sub.Image.width
           done)
         tile.planes)
     tiles;

@@ -59,7 +59,9 @@ let run_one config ~vi ~ri ~baseline version rate =
 (* Every grid point's seed is a pure function of its (version, rate)
    indices and every run's fault state is domain-local, so the grid
    fans out over [pool] without reshuffling a single fault pattern:
-   the row list is identical on any pool. *)
+   the row list is identical on any pool. Grid points are whole model
+   simulations with wildly uneven cost, so both fan-outs steal at
+   single-item granularity. *)
 let run ?(pool = Par.Pool.sequential) config =
   let versions = Array.of_list config.versions in
   let rates = Array.of_list config.rates in
@@ -68,7 +70,7 @@ let run ?(pool = Par.Pool.sequential) config =
      the seed configuration itself. Computed once per version whether
      or not 0.0 is swept; a 0.0 row reports it directly. *)
   let baselines =
-    Par.Pool.map pool versions (fun version ->
+    Par.Pool.map ~chunk:1 pool versions (fun version ->
         Experiment.run_workload version (Workload.make config.mode))
   in
   let grid =
@@ -77,7 +79,7 @@ let run ?(pool = Par.Pool.sequential) config =
       (fun i -> (i / nrates, i mod nrates))
   in
   let rows =
-    Par.Pool.map pool grid (fun (vi, ri) ->
+    Par.Pool.map ~chunk:1 pool grid (fun (vi, ri) ->
         let version = versions.(vi) and rate = rates.(ri) in
         let baseline = baselines.(vi) in
         let result =

@@ -47,10 +47,13 @@ let run ?payload ?pool version mode =
    kernel, domain-local telemetry/fault state), so a version sweep
    fans out over the pool; inside a worker the workload stays
    sequential, keeping every outcome identical to a sequential
-   sweep. *)
+   sweep. Versions differ widely in cost (v0 is a function call, v7b
+   a full wheel simulation), so the fan-out steals at single-version
+   granularity. *)
 let run_many ?payload ?(pool = Par.Pool.sequential) versions mode =
   Array.to_list
-    (Par.Pool.map pool (Array.of_list versions) (fun v -> run ?payload v mode))
+    (Par.Pool.map ~chunk:1 pool (Array.of_list versions) (fun v ->
+         run ?payload v mode))
 
 let run_all ?payload ?pool mode = run_many ?payload ?pool all_versions mode
 

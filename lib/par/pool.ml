@@ -74,7 +74,82 @@ let shutdown = function
     in
     Array.iter Domain.join workers
 
-let map t arr f =
+(* Roughly four stealable chunks per domain: small enough that one
+   expensive chunk cannot strand the batch behind a single domain,
+   large enough that the atomic claim is amortised over real work. *)
+let default_chunk ~n ~parallelism = Stdlib.max 1 (n / (parallelism * 4))
+
+(* The work-stealing batch engine shared by [map] and [iter]: the
+   items are cut into fixed-size chunks and every participating domain
+   claims the next unclaimed chunk from one atomic cursor until none
+   are left. Which domain runs which chunk is scheduling-dependent;
+   what each chunk computes (and where its results land) depends only
+   on the chunk index, so batches stay deterministic. [run_range lo hi
+   cidx] must confine its effects to chunk [cidx] / items [lo, hi).
+   Returns the number of chunks claimed by spawned workers. *)
+let run_batch p ~n ~chunk ~run_range =
+  let nchunks = (n + chunk - 1) / chunk in
+  let next = Atomic.make 0 in
+  let stolen = Atomic.make 0 in
+  let remaining = ref nchunks in
+  let error = ref None in
+  let exec c =
+    (try run_range (c * chunk) (Stdlib.min n ((c + 1) * chunk)) c
+     with e ->
+       Mutex.lock p.mutex;
+       if !error = None then error := Some e;
+       Mutex.unlock p.mutex);
+    Mutex.lock p.mutex;
+    remaining := !remaining - 1;
+    if !remaining = 0 then Condition.broadcast p.finished;
+    Mutex.unlock p.mutex
+  in
+  let drain ~count_steals () =
+    let rec loop claimed =
+      let c = Atomic.fetch_and_add next 1 in
+      if c < nchunks then begin
+        exec c;
+        loop (claimed + 1)
+      end
+      else if count_steals && claimed > 0 then
+        ignore (Atomic.fetch_and_add stolen claimed : int)
+    in
+    loop 0
+  in
+  Mutex.lock p.mutex;
+  (* One drain task per worker that could usefully claim a chunk; the
+     caller takes the rest. A drain that arrives after the cursor is
+     exhausted exits without touching the batch. *)
+  for _ = 1 to Stdlib.min (Array.length p.workers) (nchunks - 1) do
+    Queue.push (drain ~count_steals:true) p.tasks
+  done;
+  Condition.broadcast p.work;
+  Mutex.unlock p.mutex;
+  (* The caller claims chunks too — flagged as a worker so nested maps
+     inside [run_range] degrade to sequential — then sleeps until the
+     stragglers on other domains finish. *)
+  Domain.DLS.set in_worker true;
+  drain ~count_steals:false ();
+  Domain.DLS.set in_worker false;
+  Mutex.lock p.mutex;
+  while !remaining > 0 do
+    Condition.wait p.finished p.mutex
+  done;
+  Mutex.unlock p.mutex;
+  (match !error with Some e -> raise e | None -> ());
+  Atomic.get stolen
+
+let checked_chunk = function
+  | Some c when c < 1 -> invalid_arg "Par.Pool: chunk < 1"
+  | c -> c
+
+let batch_telemetry ~nchunks ~chunk ~stolen =
+  Telemetry.Sink.incr ~by:nchunks "par.map.chunks";
+  Telemetry.Sink.incr ~by:stolen "par.map.steals";
+  Telemetry.Sink.observe "par.map.chunk_sizes" chunk
+
+let map ?chunk t arr f =
+  let chunk = checked_chunk chunk in
   match t with
   | Sequential ->
     (* Pool-phase attribution, counted on the caller's domain (worker
@@ -91,51 +166,51 @@ let map t arr f =
     if n = 0 then [||]
     else begin
       if p.stop then invalid_arg "Par.Pool.map: pool is shut down";
-      let chunks = Stdlib.min n (Array.length p.workers + 1) in
-      Telemetry.Sink.incr ~by:chunks "par.map.chunks";
-      let parts = Array.make chunks [||] in
-      let remaining = ref chunks in
-      let error = ref None in
-      let task c () =
-        let result =
-          try
-            let lo = c * n / chunks and hi = (c + 1) * n / chunks in
-            Ok (Array.init (hi - lo) (fun i -> f arr.(lo + i)))
-          with e -> Error e
-        in
-        Mutex.lock p.mutex;
-        (match result with
-        | Ok part -> parts.(c) <- part
-        | Error e -> if !error = None then error := Some e);
-        remaining := !remaining - 1;
-        if !remaining = 0 then Condition.broadcast p.finished;
-        Mutex.unlock p.mutex
+      let chunk =
+        match chunk with
+        | Some c -> c
+        | None -> default_chunk ~n ~parallelism:(Array.length p.workers + 1)
       in
-      Mutex.lock p.mutex;
-      for c = 0 to chunks - 1 do
-        Queue.push (task c) p.tasks
-      done;
-      Condition.broadcast p.work;
-      (* Help drain the queue instead of idling: the caller runs
-         queued tasks (flagged as a worker, so nested maps inside them
-         degrade to sequential) and only sleeps once the queue is
-         empty and some chunks are still running elsewhere. *)
-      while !remaining > 0 do
-        match Queue.pop p.tasks with
-        | t ->
-          Mutex.unlock p.mutex;
-          Domain.DLS.set in_worker true;
-          t ();
-          Domain.DLS.set in_worker false;
-          Mutex.lock p.mutex
-        | exception Queue.Empty -> Condition.wait p.finished p.mutex
-      done;
-      Mutex.unlock p.mutex;
-      (match !error with Some e -> raise e | None -> ());
-      if chunks = 1 then parts.(0) else Array.concat (Array.to_list parts)
+      let nchunks = (n + chunk - 1) / chunk in
+      let parts = Array.make nchunks [||] in
+      let run_range lo hi c =
+        parts.(c) <- Array.init (hi - lo) (fun i -> f arr.(lo + i))
+      in
+      let stolen = run_batch p ~n ~chunk ~run_range in
+      batch_telemetry ~nchunks ~chunk ~stolen;
+      if nchunks = 1 then parts.(0) else Array.concat (Array.to_list parts)
     end
 
-let iter t arr f = ignore (map t arr f : unit array)
+let iter ?chunk t arr f =
+  let chunk = checked_chunk chunk in
+  match t with
+  | Sequential ->
+    Telemetry.Sink.incr "par.map.calls";
+    Telemetry.Sink.incr ~by:(Array.length arr) "par.map.jobs";
+    Telemetry.Sink.incr "par.map.sequential";
+    Array.iter f arr
+  | Pool _ when Domain.DLS.get in_worker -> Array.iter f arr
+  | Pool p ->
+    let n = Array.length arr in
+    Telemetry.Sink.incr "par.map.calls";
+    Telemetry.Sink.incr ~by:n "par.map.jobs";
+    if n = 0 then ()
+    else begin
+      if p.stop then invalid_arg "Par.Pool.map: pool is shut down";
+      let chunk =
+        match chunk with
+        | Some c -> c
+        | None -> default_chunk ~n ~parallelism:(Array.length p.workers + 1)
+      in
+      let nchunks = (n + chunk - 1) / chunk in
+      let run_range lo hi _ =
+        for i = lo to hi - 1 do
+          f arr.(i)
+        done
+      in
+      let stolen = run_batch p ~n ~chunk ~run_range in
+      batch_telemetry ~nchunks ~chunk ~stolen
+    end
 
 let with_pool ~domains f =
   let t = create ~domains in

@@ -673,20 +673,26 @@ let run ?(pool = Par.Pool.sequential) ?on_complete ?on_flush t spec =
               staged))
     in
     Telemetry.Sink.observe "serve.batch_jobs" (Array.length job_index);
-    let results =
+    (* In-place staged protocol: each job decodes straight into its
+       tile's flat coefficient planes (disjoint rectangles — race-free
+       on any pool schedule); only the ok/concealed bit comes back
+       through the map. *)
+    let oks =
       Par.Pool.map pool job_index (fun (si, ji) ->
-          Jpeg2000.Decoder.staged_job (snd staged.(si)) ji)
+          Jpeg2000.Decoder.staged_run (snd staged.(si)) ji)
     in
     (* Finish staged tiles in staging order and publish them to the
-       cache; slice the flat result array back per tile. *)
+       cache; slice the flat ok array back per tile. *)
     let tiles = Array.make (Array.length staged) None in
     let offset = ref 0 in
     Array.iteri
       (fun si (key, st) ->
         let n = Jpeg2000.Decoder.staged_jobs st in
-        let slice = Array.sub results !offset n in
+        let slice = Array.sub oks !offset n in
         offset := !offset + n;
-        let tile, tile_concealed = Jpeg2000.Decoder.finish_staged st slice in
+        let tile, tile_concealed =
+          Jpeg2000.Decoder.finish_staged_ok st slice
+        in
         concealed := !concealed + tile_concealed;
         tiles.(si) <- Some tile;
         match cache with Some c -> Cache.add c key tile | None -> ())

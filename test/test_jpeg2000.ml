@@ -1001,6 +1001,176 @@ let test_parse_wrapper_routes_result () =
   expect (String.sub data 0 (String.length data / 2));
   expect (data ^ "!")
 
+(* -- flat coefficient planes ----------------------------------------
+
+   The flat decode path (off-heap planes, scratch T1, in-place IDWT;
+   the [?flat:true] default) against the boxed baseline it replaced
+   ([?flat:false]) — bit-identity on every entry point, every mode,
+   and every pool width. *)
+
+let test_plane_basics () =
+  let p = Jpeg2000.Plane.create ~w:5 ~h:3 in
+  Alcotest.(check int) "width" 5 (Jpeg2000.Plane.width p);
+  Alcotest.(check int) "height" 3 (Jpeg2000.Plane.height p);
+  Alcotest.(check int) "zero initialised" 0 (Jpeg2000.Plane.get p ~x:4 ~y:2);
+  Jpeg2000.Plane.set p ~x:3 ~y:1 (-42);
+  Alcotest.(check int) "set/get" (-42) (Jpeg2000.Plane.get p ~x:3 ~y:1);
+  Jpeg2000.Plane.blit_block p ~x0:1 ~y0:1 ~w:2 ~h:2 [| 1; 2; 3; 4 |];
+  Alcotest.(check int) "blit top-left" 1 (Jpeg2000.Plane.get p ~x:1 ~y:1);
+  Alcotest.(check int) "blit bottom-right" 4 (Jpeg2000.Plane.get p ~x:2 ~y:2);
+  Alcotest.(check (array int)) "to_array round-trips"
+    (Jpeg2000.Plane.to_array p)
+    Jpeg2000.Plane.(to_array (of_array ~w:5 ~h:3 (to_array p)));
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "get out of bounds" true
+    (raises (fun () -> ignore (Jpeg2000.Plane.get p ~x:5 ~y:0)));
+  Alcotest.(check bool) "blit out of bounds" true
+    (raises (fun () ->
+         Jpeg2000.Plane.blit_block p ~x0:4 ~y0:2 ~w:2 ~h:2 [| 0; 0; 0; 0 |]));
+  Alcotest.(check bool) "empty plane" true
+    (raises (fun () -> ignore (Jpeg2000.Plane.create ~w:0 ~h:1)))
+
+let flat_configs =
+  [
+    ("lossless", { Jpeg2000.Encoder.default_lossless with tile_w = 16; tile_h = 16 });
+    ("lossy", { Jpeg2000.Encoder.default_lossy with tile_w = 16; tile_h = 16 });
+  ]
+
+let flat_equals_boxed_qcheck =
+  QCheck.Test.make ~name:"flat decode equals boxed decode" ~count:15
+    QCheck.(
+      quad (int_range 4 48) (int_range 4 48) (int_range 1 3) (int_range 0 1000))
+    (fun (w, h, comps, seed) ->
+      let img =
+        if seed mod 2 = 0 then
+          Jpeg2000.Image.smooth ~width:w ~height:h ~components:comps ~seed
+        else Jpeg2000.Image.noise ~width:w ~height:h ~components:comps ~seed
+      in
+      List.for_all
+        (fun (_, config) ->
+          let data = Jpeg2000.Encoder.encode config img in
+          Jpeg2000.Image.equal
+            (Jpeg2000.Decoder.decode ~flat:true data)
+            (Jpeg2000.Decoder.decode ~flat:false data))
+        flat_configs)
+
+let test_flat_identity_across_pools () =
+  (* The flat planes are shared mutable state across pool domains;
+     disjoint-rectangle blits must keep any schedule bit-identical to
+     the boxed sequential decode. *)
+  let img = Jpeg2000.Image.smooth ~width:40 ~height:24 ~components:3 ~seed:7 in
+  List.iter
+    (fun (name, config) ->
+      let data = Jpeg2000.Encoder.encode config img in
+      let reference = Jpeg2000.Decoder.decode ~flat:false data in
+      List.iter
+        (fun jobs ->
+          Par.Pool.with_jobs jobs (fun pool ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s jobs=%d" name jobs)
+                true
+                (Jpeg2000.Image.equal reference
+                   (Jpeg2000.Decoder.decode ~pool data))))
+        [ 1; 2; 4 ])
+    flat_configs
+
+let test_flat_reduced_and_progressive () =
+  let img = Jpeg2000.Image.smooth ~width:32 ~height:32 ~components:3 ~seed:13 in
+  List.iter
+    (fun (name, config) ->
+      let data = Jpeg2000.Encoder.encode config img in
+      List.iter
+        (fun discard_levels ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s reduced d=%d" name discard_levels)
+            true
+            (Jpeg2000.Image.equal
+               (Jpeg2000.Decoder.decode_reduced ~flat:true ~discard_levels data)
+               (Jpeg2000.Decoder.decode_reduced ~flat:false ~discard_levels data)))
+        [ 0; 1; 2 ];
+      List.iter
+        (fun max_passes ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s progressive p=%d" name max_passes)
+            true
+            (Jpeg2000.Image.equal
+               (Jpeg2000.Decoder.decode_progressive ~flat:true ~max_passes data)
+               (Jpeg2000.Decoder.decode_progressive ~flat:false ~max_passes data)))
+        [ 0; 2; 30 ];
+      Alcotest.(check bool)
+        (name ^ " region")
+        true
+        (Jpeg2000.Image.equal
+           (Jpeg2000.Decoder.decode_region ~flat:true ~x:5 ~y:9 ~w:20 ~h:14 data)
+           (Jpeg2000.Decoder.decode_region ~flat:false ~x:5 ~y:9 ~w:20 ~h:14
+              data)))
+    flat_configs
+
+let test_flat_robust_identity () =
+  (* Containment must conceal the same blocks on both paths: a failed
+     flat block blits nothing (its rectangle stays zero), exactly the
+     boxed path's skipped placement. *)
+  let img = Jpeg2000.Image.smooth ~width:40 ~height:24 ~components:3 ~seed:21 in
+  let check_same name data =
+    match
+      ( Jpeg2000.Decoder.decode_robust ~flat:true data,
+        Jpeg2000.Decoder.decode_robust ~flat:false data )
+    with
+    | Ok (a, ra), Ok (b, rb) ->
+      Alcotest.(check bool) (name ^ " images equal") true
+        (Jpeg2000.Image.equal a b);
+      Alcotest.(check bool) (name ^ " reports equal") true (ra = rb)
+    | Error ea, Error eb ->
+      Alcotest.(check bool) (name ^ " errors equal") true (ea = eb)
+    | _ -> Alcotest.fail (name ^ ": paths disagree on Ok vs Error")
+  in
+  List.iter
+    (fun (name, config) ->
+      let data = Jpeg2000.Encoder.encode config img in
+      check_same (name ^ " clean") data;
+      check_same (name ^ " truncated")
+        (String.sub data 0 (String.length data * 3 / 4));
+      let corrupt = Bytes.of_string data in
+      for i = 0 to 8 do
+        Bytes.set corrupt
+          ((String.length data / 2) + (i * 13))
+          (Char.chr ((i * 41) land 0xff))
+      done;
+      check_same (name ^ " corrupted") (Bytes.to_string corrupt))
+    flat_configs
+
+let test_staged_protocols_agree () =
+  (* The in-place staged protocol (staged_run/finish_staged_ok), the
+     compat protocol (staged_job/finish_staged) and the monolithic
+     decode_tile must agree tile for tile. *)
+  let img = Jpeg2000.Image.smooth ~width:40 ~height:24 ~components:3 ~seed:29 in
+  List.iter
+    (fun (name, config) ->
+      let data = Jpeg2000.Encoder.encode config img in
+      let stream = Jpeg2000.Codestream.parse data in
+      let header = stream.Jpeg2000.Codestream.header in
+      List.iter
+        (fun tile ->
+          let reference = Jpeg2000.Decoder.decode_tile header tile in
+          let st_old = Jpeg2000.Decoder.stage_tile header tile in
+          let n = Jpeg2000.Decoder.staged_jobs st_old in
+          let t_old, c_old =
+            Jpeg2000.Decoder.finish_staged st_old
+              (Array.init n (Jpeg2000.Decoder.staged_job st_old))
+          in
+          let st_new = Jpeg2000.Decoder.stage_tile header tile in
+          let t_new, c_new =
+            Jpeg2000.Decoder.finish_staged_ok st_new
+              (Array.init n (Jpeg2000.Decoder.staged_run st_new))
+          in
+          Alcotest.(check int) (name ^ " compat concealed") 0 c_old;
+          Alcotest.(check int) (name ^ " in-place concealed") 0 c_new;
+          Alcotest.(check bool) (name ^ " compat tile") true (t_old = reference);
+          Alcotest.(check bool) (name ^ " in-place tile") true
+            (t_new = reference))
+        stream.Jpeg2000.Codestream.tiles)
+    flat_configs
+
 let () =
   Alcotest.run "jpeg2000"
     [
@@ -1123,5 +1293,17 @@ let () =
           Alcotest.test_case "region decode" `Quick test_region_decode;
           Alcotest.test_case "rate shaping" `Quick test_rate_shaping;
           qc lossless_roundtrip_qcheck;
+        ] );
+      ( "flat",
+        [
+          Alcotest.test_case "plane basics" `Quick test_plane_basics;
+          qc flat_equals_boxed_qcheck;
+          Alcotest.test_case "identity across pools" `Quick
+            test_flat_identity_across_pools;
+          Alcotest.test_case "reduced/progressive/region" `Quick
+            test_flat_reduced_and_progressive;
+          Alcotest.test_case "robust identity" `Quick test_flat_robust_identity;
+          Alcotest.test_case "staged protocols agree" `Quick
+            test_staged_protocols_agree;
         ] );
     ]

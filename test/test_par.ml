@@ -36,6 +36,53 @@ let test_map_preserves_order_under_load () =
         true
         (Par.Pool.map pool arr slow = Array.map slow arr))
 
+let test_explicit_chunk () =
+  (* Any chunk size must give Array.map results; chunk < 1 is a
+     caller error. *)
+  with_pools (fun ~jobs pool ->
+      List.iter
+        (fun chunk ->
+          let arr = Array.init 100 (fun i -> i) in
+          Alcotest.(check (array int))
+            (Printf.sprintf "chunk=%d jobs=%d" chunk jobs)
+            (Array.map (fun x -> x * 3) arr)
+            (Par.Pool.map ~chunk pool arr (fun x -> x * 3)))
+        [ 1; 2; 7; 100; 1000 ]);
+  Par.Pool.with_jobs 2 (fun pool ->
+      match Par.Pool.map ~chunk:0 pool [| 1 |] Fun.id with
+      | _ -> Alcotest.fail "chunk:0 accepted"
+      | exception Invalid_argument _ -> ())
+
+let test_map_telemetry () =
+  (* The batch counters: chunks is a pure function of (n, chunk) —
+     deterministic — while steals depends on the schedule and is only
+     bounded. A sequential pool reports the sequential counter and no
+     chunks. *)
+  let counters f =
+    let sink, () = Telemetry.Sink.with_sink f in
+    let report = Telemetry.Sink.report sink in
+    fun name -> Telemetry.Report.counter report ("par.map." ^ name)
+  in
+  let c =
+    counters (fun () ->
+        Par.Pool.with_jobs 2 (fun pool ->
+            ignore (Par.Pool.map ~chunk:10 pool (Array.init 100 Fun.id) Fun.id)))
+  in
+  Alcotest.(check int) "calls" 1 (c "calls");
+  Alcotest.(check int) "jobs" 100 (c "jobs");
+  Alcotest.(check int) "chunks" 10 (c "chunks");
+  Alcotest.(check int) "sequential" 0 (c "sequential");
+  Alcotest.(check bool) "steals bounded" true
+    (c "steals" >= 0 && c "steals" <= 10);
+  let s =
+    counters (fun () ->
+        ignore (Par.Pool.map Par.Pool.sequential (Array.init 5 Fun.id) Fun.id))
+  in
+  Alcotest.(check int) "sequential calls" 1 (s "calls");
+  Alcotest.(check int) "sequential jobs" 5 (s "jobs");
+  Alcotest.(check int) "sequential marker" 1 (s "sequential");
+  Alcotest.(check int) "sequential chunks" 0 (s "chunks")
+
 exception Boom of int
 
 let test_map_propagates_exception () =
@@ -264,6 +311,8 @@ let () =
           Alcotest.test_case "map = Array.map" `Quick test_map_matches_array_map;
           Alcotest.test_case "order under uneven load" `Quick
             test_map_preserves_order_under_load;
+          Alcotest.test_case "explicit chunk" `Quick test_explicit_chunk;
+          Alcotest.test_case "map telemetry" `Quick test_map_telemetry;
           Alcotest.test_case "exception propagation" `Quick
             test_map_propagates_exception;
           Alcotest.test_case "nested map degrades" `Quick
