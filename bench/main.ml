@@ -211,6 +211,43 @@ let serve_ingest_faulty_service =
 let serve_ingest_run service () =
   ignore (Serve.Service.run service serve_ingest_spec)
 
+(* -- fleet rows ------------------------------------------------------- *)
+
+(* Balancer hot path alone: owner lookups for 10k digests against a
+   16-replica ring and against the same ring after one remove and one
+   add — prices the routing without any decoding. *)
+let fleet_ring_digests =
+  Array.init 10_000 (fun i -> Faults.Rng.hash64 0x5eedL (Int64.of_int i))
+
+let fleet_ring_16 = Fleet.Ring.create (List.init 16 Fun.id)
+let fleet_ring_15 = Fleet.Ring.remove fleet_ring_16 7
+let fleet_ring_17 = Fleet.Ring.add fleet_ring_16 16
+
+let fleet_ring_lookups () =
+  Array.iter
+    (fun d ->
+      ignore (Fleet.Ring.owner fleet_ring_16 d);
+      ignore (Fleet.Ring.owner fleet_ring_15 d);
+      ignore (Fleet.Ring.owner fleet_ring_17 d))
+    fleet_ring_digests
+
+(* One whole fleet run per iteration: four replicas with deliberately
+   small L1s over the shared L2. Replica state lives per [Fleet.run],
+   so reusing the fleet value across iterations is safe. *)
+let fleet_corpus =
+  Array.init 4 (fun i -> Models.Workload.codestream ~seed:(41 + i) lossless)
+
+let fleet_spec =
+  match Serve.Request.parse_spec "open:n=32,rate=1200,seed=11,deadline=30" with
+  | Ok spec -> spec
+  | Error e -> failwith e
+
+let fleet_service_config =
+  { Serve.Service.default_config with Serve.Service.cache_capacity = 8 }
+
+let fleet_4r = Fleet.create ~service:fleet_service_config fleet_corpus
+let fleet_run pool () = ignore (Fleet.run ~pool fleet_4r fleet_spec)
+
 let sweep_9v pool () =
   ignore
     (Models.Experiment.run_many ~payload:false ~pool
@@ -264,6 +301,10 @@ let substrate_tests =
       (Staged.stage (serve_ingest_run serve_ingest_clean_service));
     Test.make ~name:"serve_ingest_faulty_24req"
       (Staged.stage (serve_ingest_run serve_ingest_faulty_service));
+    Test.make ~name:"fleet_ring_10k_lookups" (Staged.stage fleet_ring_lookups);
+    Test.make ~name:"fleet_32req_4r_jobs1"
+      (Staged.stage (fleet_run Par.Pool.sequential));
+    Test.make ~name:"fleet_32req_4r_jobs4" (Staged.stage (fleet_run pool4));
   ]
   @ (if jobs = 1 || jobs = 2 then []
      else
@@ -409,6 +450,8 @@ let scaling_sweep_ratio_max = 1.05
 type scaling = {
   sc_cores : int;
   sc_enforced : bool;
+  sc_skip_reason : string option;
+      (* why the gate is advisory; [None] exactly when enforced *)
   sc_decode_speedup : float option; (* jobs1 / jobsN *)
   sc_sweep_ratio : float option; (* jobsN / jobs1 *)
 }
@@ -420,10 +463,17 @@ let scaling_measure rows =
     | _ -> None
   in
   let jn name = Printf.sprintf "%s_jobs%d" name jobs in
+  let cores = Domain.recommended_domain_count () in
+  let skip_reason =
+    if jobs <> scaling_gate_jobs then
+      Some (Printf.sprintf "jobs=%d, gate pinned to --jobs %d" jobs scaling_gate_jobs)
+    else if cores < jobs then Some (Printf.sprintf "cores=%d < %d" cores jobs)
+    else None
+  in
   {
-    sc_cores = Domain.recommended_domain_count ();
-    sc_enforced =
-      jobs = scaling_gate_jobs && Domain.recommended_domain_count () >= jobs;
+    sc_cores = cores;
+    sc_enforced = skip_reason = None;
+    sc_skip_reason = skip_reason;
     sc_decode_speedup = ratio "j2k_decode_jobs1" (jn "j2k_decode");
     sc_sweep_ratio = ratio (jn "sweep_9v") "sweep_9v_jobs1";
   }
@@ -455,7 +505,9 @@ let scaling_gate sc =
     scaling_sweep_ratio_max
     (if breach then "FAIL"
      else if sc.sc_enforced then "ok"
-     else "not enforced");
+     else
+       Printf.sprintf "not enforced (%s)"
+         (Option.value sc.sc_skip_reason ~default:"?"));
   breach
 
 let print_bench_results rows =
@@ -477,6 +529,8 @@ let write_results_json path sc rows =
         ("decode_speedup_min", Float scaling_decode_speedup_min);
         ("sweep_ratio_max", Float scaling_sweep_ratio_max);
         ("enforced", Bool sc.sc_enforced);
+        ( "skip_reason",
+          match sc.sc_skip_reason with Some r -> Str r | None -> Null );
       ]
   in
   let bench_json =
@@ -607,6 +661,84 @@ let write_results_json path sc rows =
         ("idwt97", Models.Idwt_cores.idwt97_systemc);
       ]
   in
+  (* Fleet-scaling curves: all numbers are virtual-clock sums from the
+     deterministic sweep, so this object is byte-identical on every
+     host and at every --jobs. *)
+  let fleet_rows = Models.Campaign.run_fleet ~pool:par_pool () in
+  let fleet_curve =
+    List
+      (List.map
+         (fun (r : Models.Campaign.fleet_row) ->
+           let rep = r.Models.Campaign.fl_report in
+           Obj
+             [
+               ("replicas", Int r.Models.Campaign.fl_replicas);
+               ("l2", Int r.Models.Campaign.fl_l2);
+               ("throughput_rps", Float rep.Fleet.throughput_rps);
+               ("p50_ms", Float rep.Fleet.latency.Serve.Service.p50_ms);
+               ("p99_ms", Float rep.Fleet.latency.Serve.Service.p99_ms);
+               ("slo_misses", Int rep.Fleet.slo_misses);
+               ("slo_miss_rate", Float rep.Fleet.slo_miss_rate);
+               ("rejected", Int rep.Fleet.rejected);
+               ("spilled", Int rep.Fleet.spilled);
+               ("l1_hit_rate", Float rep.Fleet.l1.Fleet.hit_rate);
+               ( "l2_hit_rate",
+                 match rep.Fleet.l2 with
+                 | None -> Null
+                 | Some l -> Float l.Fleet.l2_tier.Fleet.hit_rate );
+             ])
+         fleet_rows)
+  in
+  (* Locality workload: a 4-tile L1 cannot hold even one stream's 16
+     tiles, so re-requested tiles are only ever warm in the shared
+     tier — the combined (L1 or L2) hit ratio with the L2 enabled must
+     beat the L1-only baseline. *)
+  let fleet_locality_spec =
+    match Serve.Request.parse_spec "open:n=96,rate=800,seed=7" with
+    | Ok spec -> spec
+    | Error e -> failwith e
+  in
+  let locality_report l2 =
+    let config = { Fleet.default_config with Fleet.l2_capacity = l2 } in
+    let fleet =
+      Fleet.create ~config
+        ~service:
+          { Serve.Service.default_config with Serve.Service.cache_capacity = 4 }
+        fleet_corpus
+    in
+    Fleet.run ~pool:par_pool fleet fleet_locality_spec
+  in
+  let combined_hit_ratio (rep : Fleet.report) =
+    let lookups = rep.Fleet.l1.Fleet.hits + rep.Fleet.l1.Fleet.misses in
+    let hits =
+      rep.Fleet.l1.Fleet.hits
+      +
+      match rep.Fleet.l2 with
+      | Some l -> l.Fleet.l2_tier.Fleet.hits
+      | None -> 0
+    in
+    if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups
+  in
+  let locality_base = locality_report 0 in
+  let locality_warm = locality_report 256 in
+  let fleet_locality =
+    Obj
+      [
+        ("workload", Str locality_base.Fleet.workload);
+        ("l1_capacity", Int 4);
+        ("l2_capacity", Int 256);
+        ("l1_only_hit_ratio", Float (combined_hit_ratio locality_base));
+        ("with_l2_hit_ratio", Float (combined_hit_ratio locality_warm));
+        ( "l2_hit_rate",
+          match locality_warm.Fleet.l2 with
+          | Some l -> Float l.Fleet.l2_tier.Fleet.hit_rate
+          | None -> Null );
+        ( "improved",
+          Bool
+            (combined_hit_ratio locality_warm
+            > combined_hit_ratio locality_base) );
+      ]
+  in
   save path
     (Obj
        [
@@ -627,6 +759,8 @@ let write_results_json path sc rows =
                ("cache_hit_speedup", cache_hit_speedup);
                ("ingest", ingest_json);
              ] );
+         ( "fleet",
+           Obj [ ("sweep", fleet_curve); ("locality", fleet_locality) ] );
          ("profile", profile_json);
          ("synthesis", List synthesis_json);
          ( "table1",

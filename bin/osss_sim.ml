@@ -43,6 +43,21 @@ let with_jobs jobs f =
   end;
   Par.Pool.with_jobs jobs f
 
+(* Shared flag validation: every subcommand names the offending flag
+   and value the same way and exits 2 on bad usage. *)
+let require_min flag lo n =
+  if n < lo then begin
+    Printf.eprintf "osss_sim: --%s must be >= %d (got %d)\n" flag lo n;
+    exit 2
+  end
+
+let parse_spec_flag flag parse s =
+  match parse s with
+  | Ok v -> v
+  | Error msg ->
+    Printf.eprintf "osss_sim: bad --%s: %s\n" flag msg;
+    exit 2
+
 let parse_version name =
   match Models.Experiment.version_of_name name with
   | Some v -> v
@@ -227,8 +242,18 @@ let relations_cmd =
     Term.(const run $ payload_arg)
 
 let campaign_cmd =
-  let run seed rates mode versions unprotected ingest json jobs =
-    if ingest then begin
+  let run seed rates mode versions unprotected ingest fleet json jobs =
+    if fleet then begin
+      let rows =
+        with_jobs jobs (fun pool ->
+            Models.Campaign.run_fleet ~pool ~seed ~mode ())
+      in
+      if json then
+        print_endline
+          (Telemetry.Json.to_string (Models.Campaign.fleet_to_json rows))
+      else print_string (Models.Campaign.render_fleet rows)
+    end
+    else if ingest then begin
       let rows =
         with_jobs jobs (fun pool ->
             Models.Campaign.run_ingest ~pool ~seed ?rates ~mode ())
@@ -310,51 +335,29 @@ let campaign_cmd =
                  loss/dup/reorder/stall on the byte-arrival path through \
                  the decode service (--versions and --unprotected are \
                  ignored).")
+      $ Arg.(
+          value & flag
+          & info [ "fleet" ]
+              ~doc:
+                "Sweep the fleet-scaling axis instead: one fixed workload \
+                 over a (replica count x shared-L2 size) grid (--rates, \
+                 --versions and --unprotected are ignored).")
       $ json_arg
       $ jobs_arg)
 
 let serve_cmd =
   let run workload streams mode queue policy cache batch ingest trace_path json
       jobs =
-    let spec =
-      match Serve.Request.parse_spec workload with
-      | Ok spec -> spec
-      | Error msg ->
-        Printf.eprintf "osss_sim: bad --workload: %s\n" msg;
-        exit 2
-    in
+    let spec = parse_spec_flag "workload" Serve.Request.parse_spec workload in
     let overload =
-      match Serve.Service.overload_of_string policy with
-      | Ok p -> p
-      | Error msg ->
-        Printf.eprintf "osss_sim: bad --policy: %s\n" msg;
-        exit 2
+      parse_spec_flag "policy" Serve.Service.overload_of_string policy
     in
-    if streams < 1 then begin
-      Printf.eprintf "osss_sim: --streams must be >= 1 (got %d)\n" streams;
-      exit 2
-    end;
-    if queue < 1 then begin
-      Printf.eprintf "osss_sim: --queue must be >= 1 (got %d)\n" queue;
-      exit 2
-    end;
-    if batch < 1 then begin
-      Printf.eprintf "osss_sim: --batch must be >= 1 (got %d)\n" batch;
-      exit 2
-    end;
-    if cache < 0 then begin
-      Printf.eprintf "osss_sim: --cache must be >= 0 (got %d)\n" cache;
-      exit 2
-    end;
+    require_min "streams" 1 streams;
+    require_min "queue" 1 queue;
+    require_min "batch" 1 batch;
+    require_min "cache" 0 cache;
     let ingest =
-      match ingest with
-      | None -> None
-      | Some s -> (
-        match Faults.Ingest.parse_spec s with
-        | Ok spec -> Some spec
-        | Error msg ->
-          Printf.eprintf "osss_sim: bad --ingest: %s\n" msg;
-          exit 2)
+      Option.map (parse_spec_flag "ingest" Faults.Ingest.parse_spec) ingest
     in
     let config =
       {
@@ -443,6 +446,110 @@ let serve_cmd =
       $ json_arg
       $ jobs_arg)
 
+let fleet_cmd =
+  let run workload streams mode fleet_spec queue policy cache batch trace_path
+      json jobs =
+    let spec = parse_spec_flag "workload" Serve.Request.parse_spec workload in
+    let fconfig = parse_spec_flag "fleet" Fleet.parse_config fleet_spec in
+    let overload =
+      parse_spec_flag "policy" Serve.Service.overload_of_string policy
+    in
+    require_min "streams" 1 streams;
+    require_min "queue" 1 queue;
+    require_min "batch" 1 batch;
+    require_min "cache" 0 cache;
+    let service =
+      {
+        Serve.Service.queue_capacity = queue;
+        overload;
+        cache_capacity = cache;
+        max_batch = batch;
+        ingest = None;
+      }
+    in
+    let corpus =
+      Array.init streams (fun i ->
+          Models.Workload.codestream ~seed:(2008 + i) mode)
+    in
+    let fleet =
+      try Fleet.create ~config:fconfig ~service corpus
+      with Invalid_argument msg ->
+        Printf.eprintf "osss_sim: %s\n" msg;
+        exit 2
+    in
+    let serve pool =
+      try Fleet.run ~pool fleet spec
+      with Invalid_argument msg ->
+        Printf.eprintf "osss_sim: %s\n" msg;
+        exit 2
+    in
+    let report =
+      match trace_path with
+      | None -> with_jobs jobs serve
+      | Some path ->
+        let sink, report =
+          Telemetry.Sink.with_sink (fun () -> with_jobs jobs serve)
+        in
+        Telemetry.Chrome.save path (Telemetry.Sink.events sink);
+        report
+    in
+    if json then
+      print_endline (Telemetry.Json.to_string (Fleet.report_to_json report))
+    else Format.printf "%a@." Fleet.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Serve a seeded open-loop workload through a sharded decode fleet: \
+          replicated services behind a consistent-hash balancer, a shared L2 \
+          tile cache, and (with min < max) an autoscaler on the virtual \
+          clock. Equal seeds print equal reports at any --jobs.")
+    Term.(
+      const run
+      $ Arg.(
+          value & opt string "open:n=96,rate=1200,seed=11"
+          & info [ "workload" ] ~docv:"SPEC"
+              ~doc:
+                "Workload spec (open loop only): \
+                 open:n=N,rate=RPS,seed=S[,deadline=MS][,region=F]\
+                 [,reduced=F].")
+      $ Arg.(
+          value & opt int 6
+          & info [ "streams" ] ~docv:"N"
+              ~doc:"Distinct codestreams in the corpus.")
+      $ mode_arg
+      $ Arg.(
+          value & opt string ""
+          & info [ "fleet" ] ~docv:"SPEC"
+              ~doc:
+                "Fleet spec: replicas=N[,min=N][,max=N][,vnodes=N][,l2=N]\
+                 [,l2_us=US][,spill=0|1][,up=F][,down=F][,slo=F]\
+                 [,interval=MS][,warmup=MS][,seed=S] (every key optional; \
+                 min < max enables the autoscaler).")
+      $ Arg.(
+          value & opt int Serve.Service.default_config.Serve.Service.queue_capacity
+          & info [ "queue" ] ~docv:"N" ~doc:"Per-replica request queue capacity.")
+      $ Arg.(
+          value & opt string "reject"
+          & info [ "policy" ] ~docv:"POLICY"
+              ~doc:"Overload policy: reject, drop-oldest or degrade.")
+      $ Arg.(
+          value & opt int Serve.Service.default_config.Serve.Service.cache_capacity
+          & info [ "cache" ] ~docv:"N"
+              ~doc:"Per-replica L1 tile cache capacity (0 disables).")
+      $ Arg.(
+          value & opt int Serve.Service.default_config.Serve.Service.max_batch
+          & info [ "batch" ] ~docv:"N" ~doc:"Max requests coalesced per dispatch.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "trace" ] ~docv:"FILE"
+              ~doc:
+                "Export the fleet timeline as Chrome-trace JSON (one track \
+                 per replica plus the front end).")
+      $ json_arg
+      $ jobs_arg)
+
 (* -- profile ----------------------------------------------------------- *)
 
 (* The profiling scenario is deterministic end to end: one traced model
@@ -498,17 +605,8 @@ let profile_cmd =
   let run version_name workload streams mode jobs flame_path out_path json
       check baseline_path write_baseline =
     let version = parse_version version_name in
-    let spec =
-      match Serve.Request.parse_spec workload with
-      | Ok spec -> spec
-      | Error msg ->
-        Printf.eprintf "osss_sim: bad --workload: %s\n" msg;
-        exit 2
-    in
-    if streams < 1 then begin
-      Printf.eprintf "osss_sim: --streams must be >= 1 (got %d)\n" streams;
-      exit 2
-    end;
+    let spec = parse_spec_flag "workload" Serve.Request.parse_spec workload in
+    require_min "streams" 1 streams;
     let model_sink, (_ : Models.Outcome.t) =
       Telemetry.Sink.with_sink (fun () ->
           Models.Experiment.run ~payload:false version mode)
@@ -872,5 +970,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "osss_sim" ~doc)
           [ run_cmd; trace_cmd; compare_cmd; table1_cmd; fig1_cmd;
-            relations_cmd; campaign_cmd; serve_cmd; profile_cmd;
+            relations_cmd; campaign_cmd; serve_cmd; fleet_cmd; profile_cmd;
             mapping_cmd ]))

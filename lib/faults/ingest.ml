@@ -31,56 +31,24 @@ let default_spec =
 (* -- spec strings ---------------------------------------------------- *)
 
 let parse_spec s =
-  let fields = if s = "" then [] else String.split_on_char ',' s in
   let ( let* ) = Result.bind in
-  let* pairs =
-    List.fold_left
-      (fun acc field ->
-        let* pairs = acc in
-        match String.index_opt field '=' with
-        | None -> Error (Printf.sprintf "field %S is not key=value" field)
-        | Some i ->
-          let key = String.sub field 0 i in
-          let value = String.sub field (i + 1) (String.length field - i - 1) in
-          Ok ((key, value) :: pairs))
-      (Ok []) fields
-  in
+  let* pairs = Spec.parse_pairs s in
   let* () =
-    let known =
+    Spec.check_known ~what:"ingest"
       [ "chunk"; "gap_us"; "loss"; "dup"; "reorder"; "window"; "stall";
         "stall_us" ]
-    in
-    match List.find_opt (fun (k, _) -> not (List.mem k known)) pairs with
-    | Some (k, _) -> Error (Printf.sprintf "unknown ingest key %S" k)
-    | None -> Ok ()
+      pairs
   in
-  let int_field key default check =
-    match List.assoc_opt key pairs with
-    | None -> Ok default
-    | Some v -> (
-      match int_of_string_opt v with
-      | None -> Error (Printf.sprintf "%s=%S is not an integer" key v)
-      | Some n -> check n)
-  in
+  let int_field key default check = Spec.int_field pairs key default check in
   let float_field key default check =
-    match List.assoc_opt key pairs with
-    | None -> Ok default
-    | Some v -> (
-      match float_of_string_opt v with
-      | None -> Error (Printf.sprintf "%s=%S is not a number" key v)
-      | Some f -> check f)
+    Spec.float_field pairs key default check
   in
-  let positive key n =
-    if n < 1 then Error (Printf.sprintf "%s=%d must be >= 1" key n) else Ok n
-  in
-  let rate key f =
-    if Float.is_finite f && f >= 0.0 && f <= 1.0 then Ok f
-    else Error (Printf.sprintf "%s=%g must be in [0, 1]" key f)
-  in
+  let positive key n = Spec.at_least key 1 n in
+  let rate key f = Spec.unit_interval key f in
   let positive_us key f =
-    if Float.is_finite f && f > 0.0 then
-      Ok (int_of_float ((f *. float_of_int ps_per_us) +. 0.5))
-    else Error (Printf.sprintf "%s=%g must be > 0" key f)
+    Result.map
+      (fun f -> int_of_float ((f *. float_of_int ps_per_us) +. 0.5))
+      (Spec.positive key f)
   in
   let d = default_spec in
   let* chunk_bytes = int_field "chunk" d.chunk_bytes (positive "chunk") in

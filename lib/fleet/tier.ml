@@ -1,0 +1,42 @@
+type t = {
+  lru : (Serve.Cache.key, Jpeg2000.Tile.t) Serve.Lru.t;
+  tr_ps : int;
+  mutable transfers : int;
+  mutable invalidations : int;
+}
+
+let create ?hash ~capacity ~transfer_ps () =
+  if capacity < 1 then invalid_arg "Fleet.Tier.create: capacity < 1";
+  if transfer_ps < 0 then invalid_arg "Fleet.Tier.create: transfer_ps < 0";
+  {
+    lru = Serve.Lru.create ?hash ~capacity ();
+    tr_ps = transfer_ps;
+    transfers = 0;
+    invalidations = 0;
+  }
+
+let capacity t = Serve.Lru.capacity t.lru
+let length t = Serve.Lru.length t.lru
+let transfer_ps t = t.tr_ps
+
+let find t key =
+  match Serve.Lru.find t.lru key with
+  | Some tile ->
+    t.transfers <- t.transfers + 1;
+    Some tile
+  | None -> None
+
+let add t key tile = Serve.Lru.add t.lru key tile
+
+let invalidate_stream t ~digest ~length =
+  let dropped =
+    Serve.Lru.remove_where t.lru (fun (k : Serve.Cache.key) ->
+        k.Serve.Cache.digest = digest && k.Serve.Cache.length = length)
+  in
+  t.invalidations <- t.invalidations + dropped;
+  dropped
+
+let stats t = Serve.Lru.stats t.lru
+let transfers t = t.transfers
+let transferred_ps t = t.transfers * t.tr_ps
+let invalidations t = t.invalidations

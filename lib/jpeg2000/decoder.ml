@@ -25,13 +25,18 @@ let parse = Codestream.parse
    the hot path: segments, grids and blocks are walked as arrays, not
    by [List.map2]/[List.length] per tile.
 
-   Two representations share that job structure. The {e boxed} path
-   (the original, kept for one release behind [?flat:false] as the
-   bit-identity cross-check, mirroring T1's [?lut]) decodes every
-   block into a fresh [int array] and merges by index. The {e flat}
-   path decodes through per-domain scratch state into one off-heap
-   {!Plane} per component — no per-block allocation, so parallel
-   decodes stop serialising on the minor collector. *)
+   Two representations share that job structure. The {e boxed} form
+   decodes every block into a fresh [int array] and merges by index;
+   it survives only as the exported stage-by-stage API
+   ([entropy_decode_tile] → [dequantise] → [inverse_wavelet] →
+   [inverse_colour_and_shift]) that the OSSS system models refine over
+   Software Tasks and Shared Objects. Every whole-tile entry point
+   decodes through the {e flat} path: per-domain scratch state into
+   one off-heap {!Plane} per component — no per-block allocation, so
+   parallel decodes stop serialising on the minor collector. (The
+   boxed whole-tile pipeline behind the former [?flat:false] flag was
+   retired after one release as a cross-check; a golden-digest qcheck
+   regression pins the flat output in its place.) *)
 
 type block_job = {
   bj_slot : int; (* (component, band) slot index *)
@@ -491,18 +496,11 @@ let finish_flat ?(pool = Par.Pool.sequential) ~discard header tile ft =
 
 (* -- whole-tile / whole-image decode -------------------------------- *)
 
-let decode_tile ?max_passes ?(pool = Par.Pool.sequential) ?(flat = true) header
-    tile =
-  if flat then
-    finish_flat ~pool ~discard:0 header tile
-      (flat_entropy ?max_passes ~pool header tile)
-  else
-    entropy_decode_tile ?max_passes ~pool header tile
-    |> dequantise header
-    |> inverse_wavelet ~pool header
-    |> inverse_colour_and_shift header tile
+let decode_tile ?max_passes ?(pool = Par.Pool.sequential) header tile =
+  finish_flat ~pool ~discard:0 header tile
+    (flat_entropy ?max_passes ~pool header tile)
 
-let decode_region ?(pool = Par.Pool.sequential) ?flat ~x ~y ~w ~h data =
+let decode_region ?(pool = Par.Pool.sequential) ~x ~y ~w ~h data =
   let stream = parse data in
   let header = stream.Codestream.header in
   if w <= 0 || h <= 0 then invalid_arg "Decoder.decode_region: empty window";
@@ -521,7 +519,7 @@ let decode_region ?(pool = Par.Pool.sequential) ?flat ~x ~y ~w ~h data =
   let region = Image.create ~width:w ~height:h ~components:header.Codestream.components
       ~bit_depth:header.Codestream.bit_depth () in
   let decoded =
-    Par.Pool.map pool needed (fun seg -> decode_tile ~pool ?flat header seg)
+    Par.Pool.map pool needed (fun seg -> decode_tile ~pool header seg)
   in
   Array.iter
     (fun tile ->
@@ -540,23 +538,12 @@ let decode_region ?(pool = Par.Pool.sequential) ?flat ~x ~y ~w ~h data =
     decoded;
   region
 
-let decode_tile_reduced ?(pool = Par.Pool.sequential) ?(flat = true) header
-    ~discard tile =
+let decode_tile_reduced ?(pool = Par.Pool.sequential) header ~discard tile =
   let reduced_header, reduced_tile = reduced_view header ~discard tile in
-  if flat then
-    finish_flat ~pool ~discard reduced_header reduced_tile
-      (flat_entropy ~pool reduced_header reduced_tile)
-  else begin
-    let domain =
-      entropy_decode_tile ~pool reduced_header reduced_tile
-      |> dequantise reduced_header
-    in
-    compensate_k ~discard domain;
-    inverse_wavelet ~pool reduced_header domain
-    |> inverse_colour_and_shift reduced_header reduced_tile
-  end
+  finish_flat ~pool ~discard reduced_header reduced_tile
+    (flat_entropy ~pool reduced_header reduced_tile)
 
-let decode_reduced ?(pool = Par.Pool.sequential) ?flat ~discard_levels data =
+let decode_reduced ?(pool = Par.Pool.sequential) ~discard_levels data =
   let stream = parse data in
   let header = stream.Codestream.header in
   if discard_levels < 0 || discard_levels > header.Codestream.levels then
@@ -569,7 +556,7 @@ let decode_reduced ?(pool = Par.Pool.sequential) ?flat ~discard_levels data =
     Array.to_list
       (Par.Pool.map pool
          (Array.of_list stream.Codestream.tiles)
-         (decode_tile_reduced ~pool ?flat header ~discard:discard_levels))
+         (decode_tile_reduced ~pool header ~discard:discard_levels))
   in
   Tile.assemble
     ~width:(reduced_size header.Codestream.width discard_levels)
@@ -577,24 +564,24 @@ let decode_reduced ?(pool = Par.Pool.sequential) ?flat ~discard_levels data =
     ~components:header.Codestream.components
     ~bit_depth:header.Codestream.bit_depth tiles
 
-let decode_with ?max_passes ?(pool = Par.Pool.sequential) ?flat data =
+let decode_with ?max_passes ?(pool = Par.Pool.sequential) data =
   let stream = parse data in
   let header = stream.Codestream.header in
   let tiles =
     Array.to_list
       (Par.Pool.map pool
          (Array.of_list stream.Codestream.tiles)
-         (decode_tile ?max_passes ~pool ?flat header))
+         (decode_tile ?max_passes ~pool header))
   in
   Tile.assemble ~width:header.Codestream.width ~height:header.Codestream.height
     ~components:header.Codestream.components ~bit_depth:header.Codestream.bit_depth
     tiles
 
-let decode ?pool ?flat data = decode_with ?pool ?flat data
+let decode ?pool data = decode_with ?pool data
 
-let decode_progressive ?pool ?flat ~max_passes data =
+let decode_progressive ?pool ~max_passes data =
   if max_passes < 0 then invalid_arg "Decoder.decode_progressive: max_passes";
-  decode_with ~max_passes ?pool ?flat data
+  decode_with ~max_passes ?pool data
 
 (* -- graceful degradation ------------------------------------------- *)
 
@@ -728,35 +715,23 @@ let missing_tiles (header : Codestream.header) present =
 (* The robust body over an explicit tile population: [present] tiles
    decode with per-block containment, [missing] ones are concealed
    whole. *)
-let decode_robust_tiles ~pool ~flat header ~present ~missing =
+let decode_robust_tiles ~pool header ~present ~missing =
   let decode_one tile =
     (* (tile image, concealed blocks, concealed tiles, total blocks):
        per-tile results stay pure so the fan-out over tiles cannot
        race on the report counters. *)
     let total = tile_block_count header tile in
-    if flat then
-      match flat_tile_jobs ~fail:(fun _ -> raise Exit) header tile with
-      | exception Exit -> (concealed_tile header tile, 0, 1, total)
-      | ft -> (
-        let oks = Par.Pool.map pool ft.ft_jobs (decode_flat_job_robust ft) in
-        let concealed =
-          Array.fold_left (fun acc ok -> if ok then acc else acc + 1) 0 oks
-        in
-        match finish_flat ~discard:0 header tile ft with
-        | t -> (t, concealed, 0, total)
-        | exception (Failure _ | Invalid_argument _) ->
-          (concealed_tile header tile, concealed, 1, total))
-    else
-      match entropy_decode_tile_robust ~pool header tile with
-      | Some (ed, concealed) -> (
-        match
-          dequantise header ed |> inverse_wavelet header
-          |> inverse_colour_and_shift header tile
-        with
-        | t -> (t, concealed, 0, total)
-        | exception (Failure _ | Invalid_argument _) ->
-          (concealed_tile header tile, concealed, 1, total))
-      | None -> (concealed_tile header tile, 0, 1, total)
+    match flat_tile_jobs ~fail:(fun _ -> raise Exit) header tile with
+    | exception Exit -> (concealed_tile header tile, 0, 1, total)
+    | ft -> (
+      let oks = Par.Pool.map pool ft.ft_jobs (decode_flat_job_robust ft) in
+      let concealed =
+        Array.fold_left (fun acc ok -> if ok then acc else acc + 1) 0 oks
+      in
+      match finish_flat ~discard:0 header tile ft with
+      | t -> (t, concealed, 0, total)
+      | exception (Failure _ | Invalid_argument _) ->
+        (concealed_tile header tile, concealed, 1, total))
   in
   let results = Par.Pool.map pool (Array.of_list present) decode_one in
   let concealed_blocks = ref 0 and concealed_tiles = ref 0 in
@@ -795,10 +770,10 @@ let decode_robust_tiles ~pool ~flat header ~present ~missing =
         total_tiles = List.length present + List.length missing;
       } )
 
-let decode_robust ?(pool = Par.Pool.sequential) ?(flat = true) data =
+let decode_robust ?(pool = Par.Pool.sequential) data =
   match Codestream.parse_result data with
   | Ok stream ->
-    decode_robust_tiles ~pool ~flat stream.Codestream.header
+    decode_robust_tiles ~pool stream.Codestream.header
       ~present:stream.Codestream.tiles ~missing:[]
   | Error (Codestream.Truncated _ as e) -> (
     (* A truncated stream is the signature of a stalled or lossy
@@ -814,7 +789,7 @@ let decode_robust ?(pool = Par.Pool.sequential) ?(flat = true) data =
     | None -> Error e
     | Some header ->
       let present = List.init (Stream.tiles_ready s) (Stream.tile s) in
-      decode_robust_tiles ~pool ~flat header ~present
+      decode_robust_tiles ~pool header ~present
         ~missing:(missing_tiles header present))
   | Error e -> Error e
 

@@ -18,20 +18,22 @@
     {!Par.Pool.sequential}). Results are merged by index, so a decode
     on any pool is bit-identical to the sequential one.
 
-    {b Memory layout.} The whole-image entry points decode through
-    {e flat} coefficient planes by default ([?flat:true]): each
-    component's coefficients live in one off-heap {!Plane} (Mallat
-    layout), code blocks decode through per-domain scratch state
-    ({!T1.decode_block_scalable_scratch}) and blit their rectangle
-    into the shared plane, and the inverse transforms run in place
-    ({!Dwt53.inverse_flat}, {!Dwt97.inverse_ip}). No per-block or
-    per-line allocation survives into the steady state, so parallel
-    decodes stop serialising on the minor collector's stop-the-world
-    synchronisation. [?flat:false] keeps the original boxed-array
-    path for one release as a bit-identity cross-check (the same
-    transition discipline as the T1 [?lut] flag); the two paths are
-    verified bit-identical by the property tests at every pool
-    width. *)
+    {b Memory layout.} Every whole-image entry point decodes through
+    {e flat} coefficient planes: each component's coefficients live in
+    one off-heap {!Plane} (Mallat layout), code blocks decode through
+    per-domain scratch state ({!T1.decode_block_scalable_scratch}) and
+    blit their rectangle into the shared plane, and the inverse
+    transforms run in place ({!Dwt53.inverse_flat},
+    {!Dwt97.inverse_ip}). No per-block or per-line allocation survives
+    into the steady state, so parallel decodes stop serialising on the
+    minor collector's stop-the-world synchronisation. (The boxed
+    whole-tile pipeline behind the former [?flat:false] flag served
+    one release as a bit-identity cross-check and is retired; a
+    golden-digest qcheck regression pins the flat output instead.)
+    The boxed {e stage-by-stage} functions below remain — they are
+    the refinement surface the OSSS system models distribute over
+    Software Tasks and Shared Objects, not a second whole-tile
+    pipeline. *)
 
 type band_coeffs = {
   bc_band : Subband.band;
@@ -80,23 +82,21 @@ val inverse_colour_and_shift :
 val decode_tile :
   ?max_passes:int ->
   ?pool:Par.Pool.t ->
-  ?flat:bool ->
   Codestream.header ->
   Codestream.tile_segment ->
   Tile.t
-(** All tile stages composed. [?flat] (default [true]) selects the
-    flat-plane pipeline; [?flat:false] runs the boxed stage chain
-    ({!entropy_decode_tile} → {!dequantise} → {!inverse_wavelet} →
-    {!inverse_colour_and_shift}). Both produce bit-identical tiles. *)
+(** All tile stages composed, through the flat-plane pipeline. Equals
+    the boxed stage chain ({!entropy_decode_tile} → {!dequantise} →
+    {!inverse_wavelet} → {!inverse_colour_and_shift}) bit for bit. *)
 
-val decode : ?pool:Par.Pool.t -> ?flat:bool -> string -> Image.t
+val decode : ?pool:Par.Pool.t -> string -> Image.t
 (** Full decode of a codestream. Tiles fan out over [pool]; inside a
     worker the per-tile stages degrade to sequential (the pool is
     re-entrancy-safe), so a single-tile stream still parallelises
     over its code blocks when called from the main domain. *)
 
 val decode_progressive :
-  ?pool:Par.Pool.t -> ?flat:bool -> max_passes:int -> string -> Image.t
+  ?pool:Par.Pool.t -> max_passes:int -> string -> Image.t
 (** Quality-scalable decode: every code block contributes only its
     first [max_passes] coding passes, as if the stream had been
     truncated at that pass boundary — fidelity increases
@@ -105,7 +105,6 @@ val decode_progressive :
 
 val decode_region :
   ?pool:Par.Pool.t ->
-  ?flat:bool ->
   x:int ->
   y:int ->
   w:int ->
@@ -119,7 +118,7 @@ val decode_region :
     image. *)
 
 val decode_reduced :
-  ?pool:Par.Pool.t -> ?flat:bool -> discard_levels:int -> string -> Image.t
+  ?pool:Par.Pool.t -> discard_levels:int -> string -> Image.t
 (** Resolution-scalable decode: reconstructs the image at
     [1/2^discard_levels] of its dimensions by entropy-decoding only
     the coarser subbands and running fewer inverse-wavelet levels —
@@ -168,7 +167,6 @@ val entropy_decode_tile_robust :
 
 val decode_robust :
   ?pool:Par.Pool.t ->
-  ?flat:bool ->
   string ->
   (Image.t * report, Codestream.error) result
 (** Total decode of arbitrary bytes: [Error] iff the codestream

@@ -246,6 +246,102 @@ let render_ingest rows =
   Buffer.add_string buf (Osss.Report.render ~header table_rows);
   Buffer.contents buf
 
+(* -- fleet sweep -------------------------------------------------------
+   The scaling axis: the same fixed open-loop workload served by
+   fleets of growing replica count, with and without the shared L2
+   tile cache. Autoscaling is pinned off (min = max) at every grid
+   point so each row isolates one (replica count, L2 size) pair; the
+   workload rate is chosen to saturate the single-replica fleet, so
+   the table shows rejections falling and tail latency recovering as
+   replicas are added, and the L2 columns price what the shared cache
+   buys at each scale. Deterministic like the other sweeps. *)
+
+type fleet_row = { fl_replicas : int; fl_l2 : int; fl_report : Fleet.report }
+
+let fleet_workload seed =
+  let spec =
+    Printf.sprintf "open:n=96,rate=1500,seed=%d,deadline=30,reduced=0.25" seed
+  in
+  match Serve.Request.parse_spec spec with
+  | Ok s -> s
+  | Error msg -> invalid_arg ("Campaign.fleet_workload: " ^ msg)
+
+let run_fleet ?(pool = Par.Pool.sequential) ?(seed = 2008)
+    ?(replicas = [ 1; 2; 4; 8 ]) ?(l2_sizes = [ 0; 256 ])
+    ?(mode = Jpeg2000.Codestream.Lossless) ?(streams = 6) () =
+  let corpus =
+    Array.init streams (fun i -> Workload.codestream ~seed:(seed + i) mode)
+  in
+  (* a deliberately small L1 per replica, so the L2 column measures
+     real sharing rather than private-cache capacity *)
+  let service =
+    { Serve.Service.default_config with Serve.Service.cache_capacity = 16 }
+  in
+  let spec = fleet_workload seed in
+  List.concat_map
+    (fun r ->
+      List.map
+        (fun l2 ->
+          let config =
+            {
+              Fleet.default_config with
+              Fleet.replicas = r;
+              min_replicas = r;
+              max_replicas = r;
+              l2_capacity = l2;
+            }
+          in
+          let fleet = Fleet.create ~config ~service corpus in
+          { fl_replicas = r; fl_l2 = l2; fl_report = Fleet.run ~pool fleet spec })
+        l2_sizes)
+    replicas
+
+let fleet_to_json rows =
+  Telemetry.Json.List
+    (List.map
+       (fun r ->
+         Telemetry.Json.Obj
+           [
+             ("replicas", Telemetry.Json.Int r.fl_replicas);
+             ("l2", Telemetry.Json.Int r.fl_l2);
+             ("report", Fleet.report_to_json r.fl_report);
+           ])
+       rows)
+
+let render_fleet rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "Fleet scaling campaign\n\n";
+  let header =
+    [
+      "replicas"; "L2"; "served"; "rejected"; "spilled"; "req/s";
+      "p50 [ms]"; "p99 [ms]"; "SLO miss"; "L1 hit"; "L2 hit";
+    ]
+  in
+  let table_rows =
+    List.map
+      (fun r ->
+        let rep = r.fl_report in
+        [
+          string_of_int r.fl_replicas;
+          (if r.fl_l2 = 0 then "off" else string_of_int r.fl_l2);
+          string_of_int rep.Fleet.served;
+          string_of_int rep.Fleet.rejected;
+          string_of_int rep.Fleet.spilled;
+          Printf.sprintf "%.0f" rep.Fleet.throughput_rps;
+          Printf.sprintf "%.3f" rep.Fleet.latency.Serve.Service.p50_ms;
+          Printf.sprintf "%.3f" rep.Fleet.latency.Serve.Service.p99_ms;
+          string_of_int rep.Fleet.slo_misses;
+          Printf.sprintf "%.1f%%" (100.0 *. rep.Fleet.l1.Fleet.hit_rate);
+          (match rep.Fleet.l2 with
+          | None -> "-"
+          | Some l ->
+            Printf.sprintf "%.1f%%" (100.0 *. l.Fleet.l2_tier.Fleet.hit_rate));
+        ])
+      rows
+  in
+  Buffer.add_string buf (Osss.Report.render ~header table_rows);
+  Buffer.contents buf
+
 let fmt_inflation f =
   if Float.is_nan f then "-" else Printf.sprintf "%.4fx" f
 

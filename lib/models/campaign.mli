@@ -85,6 +85,36 @@ val run_ingest :
 val render_ingest : ingest_row list -> string
 val ingest_to_json : ingest_row list -> Telemetry.Json.t
 
+(** {1 Fleet scaling sweep}
+
+    The scaling axis: one fixed open-loop workload served by sharded
+    decode fleets over a (replica count x shared-L2 size) grid, with
+    autoscaling pinned off (min = max) so each row isolates one grid
+    point. The workload saturates the single-replica fleet; the table
+    shows rejections falling and tail latency recovering as replicas
+    are added, and what the shared tile cache buys at each scale.
+    Deterministic: equal seeds render equal tables on any pool. *)
+
+type fleet_row = { fl_replicas : int; fl_l2 : int; fl_report : Fleet.report }
+
+val run_fleet :
+  ?pool:Par.Pool.t ->
+  ?seed:int ->
+  ?replicas:int list ->
+  ?l2_sizes:int list ->
+  ?mode:Profile.mode ->
+  ?streams:int ->
+  unit ->
+  fleet_row list
+(** One fleet run per (replicas, l2) grid point, replicas-major
+    order. Defaults: seed 2008, replicas [1; 2; 4; 8], L2 sizes
+    [0; 256] (0 = tier disabled), lossless, a 6-codestream corpus,
+    and a small (16-tile) per-replica L1 so the L2 column measures
+    sharing rather than private-cache capacity. *)
+
+val render_fleet : fleet_row list -> string
+val fleet_to_json : fleet_row list -> Telemetry.Json.t
+
 val row_to_json : row -> Telemetry.Json.t
 
 val to_json : config -> row list -> Telemetry.Json.t

@@ -83,6 +83,13 @@ let add (t : (_, _) t) key value =
       { e_hash = t.hash key; e_key = key; e_value = value; e_tick = next_tick t }
       :: t.entries
 
+let remove_where (t : (_, _) t) pred =
+  let keep, removed =
+    List.partition (fun e -> not (pred e.e_key)) t.entries
+  in
+  t.entries <- keep;
+  List.length removed
+
 let stats (t : (_, _) t) =
   {
     hits = t.hits;

@@ -44,6 +44,11 @@ val add : ('k, 'v) t -> 'k -> 'v -> unit
 (** Inserts or replaces the binding for the full key, evicting the
     least-recently-used entry when the cache is full. *)
 
+val remove_where : ('k, 'v) t -> ('k -> bool) -> int
+(** Drops every entry whose key satisfies the predicate and returns
+    how many were removed. Invalidation, not pressure: the removals
+    do not count as evictions and touch no hit/miss statistics. *)
+
 val stats : ('k, 'v) t -> stats
 val hit_rate : stats -> float
 (** Hits over lookups, [0.] before the first lookup. *)

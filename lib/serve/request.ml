@@ -38,20 +38,6 @@ type spec = {
 
 (* -- spec parsing ---------------------------------------------------- *)
 
-let parse_fields fields =
-  List.fold_left
-    (fun acc field ->
-      match acc with
-      | Error _ -> acc
-      | Ok pairs -> (
-        match String.index_opt field '=' with
-        | None -> Error (Printf.sprintf "field %S is not key=value" field)
-        | Some i ->
-          let key = String.sub field 0 i in
-          let value = String.sub field (i + 1) (String.length field - i - 1) in
-          Ok ((key, value) :: pairs)))
-    (Ok []) fields
-
 let parse_spec s =
   let shape_name, body =
     match String.index_opt s ':' with
@@ -59,30 +45,13 @@ let parse_spec s =
     | Some i ->
       (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
   in
-  let fields = if body = "" then [] else String.split_on_char ',' body in
   let ( let* ) = Result.bind in
-  let* pairs = parse_fields fields in
-  let int_field key default =
-    match List.assoc_opt key pairs with
-    | None -> Ok default
-    | Some v -> (
-      match int_of_string_opt v with
-      | Some n -> Ok n
-      | None -> Error (Printf.sprintf "%s=%S is not an integer" key v))
-  in
-  let float_field key default =
-    match List.assoc_opt key pairs with
-    | None -> Ok default
-    | Some v -> (
-      match float_of_string_opt v with
-      | Some f -> Ok f
-      | None -> Error (Printf.sprintf "%s=%S is not a number" key v))
-  in
+  let* pairs = Spec.parse_pairs body in
+  let int_field key default = Spec.int_field pairs key default Spec.any in
+  let float_field key default = Spec.float_field pairs key default Spec.any in
   let known shape_keys =
     let all = [ "n"; "seed"; "deadline"; "region"; "reduced" ] @ shape_keys in
-    match List.find_opt (fun (k, _) -> not (List.mem k all)) pairs with
-    | Some (k, _) -> Error (Printf.sprintf "unknown key %S" k)
-    | None -> Ok ()
+    Spec.check_known all pairs
   in
   let* shape =
     match shape_name with

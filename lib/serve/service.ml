@@ -316,6 +316,51 @@ let draw_request rng ~id ~nstreams ~streams ~arrival_ps ~deadline_ps spec =
   let trace = Request.trace_id ~seed:spec.Request.seed id in
   { Request.id; trace; stream; target; priority; arrival_ps; deadline_ps }
 
+(* -- fleet hooks ------------------------------------------------------
+   Accessors and helpers the fleet layer builds its replicated
+   services and external load balancer from; everything here is a pure
+   view of existing state or a re-export of the deterministic
+   machinery above. *)
+
+let config (t : t) = t.config
+let streams (t : t) = t.streams
+let stream_digest s = s.s_digest
+let stream_header s = s.s_header
+let stream_tile s i = s.s_tiles.(i)
+let stream_tile_count s = Array.length s.s_tiles
+let stream_reference s = Lazy.force s.s_reference
+let fnv_basis = 0xcbf29ce484222325L
+
+let edf_request_order (a : Request.t) (b : Request.t) =
+  let c = Int.compare a.Request.deadline_ps b.Request.deadline_ps in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.Request.priority b.Request.priority in
+    if c <> 0 then c else Int.compare a.Request.id b.Request.id
+
+(* The full arrival sequence of an open-loop spec, pre-drawn with
+   exactly the RNG discipline of [run]'s generator so a fleet workload
+   replays the same requests a single service would see. *)
+let open_arrivals (t : t) spec =
+  match spec.Request.shape with
+  | Request.Closed_loop _ ->
+    invalid_arg "Serve.Service.open_arrivals: closed-loop spec"
+  | Request.Open_loop { rate_rps } ->
+    let nstreams = Array.length t.streams in
+    let deadline_rel_ps = ps_of_ms spec.Request.deadline_ms in
+    let rng = Faults.Rng.create spec.Request.seed in
+    let mean_ms = 1000.0 /. rate_rps in
+    let arrival = ref 0 in
+    let out = ref [] in
+    for id = 0 to spec.Request.n - 1 do
+      arrival := !arrival + ps_of_ms (Request.exp_draw rng ~mean:mean_ms);
+      out :=
+        draw_request rng ~id ~nstreams ~streams:t.streams ~arrival_ps:!arrival
+          ~deadline_ps:(!arrival + deadline_rel_ps) spec
+        :: !out
+    done;
+    Array.of_list (List.rev !out)
+
 (* -- the scheduler ----------------------------------------------------- *)
 
 type queued = {
@@ -327,12 +372,7 @@ type queued = {
          the faulted delivery never completes them *)
 }
 
-let edf_compare a b =
-  let c = Int.compare a.q_req.Request.deadline_ps b.q_req.Request.deadline_ps in
-  if c <> 0 then c
-  else
-    let c = Int.compare a.q_req.Request.priority b.q_req.Request.priority in
-    if c <> 0 then c else Int.compare a.q_req.Request.id b.q_req.Request.id
+let edf_compare a b = edf_request_order a.q_req b.q_req
 
 let run ?(pool = Par.Pool.sequential) ?on_complete ?on_flush t spec =
   let config = t.config in

@@ -150,3 +150,77 @@ val run :
 
 val report_to_json : report -> Telemetry.Json.t
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Fleet hooks}
+
+    The building blocks an external balancer needs to run many replica
+    services against one corpus: per-stream accessors, request
+    expansion, the virtual-time cost constants, and the workload
+    generator. [Fleet] (in [lib/fleet]) composes these into a sharded
+    cluster; everything here is deterministic, so a fleet built on it
+    inherits the byte-identical-report property. *)
+
+type stream
+(** One registered codestream: bytes, digest, parsed header and tile
+    segments, lazily decoded clean reference. *)
+
+val config : t -> config
+val streams : t -> stream array
+
+val stream_digest : stream -> int64
+(** FNV-1a-64 of the codestream bytes — the consistent-hash key. *)
+
+val stream_header : stream -> Jpeg2000.Codestream.header
+val stream_tile : stream -> int -> Jpeg2000.Codestream.tile_segment
+val stream_tile_count : stream -> int
+
+val stream_reference : stream -> Jpeg2000.Image.t
+(** Clean full decode (forced on first use). *)
+
+val needed_keys : stream -> Request.target -> (int * Cache.key) list
+(** The (tile index, cache key) pairs a target expands to: all tiles
+    at full resolution ([Full]), all tiles at the discard level
+    ([Reduced]), or the intersecting tiles ([Region]). *)
+
+val output_dims : stream -> Request.target -> int * int
+val assemble : stream -> Request.target -> Jpeg2000.Tile.t list -> Jpeg2000.Image.t
+
+val max_discard : stream -> int
+(** Largest degrade level the stream's tile grid supports. *)
+
+val degrade_target : stream -> Request.target -> Request.target option
+(** The next lower resolution for an overloaded request, [None] when
+    already at {!max_discard}. *)
+
+val edf_request_order : Request.t -> Request.t -> int
+(** The batch scheduler's order: deadline, then priority, then id. *)
+
+val open_arrivals : t -> Request.spec -> Request.t array
+(** Pre-draws the complete arrival sequence of an {e open-loop} spec
+    with the same RNG discipline as {!run}'s generator, sorted by
+    (arrival, id). Raises [Invalid_argument] on a closed-loop spec —
+    closed-loop arrivals depend on completions, which belong to the
+    service (or fleet) that serves them. *)
+
+val latency_of : int list -> latency
+(** Nearest-rank percentiles over latency samples in picoseconds. *)
+
+(** {2 Virtual-time cost model}
+
+    The constants every service time derives from, in picoseconds;
+    see the calibration note in the implementation. *)
+
+val ps_per_batch : int
+val ps_per_block : int
+val ps_per_coded_byte : int
+val ps_per_sample : int
+val ps_per_hit : int
+val ps_per_out_sample : int
+val ps_of_ms : float -> int
+val ms_of_ps : int -> float
+
+(** {2 Digest folding} *)
+
+val fnv_basis : int64
+val fnv_int : int64 -> int -> int64
+val fnv_image : int64 -> Jpeg2000.Image.t -> int64

@@ -1,0 +1,62 @@
+type pairs = (string * string) list
+
+let parse_pairs s =
+  let fields = if s = "" then [] else String.split_on_char ',' s in
+  List.fold_left
+    (fun acc field ->
+      match acc with
+      | Error _ -> acc
+      | Ok pairs -> (
+        match String.index_opt field '=' with
+        | None -> Error (Printf.sprintf "field %S is not key=value" field)
+        | Some i ->
+          let key = String.sub field 0 i in
+          let value = String.sub field (i + 1) (String.length field - i - 1) in
+          Ok ((key, value) :: pairs)))
+    (Ok []) fields
+
+let check_known ?what keys pairs =
+  match List.find_opt (fun (k, _) -> not (List.mem k keys)) pairs with
+  | Some (k, _) -> (
+    match what with
+    | None -> Error (Printf.sprintf "unknown key %S" k)
+    | Some what -> Error (Printf.sprintf "unknown %s key %S" what k))
+  | None -> Ok ()
+
+let int_field pairs key default check =
+  match List.assoc_opt key pairs with
+  | None -> Ok default
+  | Some v -> (
+    match int_of_string_opt v with
+    | None -> Error (Printf.sprintf "%s=%S is not an integer" key v)
+    | Some n -> check n)
+
+let float_field pairs key default check =
+  match List.assoc_opt key pairs with
+  | None -> Ok default
+  | Some v -> (
+    match float_of_string_opt v with
+    | None -> Error (Printf.sprintf "%s=%S is not a number" key v)
+    | Some f -> check f)
+
+let any v = Ok v
+
+let at_least key lo n =
+  if n >= lo then Ok n
+  else Error (Printf.sprintf "%s=%d must be >= %d" key n lo)
+
+let in_range key lo hi n =
+  if n >= lo && n <= hi then Ok n
+  else Error (Printf.sprintf "%s=%d must be in [%d, %d]" key n lo hi)
+
+let unit_interval key f =
+  if Float.is_finite f && f >= 0.0 && f <= 1.0 then Ok f
+  else Error (Printf.sprintf "%s=%g must be in [0, 1]" key f)
+
+let positive key f =
+  if Float.is_finite f && f > 0.0 then Ok f
+  else Error (Printf.sprintf "%s=%g must be > 0" key f)
+
+let non_negative key f =
+  if Float.is_finite f && f >= 0.0 then Ok f
+  else Error (Printf.sprintf "%s=%g must be >= 0" key f)

@@ -1003,10 +1003,11 @@ let test_parse_wrapper_routes_result () =
 
 (* -- flat coefficient planes ----------------------------------------
 
-   The flat decode path (off-heap planes, scratch T1, in-place IDWT;
-   the [?flat:true] default) against the boxed baseline it replaced
-   ([?flat:false]) — bit-identity on every entry point, every mode,
-   and every pool width. *)
+   The flat decode path (off-heap planes, scratch T1, in-place IDWT)
+   is the only whole-tile pipeline since the boxed cross-check path
+   retired. Golden FNV-1a-64 digests recorded while both paths still
+   agreed pin its output on every entry point; set PRINT_GOLDENS=1 to
+   regenerate the table after an intentional output change. *)
 
 let test_plane_basics () =
   let p = Jpeg2000.Plane.create ~w:5 ~h:3 in
@@ -1036,33 +1037,101 @@ let flat_configs =
     ("lossy", { Jpeg2000.Encoder.default_lossy with tile_w = 16; tile_h = 16 });
   ]
 
-let flat_equals_boxed_qcheck =
-  QCheck.Test.make ~name:"flat decode equals boxed decode" ~count:15
-    QCheck.(
-      quad (int_range 4 48) (int_range 4 48) (int_range 1 3) (int_range 0 1000))
-    (fun (w, h, comps, seed) ->
-      let img =
-        if seed mod 2 = 0 then
-          Jpeg2000.Image.smooth ~width:w ~height:h ~components:comps ~seed
-        else Jpeg2000.Image.noise ~width:w ~height:h ~components:comps ~seed
+(* FNV-1a-64 over image geometry and samples — the same digest
+   discipline the serve layer pins its reports with. *)
+let fnv_prime = 0x100000001b3L
+let fnv_int h v = Int64.mul (Int64.logxor h (Int64.of_int v)) fnv_prime
+
+let image_digest h (img : Jpeg2000.Image.t) =
+  let h = ref (fnv_int h (Jpeg2000.Image.width img)) in
+  h := fnv_int !h (Jpeg2000.Image.height img);
+  h := fnv_int !h (Array.length img.Jpeg2000.Image.planes);
+  Array.iter
+    (fun (p : Jpeg2000.Image.plane) ->
+      Array.iter (fun v -> h := fnv_int !h v) p.Jpeg2000.Image.data)
+    img.Jpeg2000.Image.planes;
+  !h
+
+(* One digest per seed covering every decode entry point (full,
+   reduced, progressive, region, robust over a clean, a truncated and
+   a corrupted stream) in both modes. A pure function of the seed, so
+   the recorded table below is a regression oracle for the whole flat
+   pipeline, concealment included. *)
+let flat_golden_digest seed =
+  let width = 33 + (7 * seed)
+  and height = 24 + (5 * seed)
+  and components = 1 + (seed mod 3) in
+  let img =
+    if seed mod 2 = 0 then
+      Jpeg2000.Image.smooth ~width ~height ~components ~seed
+    else Jpeg2000.Image.noise ~width ~height ~components ~seed
+  in
+  List.fold_left
+    (fun h (_, config) ->
+      let data = Jpeg2000.Encoder.encode config img in
+      let h = image_digest h (Jpeg2000.Decoder.decode data) in
+      let h =
+        image_digest h (Jpeg2000.Decoder.decode_reduced ~discard_levels:1 data)
       in
-      List.for_all
-        (fun (_, config) ->
-          let data = Jpeg2000.Encoder.encode config img in
-          Jpeg2000.Image.equal
-            (Jpeg2000.Decoder.decode ~flat:true data)
-            (Jpeg2000.Decoder.decode ~flat:false data))
-        flat_configs)
+      let h =
+        image_digest h (Jpeg2000.Decoder.decode_progressive ~max_passes:2 data)
+      in
+      let h =
+        image_digest h
+          (Jpeg2000.Decoder.decode_region ~x:5 ~y:9 ~w:20 ~h:14 data)
+      in
+      let robust h data =
+        match Jpeg2000.Decoder.decode_robust data with
+        | Ok (image, r) ->
+          let h = image_digest h image in
+          let h = fnv_int h r.Jpeg2000.Decoder.concealed_blocks in
+          let h = fnv_int h r.Jpeg2000.Decoder.concealed_tiles in
+          fnv_int h r.Jpeg2000.Decoder.total_blocks
+        | Error _ -> fnv_int h (-1)
+      in
+      let h = robust h data in
+      let h = robust h (String.sub data 0 (String.length data * 3 / 4)) in
+      let corrupt = Bytes.of_string data in
+      for i = 0 to 8 do
+        Bytes.set corrupt
+          ((String.length data / 2) + (i * 13))
+          (Char.chr ((i * 41) land 0xff))
+      done;
+      robust h (Bytes.to_string corrupt))
+    0xcbf29ce484222325L flat_configs
+
+(* Recorded with PRINT_GOLDENS=1 at the moment the boxed cross-check
+   path retired (the two pipelines were verified bit-identical by the
+   qcheck suite through the previous release). *)
+let flat_golden_digests =
+  [| "73ffda2f37828bda"; "e2d5818b0b350166";
+     "696c4726cf0e869c"; "e249ba767dac0868" |]
+
+let () =
+  if Sys.getenv_opt "PRINT_GOLDENS" <> None then begin
+    Array.iteri
+      (fun seed _ ->
+        Printf.printf "golden %d: %016Lx\n%!" seed (flat_golden_digest seed))
+      flat_golden_digests;
+    exit 0
+  end
+
+let flat_golden_qcheck =
+  QCheck.Test.make ~name:"flat decode matches recorded goldens" ~count:4
+    QCheck.(int_range 0 (Array.length flat_golden_digests - 1))
+    (fun seed ->
+      Printf.sprintf "%016Lx" (flat_golden_digest seed)
+      = flat_golden_digests.(seed))
 
 let test_flat_identity_across_pools () =
   (* The flat planes are shared mutable state across pool domains;
      disjoint-rectangle blits must keep any schedule bit-identical to
-     the boxed sequential decode. *)
+     the sequential decode. *)
   let img = Jpeg2000.Image.smooth ~width:40 ~height:24 ~components:3 ~seed:7 in
   List.iter
     (fun (name, config) ->
       let data = Jpeg2000.Encoder.encode config img in
-      let reference = Jpeg2000.Decoder.decode ~flat:false data in
+      let reference = Jpeg2000.Decoder.decode data in
       List.iter
         (fun jobs ->
           Par.Pool.with_jobs jobs (fun pool ->
@@ -1072,71 +1141,6 @@ let test_flat_identity_across_pools () =
                 (Jpeg2000.Image.equal reference
                    (Jpeg2000.Decoder.decode ~pool data))))
         [ 1; 2; 4 ])
-    flat_configs
-
-let test_flat_reduced_and_progressive () =
-  let img = Jpeg2000.Image.smooth ~width:32 ~height:32 ~components:3 ~seed:13 in
-  List.iter
-    (fun (name, config) ->
-      let data = Jpeg2000.Encoder.encode config img in
-      List.iter
-        (fun discard_levels ->
-          Alcotest.(check bool)
-            (Printf.sprintf "%s reduced d=%d" name discard_levels)
-            true
-            (Jpeg2000.Image.equal
-               (Jpeg2000.Decoder.decode_reduced ~flat:true ~discard_levels data)
-               (Jpeg2000.Decoder.decode_reduced ~flat:false ~discard_levels data)))
-        [ 0; 1; 2 ];
-      List.iter
-        (fun max_passes ->
-          Alcotest.(check bool)
-            (Printf.sprintf "%s progressive p=%d" name max_passes)
-            true
-            (Jpeg2000.Image.equal
-               (Jpeg2000.Decoder.decode_progressive ~flat:true ~max_passes data)
-               (Jpeg2000.Decoder.decode_progressive ~flat:false ~max_passes data)))
-        [ 0; 2; 30 ];
-      Alcotest.(check bool)
-        (name ^ " region")
-        true
-        (Jpeg2000.Image.equal
-           (Jpeg2000.Decoder.decode_region ~flat:true ~x:5 ~y:9 ~w:20 ~h:14 data)
-           (Jpeg2000.Decoder.decode_region ~flat:false ~x:5 ~y:9 ~w:20 ~h:14
-              data)))
-    flat_configs
-
-let test_flat_robust_identity () =
-  (* Containment must conceal the same blocks on both paths: a failed
-     flat block blits nothing (its rectangle stays zero), exactly the
-     boxed path's skipped placement. *)
-  let img = Jpeg2000.Image.smooth ~width:40 ~height:24 ~components:3 ~seed:21 in
-  let check_same name data =
-    match
-      ( Jpeg2000.Decoder.decode_robust ~flat:true data,
-        Jpeg2000.Decoder.decode_robust ~flat:false data )
-    with
-    | Ok (a, ra), Ok (b, rb) ->
-      Alcotest.(check bool) (name ^ " images equal") true
-        (Jpeg2000.Image.equal a b);
-      Alcotest.(check bool) (name ^ " reports equal") true (ra = rb)
-    | Error ea, Error eb ->
-      Alcotest.(check bool) (name ^ " errors equal") true (ea = eb)
-    | _ -> Alcotest.fail (name ^ ": paths disagree on Ok vs Error")
-  in
-  List.iter
-    (fun (name, config) ->
-      let data = Jpeg2000.Encoder.encode config img in
-      check_same (name ^ " clean") data;
-      check_same (name ^ " truncated")
-        (String.sub data 0 (String.length data * 3 / 4));
-      let corrupt = Bytes.of_string data in
-      for i = 0 to 8 do
-        Bytes.set corrupt
-          ((String.length data / 2) + (i * 13))
-          (Char.chr ((i * 41) land 0xff))
-      done;
-      check_same (name ^ " corrupted") (Bytes.to_string corrupt))
     flat_configs
 
 let test_staged_protocols_agree () =
@@ -1297,12 +1301,9 @@ let () =
       ( "flat",
         [
           Alcotest.test_case "plane basics" `Quick test_plane_basics;
-          qc flat_equals_boxed_qcheck;
+          qc flat_golden_qcheck;
           Alcotest.test_case "identity across pools" `Quick
             test_flat_identity_across_pools;
-          Alcotest.test_case "reduced/progressive/region" `Quick
-            test_flat_reduced_and_progressive;
-          Alcotest.test_case "robust identity" `Quick test_flat_robust_identity;
           Alcotest.test_case "staged protocols agree" `Quick
             test_staged_protocols_agree;
         ] );
